@@ -1,0 +1,163 @@
+// Command dwrun trains one model on one dataset under an explicit or
+// optimizer-chosen plan and prints the per-epoch convergence trace.
+//
+//	dwrun -model svm -dataset rcv1                        # optimizer plan
+//	dwrun -model lp -dataset amazon-lp -access col -rep permachine
+//	dwrun -model svm -dataset reuters -machine local8 -epochs 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/metrics"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// datasetByName maps CLI names to dataset constructors.
+func datasetByName(name string) (*data.Dataset, error) {
+	switch name {
+	case "rcv1":
+		return data.RCV1(), nil
+	case "reuters":
+		return data.Reuters(), nil
+	case "music":
+		return data.Music(), nil
+	case "music-reg":
+		return data.MusicRegression(), nil
+	case "forest":
+		return data.Forest(), nil
+	case "amazon-lp":
+		return data.AmazonLP(), nil
+	case "google-lp":
+		return data.GoogleLP(), nil
+	case "amazon-qp":
+		return data.AmazonQP(), nil
+	case "google-qp":
+		return data.GoogleQP(), nil
+	case "clueweb":
+		return data.ClueWeb(0.1), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (rcv1, reuters, music, music-reg, forest, amazon-lp, google-lp, amazon-qp, google-qp, clueweb)", name)
+	}
+}
+
+func main() {
+	modelName := flag.String("model", "svm", "model: svm, lr, ls, lp, qp, sum")
+	dsName := flag.String("dataset", "reuters", "dataset name")
+	machine := flag.String("machine", "local2", "machine: local2, local4, local8, ec2.1, ec2.2")
+	access := flag.String("access", "", "force access method: row, col (empty = optimizer)")
+	rep := flag.String("rep", "", "force model replication: percore, pernode, permachine")
+	dataRep := flag.String("datarep", "", "force data replication: sharding, full, importance")
+	epochs := flag.Int("epochs", 20, "epochs to run")
+	target := flag.Float64("target", 0, "stop at this loss (0 = run all epochs)")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvPath := flag.String("csv", "", "write the loss curve as CSV to this file")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "dwrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	spec, err := model.ByName(*modelName)
+	if err != nil {
+		die(err)
+	}
+	ds, err := datasetByName(*dsName)
+	if err != nil {
+		die(err)
+	}
+	top, err := numa.ByName(*machine)
+	if err != nil {
+		die(err)
+	}
+
+	plan, err := core.Choose(spec, ds, top)
+	if err != nil {
+		die(err)
+	}
+	switch strings.ToLower(*access) {
+	case "":
+	case "row":
+		plan.Access = model.RowWise
+	case "col", "column":
+		plan.Access = spec.Supports()[0]
+		if plan.Access == model.RowWise {
+			plan.Access = spec.Supports()[1]
+		}
+	default:
+		die(fmt.Errorf("unknown access %q", *access))
+	}
+	switch strings.ToLower(*rep) {
+	case "":
+	case "percore":
+		plan.ModelRep = core.PerCore
+	case "pernode":
+		plan.ModelRep = core.PerNode
+	case "permachine":
+		plan.ModelRep = core.PerMachine
+	default:
+		die(fmt.Errorf("unknown model replication %q", *rep))
+	}
+	switch strings.ToLower(*dataRep) {
+	case "":
+	case "sharding":
+		plan.DataRep = core.Sharding
+	case "full":
+		plan.DataRep = core.FullReplication
+	case "importance":
+		plan.DataRep = core.Importance
+	default:
+		die(fmt.Errorf("unknown data replication %q", *dataRep))
+	}
+	plan.Seed = *seed
+	plan.Step = 0 // let Normalize repick for the (possibly new) access
+	plan.StepDecay = 0
+	plan = plan.Normalize(spec)
+
+	eng, err := core.New(spec, ds, plan)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("task: %s on %s (%d x %d, %d nnz)\n", spec.Name(), ds.Name, ds.Rows(), ds.Cols(), ds.NNZ())
+	fmt.Printf("plan: %s\n\n", plan)
+	curve := &metrics.Curve{Name: fmt.Sprintf("%s-%s", spec.Name(), ds.Name)}
+	fmt.Printf("%-7s %-14s %-14s %s\n", "epoch", "loss", "epoch time", "total time")
+	for i := 0; i < *epochs; i++ {
+		er := eng.RunEpoch()
+		fmt.Printf("%-7d %-14.6g %-14v %v\n", er.Epoch, er.Loss, er.SimTime, er.CumTime)
+		if err := curve.Append(metrics.Point{Epoch: er.Epoch, Time: er.CumTime, Loss: er.Loss}); err != nil {
+			die(err)
+		}
+		if *target > 0 && er.Loss <= *target {
+			fmt.Printf("\nreached target %g at epoch %d (%v simulated)\n", *target, er.Epoch, er.CumTime)
+			break
+		}
+		if curve.Plateaued(10, 1e-4) {
+			fmt.Println("\nloss plateaued; stopping early")
+			break
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			die(err)
+		}
+		if err := metrics.WriteCSV(f, curve); err != nil {
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("\nloss curve written to %s\n", *csvPath)
+	}
+	ctr := eng.Counters()
+	fmt.Printf("\ncounters: %v\n", ctr)
+	fmt.Printf("cross-node DRAM ratio: %.2f\n", ctr.CrossNodeDRAMRatio())
+}

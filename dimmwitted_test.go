@@ -1,0 +1,67 @@
+package dimmwitted
+
+import "testing"
+
+// TestQuickstart exercises the documented happy path of the public API.
+func TestQuickstart(t *testing.T) {
+	ds := Reuters()
+	spec := SVM()
+	plan, err := Choose(spec, ds, Local2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Access != RowWise || plan.ModelRep != PerNode {
+		t.Errorf("unexpected plan %v", plan)
+	}
+	eng, err := New(spec, ds, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.RunToLoss(0.2, 40)
+	if !res.Converged {
+		t.Fatalf("quickstart did not converge: %v", res.FinalLoss)
+	}
+	if len(eng.Model()) != ds.Cols() {
+		t.Errorf("model dim %d, want %d", len(eng.Model()), ds.Cols())
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	for _, spec := range []Spec{SVM(), LR(), LS(), LP(), QP(), ParallelSum()} {
+		if spec.Name() == "" {
+			t.Error("unnamed spec")
+		}
+	}
+	for _, ds := range []*Dataset{RCV1(), Reuters(), Music(), MusicRegression(), Forest(),
+		AmazonLP(), GoogleLP(), AmazonQP(), GoogleQP(), ClueWeb(0.02)} {
+		if err := ds.Validate(); err != nil {
+			t.Errorf("%s: %v", ds.Name, err)
+		}
+	}
+	if _, err := ModelByName("svm"); err != nil {
+		t.Error(err)
+	}
+	if _, err := MachineByName("local8"); err != nil {
+		t.Error(err)
+	}
+	if sub := SubsampleSparsity(Music(), 0.1, 1); sub.NNZ() >= Music().NNZ() {
+		t.Error("subsample did not thin")
+	}
+	if sub := SubsampleRows(Reuters(), 0.5, 1); sub.Rows() != Reuters().Rows()/2 {
+		t.Error("row subsample wrong")
+	}
+}
+
+func TestFacadeExplainAndConcurrent(t *testing.T) {
+	ests := Explain(SVM(), Reuters(), Local2)
+	if len(ests) != 2 {
+		t.Fatalf("Explain returned %d estimates", len(ests))
+	}
+	x, err := RunConcurrent(SVM(), Reuters(), Plan{ModelRep: PerNode, Workers: 4}, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != Reuters().Cols() {
+		t.Errorf("concurrent model dim %d", len(x))
+	}
+}

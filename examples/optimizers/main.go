@@ -1,0 +1,74 @@
+// First-order method comparison: the paper's Section 2.1 lists SGD,
+// gradient descent and higher-order methods (l-BFGS) as the row-wise
+// family. This example races them — plus mini-batch SGD, MLlib's
+// execution model — on the least-squares Music workload and prints the
+// epochs each needs to reach the same loss.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dimmwitted"
+	"dimmwitted/internal/metrics"
+	"dimmwitted/internal/opt"
+)
+
+func main() {
+	ds := dimmwitted.MusicRegression()
+	spec := dimmwitted.LS()
+	fmt.Printf("task: least squares on %s (%d x %d, dense)\n\n", ds.Name, ds.Rows(), ds.Cols())
+
+	const epochs = 25
+	gd, err := (&opt.GD{Step: 0.5}).Run(spec, ds, epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lbfgs, err := (&opt.LBFGS{M: 5}).Run(spec, ds, epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb, err := (&opt.MiniBatch{Fraction: 0.1, Step: 0.5, Seed: 1}).Run(spec, ds, epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SGD through the engine (single worker isolates the method).
+	eng, err := dimmwitted.New(spec, ds, dimmwitted.Plan{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sgd := &metrics.Curve{Name: "sgd"}
+	for i := 0; i < epochs; i++ {
+		er := eng.RunEpoch()
+		if err := sgd.Append(metrics.Point{Epoch: er.Epoch, Time: er.CumTime, Loss: er.Loss}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	curves := []*metrics.Curve{sgd, gd.Curve, lbfgs.Curve, mb.Curve}
+	fmt.Println("epoch   sgd        gd         l-bfgs     minibatch(10%)")
+	for e := 0; e < epochs; e += 4 {
+		fmt.Printf("%-7d", e+1)
+		for _, c := range curves {
+			fmt.Printf(" %-10.4g", c.Points[e].Loss)
+		}
+		fmt.Println()
+	}
+
+	target := sgd.Best() * 1.5
+	fmt.Printf("\nepochs to reach loss %.4g:\n", target)
+	for _, c := range curves {
+		if e, ok := c.EpochsTo(target); ok {
+			fmt.Printf("  %-16s %d\n", c.Name, e)
+		} else {
+			fmt.Printf("  %-16s > %d\n", c.Name, epochs)
+		}
+	}
+
+	fmt.Println("\nfull curves (CSV):")
+	if err := metrics.WriteCSV(os.Stdout, curves...); err != nil {
+		log.Fatal(err)
+	}
+}

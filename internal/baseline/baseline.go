@@ -1,0 +1,153 @@
+// Package baseline emulates the four competitor systems the paper
+// compares against (Section 4.1) — GraphLab, GraphChi, MLlib/Spark and
+// Hogwild! — as their documented points in DimmWitted's tradeoff space
+// (Figure 5) plus a calibrated overhead model:
+//
+//	system    access      model rep   data rep   overhead
+//	GraphLab  column      PerMachine  Sharding   event scheduling per update
+//	GraphChi  column      PerMachine  Sharding   as GraphLab, slightly lighter
+//	MLlib     row (batch) PerCore     Sharding   per-epoch job scheduling + ~3x runtime (Scala)
+//	Hogwild!  row         PerMachine  Sharding   none
+//
+// The paper itself argues (Section 4.2) that the gaps it measures come
+// from "the point in the tradeoff space — not low-level implementation
+// differences"; these emulations encode exactly those points. The
+// overhead constants come from the paper's own measurements: MLlib
+// spends 0.9s of a 2.7s Forest run on scheduling, its Scala kernels
+// run ~3x slower than C++, and GraphLab/GraphChi are ~20x slower than
+// DimmWitted on parallel sum "due to the overhead of dynamically
+// scheduling tasks and/or maintaining the graph structure".
+package baseline
+
+import (
+	"fmt"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// System identifies one of the emulated competitor systems, or
+// DimmWitted itself.
+type System string
+
+// The five systems of the end-to-end comparison (Figure 11).
+const (
+	GraphLab   System = "GraphLab"
+	GraphChi   System = "GraphChi"
+	MLlib      System = "MLlib"
+	Hogwild    System = "Hogwild!"
+	DimmWitted System = "DimmWitted"
+)
+
+// Systems returns all five in the paper's column order.
+func Systems() []System {
+	return []System{GraphLab, GraphChi, MLlib, Hogwild, DimmWitted}
+}
+
+// Overhead constants, in simulated cycles (see the package comment).
+const (
+	graphLabStepOverhead    = 120 // event-driven scheduler work per update
+	graphChiStepOverhead    = 100 // slightly lighter shell (no distribution layer)
+	graphLabElementOverhead = 15  // per-element graph-structure maintenance
+	graphChiElementOverhead = 12
+	mllibEpochOverhead      = 6e6 // per-job task scheduling, serialization
+	mllibComputeScale       = 3   // Scala vs C++ kernels (Section 4.2)
+)
+
+// PlanFor returns the system's fixed point in the tradeoff space for
+// the given task, or the optimizer's choice for DimmWitted.
+func PlanFor(sys System, spec model.Spec, ds *data.Dataset, top numa.Topology) (core.Plan, error) {
+	switch sys {
+	case DimmWitted:
+		return core.Choose(spec, ds, top)
+	case Hogwild:
+		if !supports(spec, model.RowWise) {
+			return core.Plan{}, fmt.Errorf("baseline: %s requires a row-wise method for %s", sys, spec.Name())
+		}
+		p := core.Plan{
+			Access:   model.RowWise,
+			ModelRep: core.PerMachine,
+			DataRep:  core.Sharding,
+			Machine:  top,
+		}
+		return p.Normalize(spec), nil
+	case GraphLab, GraphChi:
+		access, ok := columnMethod(spec)
+		if !ok {
+			return core.Plan{}, fmt.Errorf("baseline: %s requires a column method for %s", sys, spec.Name())
+		}
+		p := core.Plan{
+			Access:                access,
+			ModelRep:              core.PerMachine,
+			DataRep:               core.Sharding,
+			Machine:               top,
+			StepOverheadCycles:    graphLabStepOverhead,
+			ElementOverheadCycles: graphLabElementOverhead,
+		}
+		if sys == GraphChi {
+			p.StepOverheadCycles = graphChiStepOverhead
+			p.ElementOverheadCycles = graphChiElementOverhead
+		}
+		return p.Normalize(spec), nil
+	case MLlib:
+		if !supports(spec, model.RowWise) {
+			return core.Plan{}, fmt.Errorf("baseline: %s requires a row-wise method for %s", sys, spec.Name())
+		}
+		p := core.Plan{
+			Access:              model.RowWise,
+			ModelRep:            core.PerCore,
+			DataRep:             core.Sharding,
+			Machine:             top,
+			EpochOverheadCycles: mllibEpochOverhead,
+			ComputeScale:        mllibComputeScale,
+		}
+		return p.Normalize(spec), nil
+	default:
+		return core.Plan{}, fmt.Errorf("baseline: unknown system %q", sys)
+	}
+}
+
+// supports reports whether the spec implements the access method.
+func supports(spec model.Spec, a model.Access) bool {
+	for _, s := range spec.Supports() {
+		if s == a {
+			return true
+		}
+	}
+	return false
+}
+
+// columnMethod returns whichever column access the spec implements.
+func columnMethod(spec model.Spec) (model.Access, bool) {
+	if supports(spec, model.ColWise) {
+		return model.ColWise, true
+	}
+	if supports(spec, model.ColToRow) {
+		return model.ColToRow, true
+	}
+	return 0, false
+}
+
+// Run executes the system's plan until the loss target or the epoch
+// limit. MLlib's supervised models run through the mini-batch
+// batch-gradient emulator (the execution model the paper attributes to
+// it); everything else runs through the engine.
+func Run(sys System, spec model.Spec, ds *data.Dataset, top numa.Topology, target float64, maxEpochs int) (core.RunResult, error) {
+	plan, err := PlanFor(sys, spec, ds, top)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	if sys == MLlib {
+		switch spec.Name() {
+		case "svm", "lr", "ls":
+			return runBatchGradient(spec, ds, plan, target, maxEpochs)
+		}
+	}
+	eng, err := core.New(spec, ds, plan)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	return eng.RunToLoss(target, maxEpochs), nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/vec"
+)
+
+// RunConcurrent executes row-wise epochs with real goroutine workers
+// under the Hogwild! memory model: shared replicas are vec.Atomic
+// vectors with component-wise atomicity and no locking. Each worker
+// trains on a private working copy and, every flushEvery steps, pushes
+// its accumulated delta to its replica with atomic adds and refreshes
+// the copy — the paper's "batch writes across sockets" technique made
+// explicit (and race-detector clean).
+//
+// The simulated-cost machinery does not apply here; this executor
+// exists to validate that the engine's replication semantics hold
+// under genuine concurrency. It returns the combined model after the
+// final epoch.
+//
+// Only row-wise access is supported: column-wise auxiliary state
+// cannot be kept consistent under unsynchronized concurrent flushes.
+func RunConcurrent(spec model.Spec, ds *data.Dataset, plan Plan, epochs, flushEvery int) ([]float64, error) {
+	plan = plan.Normalize(spec)
+	if err := plan.Validate(spec); err != nil {
+		return nil, err
+	}
+	if plan.Access != model.RowWise {
+		return nil, fmt.Errorf("core: concurrent executor supports row-wise access only, got %s", plan.Access)
+	}
+	if flushEvery < 1 {
+		flushEvery = 8
+	}
+
+	dim := len(spec.NewReplica(ds).X)
+	nodes := plan.Machine.Nodes
+
+	// Shared masters, one per locality group.
+	var masters []*vec.Atomic
+	groupOf := make([]int, plan.Workers)
+	switch plan.ModelRep {
+	case PerMachine:
+		masters = []*vec.Atomic{vec.NewAtomic(dim)}
+	case PerNode:
+		n := nodes
+		if plan.Workers < n {
+			n = plan.Workers
+		}
+		for g := 0; g < n; g++ {
+			masters = append(masters, vec.NewAtomic(dim))
+		}
+		for w := range groupOf {
+			groupOf[w] = (w % nodes) % len(masters)
+		}
+	case PerCore:
+		for g := 0; g < plan.Workers; g++ {
+			masters = append(masters, vec.NewAtomic(dim))
+		}
+		for w := range groupOf {
+			groupOf[w] = w
+		}
+	}
+	if plan.ModelRep == PerMachine {
+		for w := range groupOf {
+			groupOf[w] = 0
+		}
+	}
+	// Seed masters with the spec's initial model (e.g. LP starts at 1).
+	init := spec.NewReplica(ds).X
+	for _, m := range masters {
+		m.CopyFrom(init)
+	}
+
+	step := plan.Step
+	for ep := 0; ep < epochs; ep++ {
+		// Partition rows per the data-replication strategy.
+		assignRng := rand.New(rand.NewSource(plan.Seed + int64(ep)))
+		assignments := make([][]int, plan.Workers)
+		switch plan.DataRep {
+		case FullReplication:
+			for w := range assignments {
+				node := w % nodes
+				nodeRng := rand.New(rand.NewSource(plan.Seed + int64(ep)*100 + int64(node)))
+				perm := nodeRng.Perm(ds.Rows())
+				workersOnNode := (plan.Workers + nodes - 1) / nodes
+				slot := w / nodes
+				for i := slot; i < len(perm); i += workersOnNode {
+					assignments[w] = append(assignments[w], perm[i])
+				}
+			}
+		default: // Sharding
+			perm := assignRng.Perm(ds.Rows())
+			for i, row := range perm {
+				w := i % plan.Workers
+				assignments[w] = append(assignments[w], row)
+			}
+		}
+
+		var wg sync.WaitGroup
+		for w := 0; w < plan.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				master := masters[groupOf[w]]
+				local := spec.NewReplica(ds)
+				master.Snapshot(local.X)
+				base := append([]float64(nil), local.X...)
+				sinceFlush := 0
+				flush := func() {
+					for j := 0; j < dim; j++ {
+						if d := local.X[j] - base[j]; d != 0 {
+							master.Add(j, d)
+						}
+					}
+					master.Snapshot(local.X)
+					copy(base, local.X)
+					sinceFlush = 0
+				}
+				for _, row := range assignments[w] {
+					spec.RowStep(ds, row, local, step)
+					sinceFlush++
+					if sinceFlush >= flushEvery {
+						flush()
+					}
+				}
+				flush()
+			}(w)
+		}
+		wg.Wait()
+		step *= plan.StepDecay
+
+		// End-of-epoch synchronization across locality groups.
+		if len(masters) > 1 {
+			xs := make([][]float64, len(masters))
+			for i, m := range masters {
+				xs[i] = make([]float64, dim)
+				m.Snapshot(xs[i])
+			}
+			combined := make([]float64, dim)
+			spec.Combine(xs, combined)
+			for _, m := range masters {
+				m.CopyFrom(combined)
+			}
+		}
+	}
+
+	out := make([]float64, dim)
+	if len(masters) == 1 {
+		masters[0].Snapshot(out)
+		return out, nil
+	}
+	xs := make([][]float64, len(masters))
+	for i, m := range masters {
+		xs[i] = make([]float64, dim)
+		m.Snapshot(xs[i])
+	}
+	spec.Combine(xs, out)
+	return out, nil
+}

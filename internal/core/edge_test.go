@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/mat"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+func TestFewerWorkersThanNodes(t *testing.T) {
+	// PerNode with one worker must degenerate to a single replica.
+	e := mustEngine(t, model.NewSVM(), data.Reuters(),
+		Plan{ModelRep: PerNode, Workers: 1, Machine: numa.Local8})
+	if len(e.replicas) != 1 {
+		t.Errorf("1 worker produced %d replicas", len(e.replicas))
+	}
+	er := e.RunEpoch()
+	if er.Steps != data.Reuters().Rows() {
+		t.Errorf("steps = %d", er.Steps)
+	}
+}
+
+func TestChunkSizeOne(t *testing.T) {
+	e := mustEngine(t, model.NewSVM(), data.Reuters(),
+		Plan{ModelRep: PerMachine, ChunkSize: 1})
+	if e.RunEpoch().Steps != 800 {
+		t.Error("chunk size 1 lost steps")
+	}
+}
+
+func TestSyncRoundsDisabled(t *testing.T) {
+	// Negative SyncRounds must disable mid-epoch averaging; the run
+	// still converges via end-of-epoch combination.
+	e := mustEngine(t, model.NewSVM(), data.Reuters(),
+		Plan{ModelRep: PerNode, SyncRounds: -1})
+	init := e.Loss()
+	e.RunEpochs(10)
+	if e.Loss() >= init/2 {
+		t.Errorf("no-mid-sync run failed to converge: %v -> %v", init, e.Loss())
+	}
+}
+
+func TestSyncIntervalAffectsBackgroundTraffic(t *testing.T) {
+	// More frequent averaging means more background QPI traffic.
+	traffic := func(rounds int) int64 {
+		e := mustEngine(t, model.NewSVM(), data.RCV1(),
+			Plan{ModelRep: PerNode, DataRep: Sharding, SyncRounds: rounds})
+		e.RunEpoch()
+		return e.Counters().QPIWords
+	}
+	frequent, rare := traffic(0), traffic(16)
+	if frequent <= rare {
+		t.Errorf("every-round sync QPI (%d) not above every-16 (%d)", frequent, rare)
+	}
+}
+
+func TestDenseStorageColumnAccess(t *testing.T) {
+	// Dense storage charges full column height per column step.
+	ds := data.MusicRegression()
+	spec := model.NewLS()
+	dense := mustEngine(t, spec, ds, Plan{Access: model.ColWise, ModelRep: PerMachine, DenseStorage: true}).RunEpoch()
+	sparse := mustEngine(t, spec, ds, Plan{Access: model.ColWise, ModelRep: PerMachine}).RunEpoch()
+	// Music is fully dense, so dense column storage (1 word/element)
+	// should beat CSC (1.5 words/element).
+	if dense.SimTime >= sparse.SimTime {
+		t.Errorf("dense col storage (%v) not faster than CSC (%v) on dense data", dense.SimTime, sparse.SimTime)
+	}
+}
+
+func TestAggregateMultiEpochStaysExact(t *testing.T) {
+	// Aggregates restart each epoch: the sum must stay exact across
+	// epochs rather than compounding.
+	ds := data.ParallelSum(600, 4)
+	e := mustEngine(t, model.NewParallelSum(), ds, Plan{ModelRep: PerNode, DataRep: Sharding})
+	for i := 0; i < 3; i++ {
+		e.RunEpoch()
+		if got := e.Model()[0]; got != 2400 {
+			t.Fatalf("epoch %d sum = %v, want 2400", i+1, got)
+		}
+	}
+}
+
+func TestCountersAccumulateAcrossEpochs(t *testing.T) {
+	e := mustEngine(t, model.NewSVM(), data.Reuters(), Plan{ModelRep: PerNode})
+	e.RunEpoch()
+	one := e.Counters().ReadWords
+	e.RunEpoch()
+	two := e.Counters().ReadWords
+	if two <= one {
+		t.Errorf("counters not accumulating: %d then %d", one, two)
+	}
+	if e.Stats().DataWords <= 0 {
+		t.Error("stats not accumulated")
+	}
+}
+
+func TestRunConcurrentFullReplication(t *testing.T) {
+	ds := data.Reuters()
+	spec := model.NewSVM()
+	init := spec.Loss(ds, spec.NewReplica(ds).X)
+	x, err := RunConcurrent(spec, ds, Plan{ModelRep: PerNode, DataRep: FullReplication, Workers: 4}, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss := spec.Loss(ds, x); loss >= init/2 {
+		t.Errorf("concurrent full-replication loss %v vs init %v", loss, init)
+	}
+}
+
+func TestRunConcurrentDefaultFlush(t *testing.T) {
+	// flushEvery < 1 falls back to a sane default.
+	if _, err := RunConcurrent(model.NewSVM(), data.Reuters(), Plan{Workers: 2}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPStartsFeasible(t *testing.T) {
+	// The LP engine starts from the all-ones cover: loss decreases
+	// monotonically-ish from a feasible point rather than blowing up.
+	e := mustEngine(t, model.NewLP(), data.AmazonLP(), Plan{Access: model.ColWise, ModelRep: PerMachine})
+	first := e.RunEpoch().Loss
+	tenth := e.RunEpochs(9)[8].Loss
+	if tenth >= first {
+		t.Errorf("LP loss not decreasing: %v -> %v", first, tenth)
+	}
+}
+
+func TestEngineStatsAccessors(t *testing.T) {
+	e := mustEngine(t, model.NewSVM(), data.Reuters(), Plan{})
+	if e.Epoch() != 0 || e.SimTime() != 0 {
+		t.Error("fresh engine has state")
+	}
+	er := e.RunEpoch()
+	if e.Epoch() != 1 || e.SimTime() != er.SimTime {
+		t.Error("accessors out of sync")
+	}
+	if got := e.Plan().Workers; got != numa.Local2.TotalCores() {
+		t.Errorf("plan accessor workers = %d", got)
+	}
+}
+
+func TestProbeStatsColumnOnTinyDataset(t *testing.T) {
+	// Probe must not panic when the domain is smaller than the sample.
+	b := mat.NewBuilder(2)
+	b.AddRow([]int32{0}, []float64{1})
+	ds := &data.Dataset{Name: "tiny", A: b.Build(), Labels: []float64{1}}
+	st := ProbeStats(model.NewSVM(), ds, model.ColToRow, 64)
+	if st.ModelWrites != 1 {
+		t.Errorf("tiny probe writes = %d", st.ModelWrites)
+	}
+}
+
+func TestEffectiveWordsBounds(t *testing.T) {
+	ds := data.RCV1()
+	eff := effectiveModelWords(ds, model.RowWise, ds.Cols())
+	if eff <= 1 || eff > float64(ds.Cols()) {
+		t.Errorf("effective words %v outside (1, d]", eff)
+	}
+	// Column access is uniform: effective size is the dimension.
+	if got := effectiveModelWords(ds, model.ColWise, ds.Cols()); got != float64(ds.Cols()) {
+		t.Errorf("column effective words = %v, want %v", got, ds.Cols())
+	}
+	// Uniform dense data: effective size equals the dimension.
+	music := data.Music()
+	eff = effectiveModelWords(music, model.RowWise, music.Cols())
+	if eff < 90 || eff > 91.5 {
+		t.Errorf("dense effective words = %v, want ~91", eff)
+	}
+	aux := effectiveAuxWords(data.AmazonLP(), data.AmazonLP().Rows())
+	if int(aux+0.5) != data.AmazonLP().Rows() {
+		t.Errorf("uniform edge aux effective words = %v, want %d", aux, data.AmazonLP().Rows())
+	}
+}
+
+func TestPaperCostDenseUpdate(t *testing.T) {
+	// A dense-update spec (parallel sum) must be charged d*N row writes.
+	ds := data.ParallelSum(100, 4)
+	rowCost := PaperCost(model.NewParallelSum(), ds, model.RowWise, numa.Local2)
+	sumN := float64(400)
+	wantWrites := 4.0 * float64(4*100) // alpha * d * N
+	if rowCost != sumN+wantWrites {
+		t.Errorf("dense-update row cost = %v, want %v", rowCost, sumN+wantWrites)
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// EpochResult reports one completed epoch.
+type EpochResult struct {
+	// Epoch is the 1-based epoch number.
+	Epoch int
+	// Loss is the combined-model objective after the epoch.
+	Loss float64
+	// SimTime is the simulated duration of this epoch alone.
+	SimTime time.Duration
+	// CumTime is the simulated duration of all epochs so far.
+	CumTime time.Duration
+	// Steps is the number of row/column steps executed this epoch.
+	Steps int
+	// Counters holds this epoch's PMU-style counters.
+	Counters numa.Counters
+}
+
+// RunEpoch executes one full epoch — every worker consumes its work
+// list under the deterministic round-robin interleaver — and returns
+// the epoch's measurements. The interleaver reproduces the visibility
+// semantics of the plan's model replication: workers sharing a replica
+// observe each other's updates at chunk granularity; PerNode replicas
+// are additionally averaged by the asynchronous background worker every
+// SyncRounds rounds; PerCore replicas meet only at the end of the
+// epoch.
+func (e *Engine) RunEpoch() EpochResult {
+	e.mach.Reset()
+	e.assignWork()
+	if e.spec.Aggregate() {
+		// One-pass aggregates restart from zero partials every epoch.
+		for _, r := range e.replicas {
+			for j := range r.X {
+				r.X[j] = 0
+			}
+		}
+	}
+
+	steps := 0
+	round := 0
+	for {
+		active := false
+		for _, w := range e.workers {
+			n := e.plan.ChunkSize
+			for n > 0 && w.pos < len(w.items) {
+				e.executeStep(w, w.items[w.pos])
+				w.pos++
+				steps++
+				n--
+			}
+			if w.pos < len(w.items) {
+				active = true
+			}
+		}
+		if !active {
+			break
+		}
+		round++
+		if e.midEpochSyncDue(round) {
+			e.averageReplicas(true)
+		}
+	}
+
+	e.combine()
+	e.epoch++
+	e.step *= e.plan.StepDecay
+
+	cycles := e.mach.MaxCycles()*e.plan.ComputeScale + e.plan.EpochOverheadCycles
+	simT := time.Duration(cycles / e.plan.Machine.ClockGHz)
+	e.cumTime += simT
+	ctr := e.mach.Counters()
+	e.cumCtr.Add(ctr)
+
+	return EpochResult{
+		Epoch:    e.epoch,
+		Loss:     e.Loss(),
+		SimTime:  simT,
+		CumTime:  e.cumTime,
+		Steps:    steps,
+		Counters: ctr,
+	}
+}
+
+// midEpochSyncDue reports whether the asynchronous averaging worker
+// fires after the given interleaver round.
+func (e *Engine) midEpochSyncDue(round int) bool {
+	if e.plan.ModelRep != PerNode || len(e.replicas) < 2 {
+		return false
+	}
+	if e.plan.SyncRounds < 0 || e.spec.Aggregate() {
+		return false
+	}
+	// Column access keeps per-row auxiliary state that would need an
+	// O(nnz) rebuild after every averaging; mid-epoch averaging is
+	// only used on row access (the paper pairs PerNode with SGD).
+	if e.plan.Access != model.RowWise && e.replicas[0].Aux != nil {
+		return false
+	}
+	every := e.plan.SyncRounds
+	if every == 0 {
+		every = 1
+	}
+	return round%every == 0
+}
+
+// executeStep runs one row/column step for worker w and charges its
+// simulated cost.
+func (e *Engine) executeStep(w *worker, item int) {
+	var st model.Stats
+	rep := e.replicas[w.repIdx]
+	if e.plan.Access == model.RowWise {
+		st = e.spec.RowStep(e.ds, item, rep, e.step)
+	} else {
+		st = e.spec.ColStep(e.ds, item, rep, e.step)
+	}
+	e.cumStats.Add(st)
+	e.charge(w, st)
+}
+
+// charge converts a step's traffic stats into simulated machine costs.
+func (e *Engine) charge(w *worker, st model.Stats) {
+	dataWords := int64(float64(st.DataWords) * csrOverhead)
+	if e.plan.DenseStorage {
+		// Dense storage streams the full row/column width regardless
+		// of sparsity, with no index overhead (Appendix A).
+		if e.plan.Access == model.RowWise {
+			dataWords = int64(e.ds.Cols())
+		} else {
+			dataWords = int64(e.ds.Rows())
+		}
+	}
+	w.core.ReadStream(w.dataReg, dataWords)
+
+	mreg := e.modelReg[w.repIdx]
+	w.core.ReadCached(mreg, int64(st.ModelReads))
+	w.core.Write(mreg, int64(st.ModelWrites))
+	if st.AuxReads > 0 || st.AuxWrites > 0 {
+		areg := e.auxReg[w.repIdx]
+		w.core.ReadCached(areg, int64(st.AuxReads))
+		w.core.Write(areg, int64(st.AuxWrites))
+	}
+	w.core.Compute(float64(st.Flops)*flopCycles + e.plan.StepOverheadCycles +
+		float64(st.DataWords)*e.plan.ElementOverheadCycles)
+}
+
+// averageReplicas is the asynchronous model-averaging worker
+// (Section 3.3): it reads every replica, averages, and writes the
+// average back, batching many small cross-socket writes into one. Its
+// cost is charged to the background core, which overlaps with the
+// foreground workers in the epoch's critical path. When refreshAux is
+// needed (end of epoch, column access), the rebuild cost is charged to
+// the first core of each replica's locality group.
+func (e *Engine) averageReplicas(midEpoch bool) {
+	if len(e.replicas) < 2 {
+		return
+	}
+	xs := make([][]float64, len(e.replicas))
+	for i, r := range e.replicas {
+		xs[i] = r.X
+	}
+	avg := make([]float64, len(e.replicas[0].X))
+	e.spec.Combine(xs, avg)
+	d := int64(len(avg))
+	for i, r := range e.replicas {
+		e.bg.ReadCached(e.modelReg[i], d)
+		copy(r.X, avg)
+		e.bg.Write(e.modelReg[i], d)
+	}
+	// Shipping the averages across sockets costs QPI bandwidth.
+	e.bg.Compute(float64(d) * float64(len(e.replicas)) * e.mach.Cost.SyncPerWord)
+
+	if !midEpoch && e.replicas[0].Aux != nil && e.plan.Access != model.RowWise {
+		e.refreshAux()
+	}
+}
+
+// refreshAux rebuilds every replica's auxiliary state from its model
+// and charges the rebuild (a full data scan plus an aux rewrite).
+func (e *Engine) refreshAux() {
+	for i, r := range e.replicas {
+		e.spec.RefreshAux(e.ds, r)
+		owner := e.ownerCore(i)
+		owner.ReadStream(e.workerForReplica(i).dataReg, int64(float64(e.ds.NNZ())*csrOverhead))
+		owner.Write(e.auxReg[i], int64(len(r.Aux)))
+	}
+}
+
+// ownerCore returns the core that pays for replica-wide maintenance.
+func (e *Engine) ownerCore(repIdx int) *numa.Core {
+	return e.workerForReplica(repIdx).core
+}
+
+// workerForReplica returns the first worker attached to a replica.
+func (e *Engine) workerForReplica(repIdx int) *worker {
+	for _, w := range e.workers {
+		if w.repIdx == repIdx {
+			return w
+		}
+	}
+	return e.workers[0]
+}
+
+// combine ends an epoch: replicas are merged into the global model
+// and (for PerCore/PerNode) synchronized back, the Bismarck-style
+// end-of-epoch averaging.
+func (e *Engine) combine() {
+	if len(e.replicas) == 1 {
+		copy(e.global, e.replicas[0].X)
+		return
+	}
+	xs := make([][]float64, len(e.replicas))
+	for i, r := range e.replicas {
+		xs[i] = r.X
+	}
+	e.spec.Combine(xs, e.global)
+	if e.spec.Aggregate() {
+		// Partial sums are folded into the global result once; writing
+		// the total back into the partials would double-count it.
+		for i := range e.replicas {
+			e.bg.ReadCached(e.modelReg[i], int64(len(e.global)))
+		}
+		return
+	}
+	d := int64(len(e.global))
+	for i, r := range e.replicas {
+		e.bg.ReadCached(e.modelReg[i], d)
+		copy(r.X, e.global)
+		e.bg.Write(e.modelReg[i], d)
+	}
+	// Column access keeps per-row auxiliary state that must be rebuilt
+	// from the newly averaged model; row access leaves aux unused.
+	if e.replicas[0].Aux != nil && e.plan.Access != model.RowWise {
+		e.refreshAux()
+	}
+}
+
+// assignWork builds each worker's item list for the coming epoch
+// according to the data-replication strategy.
+func (e *Engine) assignWork() {
+	domain := e.ds.Rows()
+	if e.plan.Access != model.RowWise {
+		domain = e.ds.Cols()
+	}
+	for _, w := range e.workers {
+		w.items = w.items[:0]
+		w.pos = 0
+	}
+	switch e.plan.DataRep {
+	case Sharding:
+		perm := e.rng.Perm(domain)
+		n := len(e.workers)
+		for i, item := range perm {
+			w := e.workers[i%n]
+			w.items = append(w.items, item)
+		}
+	case FullReplication:
+		// Each locality-group *node* processes the whole domain in its
+		// own order, split among that node's workers.
+		byNode := map[int][]*worker{}
+		var nodes []int
+		for _, w := range e.workers {
+			if len(byNode[w.core.Node]) == 0 {
+				nodes = append(nodes, w.core.Node)
+			}
+			byNode[w.core.Node] = append(byNode[w.core.Node], w)
+		}
+		sort.Ints(nodes)
+		for _, node := range nodes {
+			ws := byNode[node]
+			perm := e.rng.Perm(domain)
+			for i, item := range perm {
+				w := ws[i%len(ws)]
+				w.items = append(w.items, item)
+			}
+		}
+	case Importance:
+		// Each *node* samples its quota (Appendix C.4: a fraction of
+		// the dataset per epoch; at fraction 1 the work matches
+		// FullReplication), split among the node's workers.
+		m := int(e.plan.ImportanceFraction * float64(domain))
+		if m < 1 {
+			m = 1
+		}
+		byNode := map[int][]*worker{}
+		var nodes []int
+		for _, w := range e.workers {
+			if len(byNode[w.core.Node]) == 0 {
+				nodes = append(nodes, w.core.Node)
+			}
+			byNode[w.core.Node] = append(byNode[w.core.Node], w)
+		}
+		sort.Ints(nodes)
+		for _, node := range nodes {
+			ws := byNode[node]
+			for k := 0; k < m; k++ {
+				ws[k%len(ws)].items = append(ws[k%len(ws)].items, e.sampleLeverage())
+			}
+		}
+	}
+}
+
+// sampleLeverage draws one row index with probability proportional to
+// its leverage score.
+func (e *Engine) sampleLeverage() int {
+	total := e.levCum[len(e.levCum)-1]
+	u := e.rng.Float64() * total
+	lo, hi := 0, len(e.levCum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.levCum[mid+1] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// RunResult summarises a convergence run.
+type RunResult struct {
+	// Converged reports whether the loss target was reached.
+	Converged bool
+	// Epochs is the number of epochs executed.
+	Epochs int
+	// Time is the cumulative simulated time.
+	Time time.Duration
+	// FinalLoss is the loss after the last epoch.
+	FinalLoss float64
+	// History holds every epoch's result in order.
+	History []EpochResult
+}
+
+// RunToLoss runs epochs until the combined-model loss drops to target
+// or maxEpochs is reached.
+func (e *Engine) RunToLoss(target float64, maxEpochs int) RunResult {
+	var res RunResult
+	for i := 0; i < maxEpochs; i++ {
+		er := e.RunEpoch()
+		res.History = append(res.History, er)
+		res.Epochs = er.Epoch
+		res.Time = er.CumTime
+		res.FinalLoss = er.Loss
+		if er.Loss <= target {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}
+
+// RunEpochs runs exactly n epochs and returns their results.
+func (e *Engine) RunEpochs(n int) []EpochResult {
+	out := make([]EpochResult, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, e.RunEpoch())
+	}
+	return out
+}

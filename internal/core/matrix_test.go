@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// TestConfigurationMatrix exercises every supported combination of
+// model, access method, model replication, data replication and
+// machine on a small dataset: each must construct, run epochs without
+// panicking, keep the loss finite, and not blow up the objective.
+func TestConfigurationMatrix(t *testing.T) {
+	tasks := []struct {
+		spec model.Spec
+		ds   *data.Dataset
+	}{
+		{model.NewSVM(), data.Reuters()},
+		{model.NewLR(), data.Reuters()},
+		{model.NewLS(), data.MusicRegression()},
+		{model.NewLP(), data.AmazonLP()},
+		{model.NewQP(), data.AmazonQP()},
+	}
+	machines := []numa.Topology{numa.Local2, numa.Local4}
+	modelReps := []ModelReplication{PerCore, PerNode, PerMachine}
+	dataReps := []DataReplication{Sharding, FullReplication}
+
+	for _, task := range tasks {
+		init := task.spec.Loss(task.ds, task.spec.NewReplica(task.ds).X)
+		for _, access := range task.spec.Supports() {
+			for _, mrep := range modelReps {
+				for _, drep := range dataReps {
+					for _, top := range machines {
+						name := fmt.Sprintf("%s/%s/%v/%v/%s",
+							task.spec.Name(), access, mrep, drep, top.Name)
+						t.Run(name, func(t *testing.T) {
+							eng, err := New(task.spec, task.ds, Plan{
+								Access: access, ModelRep: mrep, DataRep: drep,
+								Machine: top, Seed: 7,
+							})
+							if err != nil {
+								t.Fatalf("New: %v", err)
+							}
+							var last EpochResult
+							for i := 0; i < 3; i++ {
+								last = eng.RunEpoch()
+								if math.IsNaN(last.Loss) || math.IsInf(last.Loss, 0) {
+									t.Fatalf("loss diverged: %v", last.Loss)
+								}
+								if last.SimTime <= 0 {
+									t.Fatal("no simulated time")
+								}
+							}
+							// The objective must not explode; a mild
+							// transient increase is tolerated.
+							if last.Loss > 2*init+1 {
+								t.Errorf("loss exploded: init %v, after 3 epochs %v", init, last.Loss)
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixDeterminismAcrossConfigs spot-checks that every
+// configuration is reproducible under its seed.
+func TestMatrixDeterminismAcrossConfigs(t *testing.T) {
+	configs := []Plan{
+		{Access: model.RowWise, ModelRep: PerNode, DataRep: FullReplication},
+		{Access: model.ColWise, ModelRep: PerMachine, DataRep: Sharding},
+		{Access: model.RowWise, ModelRep: PerCore, DataRep: Sharding, Machine: numa.Local8},
+	}
+	specs := []model.Spec{model.NewSVM(), model.NewLP(), model.NewSVM()}
+	sets := []*data.Dataset{data.Reuters(), data.AmazonLP(), data.Reuters()}
+	for i, cfg := range configs {
+		cfg.Seed = 11
+		if err := cfg.Normalize(specs[i]).Validate(specs[i]); err != nil {
+			continue // LP row config etc. guard
+		}
+		run := func() float64 {
+			e, err := New(specs[i], sets[i], cfg)
+			if err != nil {
+				t.Fatalf("config %d: %v", i, err)
+			}
+			return e.RunEpochs(4)[3].Loss
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("config %d not deterministic: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// CostEstimate is the optimizer's per-epoch cost prediction for one
+// access method, in abstract word-cost units (Figure 6's model: reads
+// count once, writes count alpha times).
+type CostEstimate struct {
+	// Access is the access method estimated.
+	Access model.Access
+	// Reads is the predicted words read per epoch.
+	Reads float64
+	// Writes is the predicted words written per epoch.
+	Writes float64
+	// Cost is Reads + alpha*Writes.
+	Cost float64
+}
+
+// EstimateCost predicts the per-epoch cost of running the spec on the
+// dataset with the given access method, using a probe sample of steps
+// (the paper's install-time benchmark) and the machine's alpha.
+func EstimateCost(spec model.Spec, ds *data.Dataset, access model.Access, top numa.Topology) CostEstimate {
+	st := ProbeStats(spec, ds, access, 64)
+	stepsPerEpoch := float64(ds.Rows())
+	if access != model.RowWise {
+		stepsPerEpoch = float64(ds.Cols())
+	}
+	reads := stepsPerEpoch * float64(st.DataWords+st.ModelReads+st.AuxReads)
+	writes := stepsPerEpoch * float64(st.ModelWrites+st.AuxWrites)
+	alpha := top.Alpha()
+	return CostEstimate{
+		Access: access,
+		Reads:  reads,
+		Writes: writes,
+		Cost:   reads + alpha*writes,
+	}
+}
+
+// CostRatio returns the paper's Figure 7(b) statistic for a dataset:
+// (1+alpha)·Σnᵢ / (Σnᵢ² + alpha·d), the ratio of row-wise to
+// column-to-row cost under write-cost factor alpha.
+func CostRatio(ds *data.Dataset, alpha float64) float64 {
+	var sumN, sumN2 float64
+	for i := 0; i < ds.Rows(); i++ {
+		n := float64(ds.A.RowNNZ(i))
+		sumN += n
+		sumN2 += n * n
+	}
+	denom := sumN2 + alpha*float64(ds.Cols())
+	if denom == 0 {
+		return 0
+	}
+	return (1 + alpha) * sumN / denom
+}
+
+// PaperCost evaluates the paper's literal Figure 6 cost model for one
+// access method on a dataset:
+//
+//	row-wise:    Σnᵢ reads + α·(Σnᵢ sparse-update writes, or d·N dense)
+//	column-wise: Σnᵢ² reads (column-to-row touches every row in S(j)
+//	             in full) + α·d writes
+//
+// where nᵢ is the nonzero count of row i and α = Topology.Alpha().
+// The formula deliberately charges all column methods the
+// column-to-row read volume, as the paper does: the optimizer is
+// conservative about coordinate methods, which is exactly what makes
+// it pick row-wise for SVM/LR/LS and column-wise for LP/QP
+// (Figure 14).
+func PaperCost(spec model.Spec, ds *data.Dataset, access model.Access, top numa.Topology) float64 {
+	alpha := top.Alpha()
+	var sumN, sumN2 float64
+	for i := 0; i < ds.Rows(); i++ {
+		n := float64(ds.A.RowNNZ(i))
+		sumN += n
+		sumN2 += n * n
+	}
+	d := float64(ds.Cols())
+	if access == model.RowWise {
+		writes := sumN
+		if spec.DenseUpdate() {
+			writes = d * float64(ds.Rows())
+		}
+		return sumN + alpha*writes
+	}
+	return sumN2 + alpha*d
+}
+
+// Choose runs the cost-based optimizer (Section 3.2) plus the paper's
+// replication rules of thumb (Sections 3.3–3.4) and returns a complete
+// plan for the spec/dataset/machine triple:
+//
+//   - access method: the cheaper of the spec's supported methods under
+//     the literal Figure 6 cost model (PaperCost);
+//   - model replication: PerNode for row-wise (SGD-like) plans,
+//     PerMachine for column-wise (SCD-like) plans;
+//   - data replication: FullReplication ("if there is available
+//     memory, FullReplication seems preferable", Section 3.4).
+func Choose(spec model.Spec, ds *data.Dataset, top numa.Topology) (Plan, error) {
+	supported := spec.Supports()
+	if len(supported) == 0 {
+		return Plan{}, fmt.Errorf("core: %s supports no access methods", spec.Name())
+	}
+	best := supported[0]
+	bestCost := PaperCost(spec, ds, best, top)
+	for _, a := range supported[1:] {
+		if c := PaperCost(spec, ds, a, top); c < bestCost {
+			best, bestCost = a, c
+		}
+	}
+	plan := Plan{
+		Access:  best,
+		Machine: top,
+		DataRep: FullReplication,
+	}
+	if best == model.RowWise {
+		plan.ModelRep = PerNode
+	} else {
+		plan.ModelRep = PerMachine
+	}
+	if spec.Aggregate() {
+		// One-pass aggregates gain nothing statistically from seeing
+		// the data more than once; sharding minimises the work.
+		plan.DataRep = Sharding
+		plan.ModelRep = PerNode
+	}
+	plan = plan.Normalize(spec)
+	return plan, plan.Validate(spec)
+}
+
+// Explain returns the optimizer's view of every supported access
+// method, for diagnostics (cmd/dwplan).
+func Explain(spec model.Spec, ds *data.Dataset, top numa.Topology) []CostEstimate {
+	var out []CostEstimate
+	for _, a := range spec.Supports() {
+		out = append(out, EstimateCost(spec, ds, a, top))
+	}
+	return out
+}

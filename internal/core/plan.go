@@ -1,0 +1,254 @@
+// Package core implements the DimmWitted engine (Section 3): given a
+// model specification, a dataset and an execution plan, it runs
+// first-order epochs over a simulated NUMA machine, exploring the
+// paper's three tradeoffs —
+//
+//  1. access method: row-wise vs column-wise/column-to-row,
+//  2. model replication: PerCore, PerNode, PerMachine,
+//  3. data replication: Sharding, FullReplication, Importance,
+//
+// and a cost-based optimizer that picks a plan automatically
+// (Figure 14). Statistical efficiency is real — the algorithms
+// actually run and converge — while hardware efficiency is accounted
+// on the internal/numa cost simulator (see DESIGN.md for why).
+package core
+
+import (
+	"fmt"
+
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// ModelReplication selects the granularity at which the mutable model
+// is replicated (Section 3.3).
+type ModelReplication int
+
+const (
+	// PerCore gives every worker a private replica, combined at the
+	// end of each epoch (the shared-nothing / Bismarck point).
+	PerCore ModelReplication = iota
+	// PerNode gives every NUMA node one replica shared by its cores,
+	// with an asynchronous averaging worker batching cross-socket
+	// writes (the paper's novel hybrid).
+	PerNode
+	// PerMachine keeps a single replica all workers update (the
+	// Hogwild!/Downpour point).
+	PerMachine
+)
+
+// String implements fmt.Stringer.
+func (m ModelReplication) String() string {
+	switch m {
+	case PerCore:
+		return "PerCore"
+	case PerNode:
+		return "PerNode"
+	case PerMachine:
+		return "PerMachine"
+	default:
+		return fmt.Sprintf("ModelReplication(%d)", int(m))
+	}
+}
+
+// DataReplication selects how the immutable data is spread over
+// workers (Section 3.4, Appendix C.4).
+type DataReplication int
+
+const (
+	// Sharding partitions the rows (or columns) so each worker sees a
+	// disjoint subset once per epoch.
+	Sharding DataReplication = iota
+	// FullReplication gives every NUMA node a complete copy; each
+	// node processes all of it, in its own order, every epoch.
+	FullReplication
+	// Importance samples a fraction of rows per worker with
+	// probability proportional to leverage scores (Appendix C.4).
+	Importance
+)
+
+// String implements fmt.Stringer.
+func (d DataReplication) String() string {
+	switch d {
+	case Sharding:
+		return "Sharding"
+	case FullReplication:
+		return "FullReplication"
+	case Importance:
+		return "Importance"
+	default:
+		return fmt.Sprintf("DataReplication(%d)", int(d))
+	}
+}
+
+// Placement selects where data replicas live (Appendix A): the OS
+// default (interleaved/arbitrary) or explicit NUMA-local placement.
+type Placement int
+
+const (
+	// PlacementNUMA collocates each worker's data on its own node.
+	PlacementNUMA Placement = iota
+	// PlacementOS models the OS default: data interleaved across
+	// nodes regardless of who reads it.
+	PlacementOS
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	if p == PlacementOS {
+		return "OS"
+	}
+	return "NUMA"
+}
+
+// Plan is an execution plan (Section 3.1): the chosen point in the
+// tradeoff space plus tuning knobs. Zero values get sensible defaults
+// from Normalize.
+type Plan struct {
+	// Access is the data access method.
+	Access model.Access
+	// ModelRep is the model-replication granularity.
+	ModelRep ModelReplication
+	// DataRep is the data-replication strategy.
+	DataRep DataReplication
+	// Machine is the simulated machine to run on.
+	Machine numa.Topology
+	// Workers is the number of logical workers; 0 means all cores.
+	Workers int
+	// Step is the initial step size; 0 means a model-specific default.
+	Step float64
+	// StepDecay multiplies Step after every epoch; 0 means a default.
+	StepDecay float64
+	// ChunkSize is the number of consecutive steps a worker executes
+	// before the deterministic interleaver moves to the next worker —
+	// the staleness granularity of shared replicas. 0 means a default.
+	ChunkSize int
+	// SyncRounds is how many interleaver rounds pass between
+	// asynchronous model-averaging events for PerNode replication.
+	// 0 means every round ("as frequently as possible", Section 3.3);
+	// negative disables mid-epoch averaging.
+	SyncRounds int
+	// Placement selects NUMA-local or OS-default data placement.
+	Placement Placement
+	// DenseStorage stores the data matrix densely (d words per row)
+	// instead of CSR (1.5 words per nonzero); only sensible for dense
+	// datasets (Appendix A).
+	DenseStorage bool
+	// ImportanceFraction is the fraction of rows each worker samples
+	// per epoch under Importance data replication.
+	ImportanceFraction float64
+	// Seed drives all traversal randomness.
+	Seed int64
+
+	// The remaining knobs exist for emulating competitor systems
+	// (internal/baseline): DimmWitted itself runs with all three at
+	// their zero defaults.
+
+	// StepOverheadCycles is charged to the worker on every step, the
+	// dynamic task-scheduling cost of event-driven systems (GraphLab,
+	// GraphChi).
+	StepOverheadCycles float64
+	// ElementOverheadCycles is charged per data word touched, the
+	// per-element graph-maintenance cost of graph-processing systems
+	// whose tasks carry per-edge/vertex bookkeeping.
+	ElementOverheadCycles float64
+	// EpochOverheadCycles is added to every epoch's critical path, the
+	// per-job scheduling and fault-tolerance cost of batch systems
+	// (MLlib/Spark).
+	EpochOverheadCycles float64
+	// ComputeScale multiplies the epoch's simulated cycles; > 1 models
+	// a slower runtime (the paper measures Scala at ~3x C++). 0 means 1.
+	ComputeScale float64
+}
+
+// Normalize fills defaults for zero-valued fields and returns the
+// completed plan. The model spec is consulted for step-size defaults:
+// exact coordinate-descent steps want step 1 with no decay, SGD wants
+// a small decaying step.
+func (p Plan) Normalize(spec model.Spec) Plan {
+	if p.Machine.Nodes == 0 {
+		p.Machine = numa.Local2
+	}
+	if p.Workers == 0 {
+		p.Workers = p.Machine.TotalCores()
+	}
+	if p.Workers > p.Machine.TotalCores() {
+		p.Workers = p.Machine.TotalCores()
+	}
+	if p.Step == 0 {
+		if p.Access == model.RowWise {
+			p.Step = defaultRowStep(spec)
+		} else {
+			p.Step = 1.0
+		}
+	}
+	if p.StepDecay == 0 {
+		if p.Access == model.RowWise {
+			p.StepDecay = 0.95
+		} else {
+			p.StepDecay = 1.0
+		}
+	}
+	if p.ChunkSize == 0 {
+		p.ChunkSize = 16
+	}
+	if p.ImportanceFraction == 0 {
+		p.ImportanceFraction = 0.1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.ComputeScale == 0 {
+		p.ComputeScale = 1
+	}
+	return p
+}
+
+// defaultRowStep returns a per-model SGD step size that converges on
+// the bundled synthetic datasets.
+func defaultRowStep(spec model.Spec) float64 {
+	switch spec.Name() {
+	case "svm":
+		return 0.1
+	case "lr":
+		return 0.2
+	case "ls":
+		return 0.005
+	case "lp":
+		return 0.05
+	case "qp":
+		return 0.1
+	default:
+		return 0.1
+	}
+}
+
+// Validate reports an error if the plan is internally inconsistent or
+// unsupported by the spec.
+func (p Plan) Validate(spec model.Spec) error {
+	if err := p.Machine.Validate(); err != nil {
+		return err
+	}
+	if p.Workers <= 0 {
+		return fmt.Errorf("core: plan has %d workers", p.Workers)
+	}
+	supported := false
+	for _, a := range spec.Supports() {
+		if a == p.Access {
+			supported = true
+		}
+	}
+	if !supported {
+		return fmt.Errorf("core: %s does not support %s access", spec.Name(), p.Access)
+	}
+	if p.DataRep == Importance && (p.ImportanceFraction <= 0 || p.ImportanceFraction > 1) {
+		return fmt.Errorf("core: importance fraction %v outside (0,1]", p.ImportanceFraction)
+	}
+	return nil
+}
+
+// String renders the plan as the paper's Figure 14 would.
+func (p Plan) String() string {
+	return fmt.Sprintf("%s/%s/%s on %s (%d workers)",
+		p.Access, p.ModelRep, p.DataRep, p.Machine.Name, p.Workers)
+}

@@ -1,0 +1,320 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNamedDatasetsValid(t *testing.T) {
+	sets := []*Dataset{
+		RCV1(), Reuters(), Music(), MusicRegression(), Forest(),
+		AmazonLP(), GoogleLP(), AmazonQP(), GoogleQP(), ClueWeb(0.05),
+		ParallelSum(100, 4),
+	}
+	for _, d := range sets {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if d.Rows() == 0 || d.Cols() == 0 {
+			t.Errorf("%s: empty shape %dx%d", d.Name, d.Rows(), d.Cols())
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, b := RCV1(), RCV1()
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("nondeterministic nnz: %d vs %d", a.NNZ(), b.NNZ())
+	}
+	for k := range a.A.Vals {
+		if a.A.Vals[k] != b.A.Vals[k] || a.A.ColIdx[k] != b.A.ColIdx[k] {
+			t.Fatalf("nondeterministic entry %d", k)
+		}
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("nondeterministic label %d", i)
+		}
+	}
+}
+
+func TestSparseShapeStatistics(t *testing.T) {
+	d := RCV1()
+	if d.Rows() != 3000 || d.Cols() != 1500 {
+		t.Errorf("rcv1 shape = %dx%d", d.Rows(), d.Cols())
+	}
+	avg := d.AvgRowNNZ()
+	if avg < 20 || avg > 60 {
+		t.Errorf("rcv1 avg nnz/row = %v, want ~40", avg)
+	}
+	// Zipf column popularity: the most popular column should be far
+	// denser than the median column.
+	counts := make([]int, d.Cols())
+	for _, j := range d.A.ColIdx {
+		counts[j]++
+	}
+	max, nonzeroCols := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonzeroCols++
+		}
+	}
+	if max < 10*int(avg) {
+		t.Errorf("column popularity not skewed: max column count %d", max)
+	}
+	if nonzeroCols < 100 {
+		t.Errorf("too few distinct columns used: %d", nonzeroCols)
+	}
+}
+
+func TestClassificationLabelsAreSigns(t *testing.T) {
+	d := Reuters()
+	pos, neg := 0, 0
+	for _, y := range d.Labels {
+		switch y {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			t.Fatalf("label %v not ±1", y)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Errorf("degenerate label distribution: +%d/-%d", pos, neg)
+	}
+}
+
+func TestDenseDatasetIsDense(t *testing.T) {
+	d := Music()
+	if d.NNZ() != int64(d.Rows()*d.Cols()) {
+		t.Errorf("music nnz = %d, want %d", d.NNZ(), d.Rows()*d.Cols())
+	}
+	if d.Cols() != 91 {
+		t.Errorf("music cols = %d, want 91", d.Cols())
+	}
+}
+
+func TestRegressionLabelsCorrelateWithTruth(t *testing.T) {
+	d := MusicRegression()
+	// y ≈ <truth, x>: check correlation is strongly positive.
+	var dot, ny, ns float64
+	for i := 0; i < d.Rows(); i++ {
+		idx, vals := d.A.Row(i)
+		var score float64
+		for k, j := range idx {
+			score += vals[k] * d.TrueModel[j]
+		}
+		dot += score * d.Labels[i]
+		ny += d.Labels[i] * d.Labels[i]
+		ns += score * score
+	}
+	corr := dot / math.Sqrt(ny*ns)
+	if corr < 0.9 {
+		t.Errorf("label/truth correlation = %v, want > 0.9", corr)
+	}
+}
+
+func TestGraphGeneration(t *testing.T) {
+	g := GenerateGraph(GraphConfig{Name: "g", Nodes: 500, EdgesPerNode: 3, Seed: 7})
+	if g.Nodes != 500 {
+		t.Fatalf("nodes = %d", g.Nodes)
+	}
+	if len(g.Edges) < 500 {
+		t.Fatalf("too few edges: %d", len(g.Edges))
+	}
+	seen := map[[2]int32]bool{}
+	for _, e := range g.Edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge not ordered: %v", e)
+		}
+		if e[1] >= int32(g.Nodes) {
+			t.Fatalf("edge out of range: %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+	// Preferential attachment should produce a heavy-tailed degree
+	// distribution: max degree well above the mean.
+	deg := g.Degrees()
+	max, sum := 0, 0
+	for _, dv := range deg {
+		if dv > max {
+			max = dv
+		}
+		sum += dv
+	}
+	mean := float64(sum) / float64(len(deg))
+	if float64(max) < 5*mean {
+		t.Errorf("degree distribution not skewed: max=%d mean=%.1f", max, mean)
+	}
+}
+
+func TestVertexCoverLPShape(t *testing.T) {
+	g := AmazonGraph()
+	d := g.VertexCoverLP()
+	if d.Task != VertexCoverLP {
+		t.Errorf("task = %v", d.Task)
+	}
+	if d.Rows() != len(g.Edges) {
+		t.Errorf("rows = %d, want %d edges", d.Rows(), len(g.Edges))
+	}
+	for i := 0; i < d.Rows(); i++ {
+		idx, vals := d.A.Row(i)
+		if len(idx) != 2 || vals[0] != 1 || vals[1] != 1 {
+			t.Fatalf("LP row %d = %v %v, want two unit entries", i, idx, vals)
+		}
+	}
+}
+
+func TestSmoothingQPShape(t *testing.T) {
+	d := AmazonQP()
+	if d.Task != GraphQP {
+		t.Errorf("task = %v", d.Task)
+	}
+	if len(d.Anchors) != d.Cols() {
+		t.Fatalf("anchors len %d, want %d", len(d.Anchors), d.Cols())
+	}
+	anchored := 0
+	for _, a := range d.Anchors {
+		if a != 0 {
+			anchored++
+		}
+	}
+	frac := float64(anchored) / float64(len(d.Anchors))
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("anchored fraction = %v, want ~0.3", frac)
+	}
+	for i := 0; i < d.Rows(); i++ {
+		_, vals := d.A.Row(i)
+		if len(vals) != 2 || vals[0]*vals[1] != -1 {
+			t.Fatalf("QP row %d vals = %v, want (+1,-1)", i, vals)
+		}
+	}
+}
+
+func TestCSCCachedAndConsistent(t *testing.T) {
+	d := Reuters()
+	c1 := d.CSC()
+	c2 := d.CSC()
+	if c1 != c2 {
+		t.Error("CSC not cached")
+	}
+	if c1.NNZ() != d.NNZ() {
+		t.Errorf("CSC nnz = %d, want %d", c1.NNZ(), d.NNZ())
+	}
+}
+
+func TestSubsampleSparsity(t *testing.T) {
+	d := Music()
+	sub := SubsampleSparsity(d, 0.1, 42)
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Rows() != d.Rows() {
+		t.Errorf("row count changed: %d", sub.Rows())
+	}
+	ratio := float64(sub.NNZ()) / float64(d.NNZ())
+	if ratio < 0.05 || ratio > 0.15 {
+		t.Errorf("kept fraction = %v, want ~0.1", ratio)
+	}
+	for i := 0; i < sub.Rows(); i++ {
+		if sub.A.RowNNZ(i) == 0 {
+			t.Fatalf("row %d became empty", i)
+		}
+	}
+	// Labels preserved.
+	for i := range sub.Labels {
+		if sub.Labels[i] != d.Labels[i] {
+			t.Fatal("labels changed by subsampling")
+		}
+	}
+}
+
+func TestSubsampleRows(t *testing.T) {
+	d := Reuters()
+	sub := SubsampleRows(d, 0.25, 42)
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := d.Rows() / 4
+	if sub.Rows() != want {
+		t.Errorf("rows = %d, want %d", sub.Rows(), want)
+	}
+	if len(sub.Labels) != sub.Rows() {
+		t.Errorf("labels = %d rows = %d", len(sub.Labels), sub.Rows())
+	}
+	tiny := SubsampleRows(d, 0, 1)
+	if tiny.Rows() != 1 {
+		t.Errorf("zero-fraction subsample rows = %d, want 1 (floor)", tiny.Rows())
+	}
+	full := SubsampleRows(d, 2.0, 1)
+	if full.Rows() != d.Rows() {
+		t.Errorf("over-fraction subsample rows = %d, want %d", full.Rows(), d.Rows())
+	}
+}
+
+func TestClueWebScales(t *testing.T) {
+	small := ClueWeb(0.01)
+	big := ClueWeb(0.05)
+	if small.Rows() != 300 || big.Rows() != 1500 {
+		t.Errorf("scaled rows = %d, %d", small.Rows(), big.Rows())
+	}
+	if got := big.AvgRowNNZ(); got < 4 || got > 12 {
+		t.Errorf("clueweb avg nnz/row = %v, want ~8", got)
+	}
+}
+
+func TestParallelSum(t *testing.T) {
+	d := ParallelSum(50, 3)
+	if d.Rows() != 50 || d.Cols() != 3 {
+		t.Fatalf("shape %dx%d", d.Rows(), d.Cols())
+	}
+	for _, v := range d.A.Vals {
+		if v != 1 {
+			t.Fatalf("value %v, want 1", v)
+		}
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	for task, want := range map[Task]string{
+		Classification: "classification",
+		Regression:     "regression",
+		VertexCoverLP:  "vertex-cover-lp",
+		GraphQP:        "graph-qp",
+		Task(42):       "Task(42)",
+	} {
+		if got := task.String(); got != want {
+			t.Errorf("Task.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: subsampling with keep=1 is the identity on the nonzero
+// structure; keep in (0,1) never increases nnz and never empties rows.
+func TestSubsampleSparsityProperty(t *testing.T) {
+	base := Reuters()
+	f := func(keepRaw uint8, seed int64) bool {
+		keep := 0.05 + 0.9*float64(keepRaw)/255
+		sub := SubsampleSparsity(base, keep, seed)
+		if sub.NNZ() > base.NNZ() {
+			return false
+		}
+		for i := 0; i < sub.Rows(); i++ {
+			if sub.A.RowNNZ(i) == 0 {
+				return false
+			}
+		}
+		return sub.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

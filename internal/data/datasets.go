@@ -1,0 +1,112 @@
+package data
+
+import "dimmwitted/internal/mat"
+
+// The named constructors below generate scaled-down analogs of the
+// paper's evaluation datasets (Figure 10). The scale is reduced so the
+// full experiment suite runs in seconds on one core, but the *ratios*
+// that drive the tradeoffs are preserved:
+//
+//	dataset   paper (N x d, nnz/row)        here (N x d, nnz/row)
+//	RCV1      781K x 47K,  ~77, sparse      3000 x 1500, ~40, sparse
+//	Reuters   8K   x 18K,  ~12, sparse      800  x 1600, ~12, sparse
+//	Music     515K x 91,   dense            2500 x 91,   dense
+//	Forest    581K x 54,   dense            2500 x 54,   dense
+//	Amazon    926K x 335K, 2 (edges)        graph: 3000 nodes, ~6K edges
+//	Google    2M   x 2M,   ~1.5 (edges)     graph: 5000 nodes, ~10K edges
+//	ClueWeb   500M x 100K, 8, sparse        30000 x 1000, 8, sparse
+//
+// Both text datasets remain underdetermined (d of the same order as N
+// or larger relative to information content), both dense datasets
+// remain heavily overdetermined, and both graphs keep two nonzeros per
+// row with power-law column (vertex) degrees — the properties the
+// paper's access-method and replication tradeoffs depend on.
+
+// RCV1 returns the scaled RCV1 text-classification analog.
+func RCV1() *Dataset {
+	return GenerateSparse(SparseConfig{
+		Name: "rcv1", Rows: 3000, Cols: 1500, NNZPerRow: 40, Noise: 0.05, Seed: 101,
+	})
+}
+
+// Reuters returns the scaled Reuters text-classification analog.
+func Reuters() *Dataset {
+	return GenerateSparse(SparseConfig{
+		Name: "reuters", Rows: 800, Cols: 1600, NNZPerRow: 12, Noise: 0.05, Seed: 102,
+	})
+}
+
+// Music returns the scaled YearPredictionMSD (Music) analog: dense,
+// overdetermined, used for regression and classification benchmarks.
+func Music() *Dataset {
+	return GenerateDense(DenseConfig{
+		Name: "music", Rows: 2500, Cols: 91, Noise: 0.02, Seed: 103,
+	})
+}
+
+// MusicRegression returns the Music analog with real-valued labels.
+func MusicRegression() *Dataset {
+	return GenerateDense(DenseConfig{
+		Name: "music", Rows: 2500, Cols: 91, Noise: 0.1, Regression: true, Seed: 103,
+	})
+}
+
+// Forest returns the scaled Covertype (Forest) analog: dense,
+// overdetermined.
+func Forest() *Dataset {
+	return GenerateDense(DenseConfig{
+		Name: "forest", Rows: 2500, Cols: 54, Noise: 0.02, Seed: 104,
+	})
+}
+
+// AmazonGraph returns the scaled Amazon co-purchase graph analog.
+func AmazonGraph() *Graph {
+	return GenerateGraph(GraphConfig{Name: "amazon", Nodes: 3000, EdgesPerNode: 2, Seed: 105})
+}
+
+// GoogleGraph returns the scaled Google+ social graph analog.
+func GoogleGraph() *Graph {
+	return GenerateGraph(GraphConfig{Name: "google", Nodes: 5000, EdgesPerNode: 2, Seed: 106})
+}
+
+// AmazonLP returns the vertex-cover LP on the Amazon graph analog.
+func AmazonLP() *Dataset { return AmazonGraph().VertexCoverLP() }
+
+// GoogleLP returns the vertex-cover LP on the Google graph analog.
+func GoogleLP() *Dataset { return GoogleGraph().VertexCoverLP() }
+
+// AmazonQP returns the graph-smoothing QP on the Amazon graph analog.
+func AmazonQP() *Dataset { return AmazonGraph().SmoothingQP(0.3, 107) }
+
+// GoogleQP returns the graph-smoothing QP on the Google graph analog.
+func GoogleQP() *Dataset { return GoogleGraph().SmoothingQP(0.3, 108) }
+
+// ClueWeb returns the scaled ClueWeb URL-features analog used by the
+// scalability experiment (Appendix C.3): least-squares with few
+// nonzeros per row and a model small enough to stay LLC-resident.
+func ClueWeb(scale float64) *Dataset {
+	rows := int(30000 * scale)
+	if rows < 1 {
+		rows = 1
+	}
+	ds := GenerateSparse(SparseConfig{
+		Name: "clueweb", Rows: rows, Cols: 1000, NNZPerRow: 8,
+		Noise: 0.1, Regression: true, Seed: 109,
+	})
+	return ds
+}
+
+// ParallelSum returns the trivial dense "dataset" used by the paper's
+// parallel-sum throughput microbenchmark (Figure 13): N rows of a
+// handful of values whose sum is the one-dimensional "model".
+func ParallelSum(rows, cols int) *Dataset {
+	b := mat.NewBuilder(cols)
+	row := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		for j := range row {
+			row[j] = 1
+		}
+		b.AddDenseRow(row)
+	}
+	return &Dataset{Name: "parallel-sum", Task: Regression, A: b.Build()}
+}

@@ -1,0 +1,132 @@
+package data
+
+import (
+	"math/rand"
+
+	"dimmwitted/internal/mat"
+)
+
+// Graph is an undirected simple graph used to build the LP and QP
+// workloads of the paper's network-analysis application (Section 4.1):
+// the Amazon co-purchase and Google+ social graphs.
+type Graph struct {
+	// Name labels the graph.
+	Name string
+	// Nodes is the vertex count.
+	Nodes int
+	// Edges lists each undirected edge once as an ordered pair u < v.
+	Edges [][2]int32
+}
+
+// GraphConfig parameterises a preferential-attachment random graph,
+// which matches the heavy-tailed degree distribution of the paper's
+// social/co-purchase graphs.
+type GraphConfig struct {
+	// Name labels the graph.
+	Name string
+	// Nodes is the vertex count.
+	Nodes int
+	// EdgesPerNode is the number of edges each arriving node adds.
+	EdgesPerNode int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateGraph builds a preferential-attachment graph per the config.
+func GenerateGraph(cfg GraphConfig) *Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Graph{Name: cfg.Name, Nodes: cfg.Nodes}
+	if cfg.Nodes < 2 {
+		return g
+	}
+	// targets holds one entry per half-edge; sampling uniformly from it
+	// implements preferential attachment.
+	targets := make([]int32, 0, 2*cfg.Nodes*cfg.EdgesPerNode)
+	targets = append(targets, 0)
+	seen := make(map[int64]bool)
+	key := func(u, v int32) int64 { return int64(u)<<32 | int64(v) }
+	for v := 1; v < cfg.Nodes; v++ {
+		added := 0
+		attempts := 0
+		for added < cfg.EdgesPerNode && attempts < 10*cfg.EdgesPerNode {
+			attempts++
+			u := targets[rng.Intn(len(targets))]
+			if int(u) == v {
+				continue
+			}
+			lo, hi := u, int32(v)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if seen[key(lo, hi)] {
+				continue
+			}
+			seen[key(lo, hi)] = true
+			g.Edges = append(g.Edges, [2]int32{lo, hi})
+			targets = append(targets, u, int32(v))
+			added++
+		}
+		if added == 0 {
+			// Degenerate fallback for tiny graphs: connect to v-1.
+			u := int32(v - 1)
+			if !seen[key(u, int32(v))] {
+				seen[key(u, int32(v))] = true
+				g.Edges = append(g.Edges, [2]int32{u, int32(v)})
+				targets = append(targets, u, int32(v))
+			}
+		}
+	}
+	return g
+}
+
+// Degrees returns the degree of every vertex.
+func (g *Graph) Degrees() []int {
+	deg := make([]int, g.Nodes)
+	for _, e := range g.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	return deg
+}
+
+// VertexCoverLP encodes the graph's vertex-cover linear program as a
+// DimmWitted dataset, following the LP-rounding formulation of Sridhar
+// et al. that the paper uses: minimise Σ_v x_v subject to
+// x_u + x_v ≥ 1 for every edge and x ∈ [0,1]. The data matrix has one
+// row per edge with exactly two nonzeros, which is why column-wise
+// access dominates on these workloads (n_i = 2 makes row-wise gradient
+// steps cheap to read but the contended dense writes dominate).
+func (g *Graph) VertexCoverLP() *Dataset {
+	b := mat.NewBuilder(g.Nodes)
+	for _, e := range g.Edges {
+		b.AddRow([]int32{e[0], e[1]}, []float64{1, 1})
+	}
+	return &Dataset{Name: g.Name + "-lp", Task: VertexCoverLP, A: b.Build()}
+}
+
+// SmoothingQP encodes a graph-smoothing quadratic program: minimise
+// ½ Σ_{(u,v)∈E} (x_u − x_v)² + (λ/2) Σ_v (x_v − y_v)², with anchor
+// labels y on a random subset of vertices. The data matrix has one row
+// per edge holding (+1, −1). This is the paper's QP network-analysis
+// workload in spirit: sparse rows, huge model dimension.
+func (g *Graph) SmoothingQP(anchorFrac float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := mat.NewBuilder(g.Nodes)
+	for _, e := range g.Edges {
+		b.AddRow([]int32{e[0], e[1]}, []float64{1, -1})
+	}
+	// Anchors are per-column supervision values; a zero anchor means
+	// the vertex is unsupervised (λ for anchored vertices is supplied
+	// by the model specification, not the dataset).
+	anchors := make([]float64, g.Nodes)
+	for v := range anchors {
+		if rng.Float64() < anchorFrac {
+			if rng.Float64() < 0.5 {
+				anchors[v] = 1
+			} else {
+				anchors[v] = -1
+			}
+		}
+	}
+	return &Dataset{Name: g.Name + "-qp", Task: GraphQP, A: b.Build(), Anchors: anchors}
+}

@@ -1,0 +1,82 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dimmwitted/internal/mat"
+)
+
+// SubsampleSparsity returns a copy of the dataset in which each
+// nonzero is kept independently with probability keep (at least one
+// nonzero per row is always retained). The paper uses this on the
+// Music dataset to sweep the update density for Figures 7(b) and
+// 16(b): "a series of synthetic datasets where we control the number
+// of non-zero elements per row by subsampling each row".
+func SubsampleSparsity(d *Dataset, keep float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := mat.NewBuilder(d.Cols())
+	for i := 0; i < d.Rows(); i++ {
+		idx, vals := d.A.Row(i)
+		outIdx := make([]int32, 0, len(idx))
+		outVals := make([]float64, 0, len(vals))
+		for k := range idx {
+			if rng.Float64() < keep {
+				outIdx = append(outIdx, idx[k])
+				outVals = append(outVals, vals[k])
+			}
+		}
+		if len(outIdx) == 0 && len(idx) > 0 {
+			k := rng.Intn(len(idx))
+			outIdx = append(outIdx, idx[k])
+			outVals = append(outVals, vals[k])
+		}
+		b.AddRow(outIdx, outVals)
+	}
+	out := &Dataset{
+		Name:      fmt.Sprintf("%s-sparsity%.2f", d.Name, keep),
+		Task:      d.Task,
+		A:         b.Build(),
+		TrueModel: d.TrueModel,
+		Anchors:   d.Anchors,
+	}
+	if d.Labels != nil {
+		out.Labels = append([]float64(nil), d.Labels...)
+	}
+	return out
+}
+
+// SubsampleRows returns a copy of the dataset containing the first
+// fraction of rows after a deterministic shuffle. The scalability
+// experiment (Appendix C.3) uses 1%, 10%, 50% and 100% row samples.
+func SubsampleRows(d *Dataset, frac float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(frac * float64(d.Rows()))
+	if n < 1 {
+		n = 1
+	}
+	if n > d.Rows() {
+		n = d.Rows()
+	}
+	perm := rng.Perm(d.Rows())[:n]
+	b := mat.NewBuilder(d.Cols())
+	var labels []float64
+	if d.Labels != nil {
+		labels = make([]float64, 0, n)
+	}
+	for _, i := range perm {
+		idx, vals := d.A.Row(i)
+		b.AddRow(idx, vals)
+		if d.Labels != nil {
+			labels = append(labels, d.Labels[i])
+		}
+	}
+	return &Dataset{
+		Name:      fmt.Sprintf("%s-rows%.2f", d.Name, frac),
+		Task:      d.Task,
+		A:         b.Build(),
+		Labels:    labels,
+		TrueModel: d.TrueModel,
+		Anchors:   d.Anchors,
+	}
+}

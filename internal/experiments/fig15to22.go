@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/factor"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/nn"
+	"dimmwitted/internal/numa"
+)
+
+// Fig15 reproduces Figure 15: the ratio of row-wise to column-wise
+// time per epoch grows with the socket count (the write-contention
+// factor α grows), shown for SVM (RCV1) and LP (Amazon) with
+// PerMachine replication on all five machines.
+func Fig15(quick bool) *Result {
+	t := &Table{
+		Name:   "fig15",
+		Title:  "Row/column time-per-epoch ratio across architectures (PerMachine)",
+		Header: []string{"machine", "sockets", "SVM (RCV1)", "LP (Amazon)"},
+	}
+	metrics := map[string]float64{}
+	machines := numa.Machines()
+	if quick {
+		machines = []numa.Topology{numa.Local2, numa.Local8}
+	}
+	svm, lp := model.NewSVM(), model.NewLP()
+	svmDS, lpDS := data.RCV1(), data.AmazonLP()
+	for _, top := range machines {
+		svmRatio := accessRatio(svm, svmDS, top)
+		lpRatio := accessRatio(lp, lpDS, top)
+		t.Rows = append(t.Rows, []string{
+			top.Name, fmt.Sprintf("%d", top.Nodes),
+			fmt.Sprintf("%.2f", svmRatio), fmt.Sprintf("%.2f", lpRatio),
+		})
+		metrics["svm/"+top.Name] = svmRatio
+		metrics["lp/"+top.Name] = lpRatio
+	}
+	t.Notes = "paper: the ratio increases with the socket count on both workloads"
+	return &Result{Table: t, Metrics: metrics}
+}
+
+// accessRatio returns row-epoch-time / column-epoch-time under
+// PerMachine replication on the given machine.
+func accessRatio(spec model.Spec, ds *data.Dataset, top numa.Topology) float64 {
+	colAccess := spec.Supports()[0]
+	if colAccess == model.RowWise {
+		colAccess = spec.Supports()[1]
+	}
+	rowT := runEngine(spec, ds, core.Plan{
+		Access: model.RowWise, ModelRep: core.PerMachine, DataRep: core.Sharding, Machine: top,
+	}).RunEpoch().SimTime.Seconds()
+	colT := runEngine(spec, ds, core.Plan{
+		Access: colAccess, ModelRep: core.PerMachine, DataRep: core.Sharding, Machine: top,
+	}).RunEpoch().SimTime.Seconds()
+	return rowT / colT
+}
+
+// Fig16a reproduces Figure 16(a): the PerMachine/PerNode ratio of time
+// to 50% loss grows with the socket count (SVM, RCV1).
+func Fig16a(quick bool) *Result {
+	t := &Table{
+		Name:   "fig16a",
+		Title:  "PerMachine/PerNode time to 50% loss across architectures, SVM (RCV1)",
+		Header: []string{"machine", "sockets", "ratio"},
+	}
+	metrics := map[string]float64{}
+	spec := model.NewSVM()
+	ds := data.RCV1()
+	opt := OptimalLoss(spec, ds)
+	target := targetFor(opt, 50)
+	max := epochsArg(quick, 120)
+	machines := numa.Machines()
+	if quick {
+		machines = []numa.Topology{numa.Local2, numa.Local8}
+	}
+	for _, top := range machines {
+		// Sharding for both keeps the per-epoch work identical across
+		// machines, isolating the model-replication effect (pairing
+		// PerMachine with FullReplication would feed the single
+		// replica the dataset once per node, masking the α growth).
+		pm := runEngine(spec, ds, core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Machine: top, Seed: 2}).RunToLoss(target, max)
+		pn := runEngine(spec, ds, core.Plan{ModelRep: core.PerNode, DataRep: core.Sharding, Machine: top, Seed: 2}).RunToLoss(target, max)
+		ratio := pm.Time.Seconds() / pn.Time.Seconds()
+		t.Rows = append(t.Rows, []string{top.Name, fmt.Sprintf("%d", top.Nodes), fmt.Sprintf("%.1f", ratio)})
+		metrics["ratio/"+top.Name] = ratio
+	}
+	t.Notes = "paper: PerNode's advantage grows with sockets (ratio > 1 everywhere, rising)"
+	return &Result{Table: t, Metrics: metrics}
+}
+
+// Fig16b reproduces Figure 16(b): the PerMachine/PerNode ratio of time
+// to 50% loss as the update density (sparsity of subsampled Music)
+// grows: PerMachine wins when updates touch ~one element, PerNode wins
+// when they are dense.
+func Fig16b(quick bool) *Result {
+	t := &Table{
+		Name:   "fig16b",
+		Title:  "PerMachine/PerNode time to 50% loss vs update sparsity (Music subsampled)",
+		Header: []string{"keep", "ratio (PerMachine/PerNode)"},
+	}
+	metrics := map[string]float64{}
+	base := data.Music()
+	spec := model.NewSVM()
+	keeps := []float64{0.01, 0.1, 0.5, 1.0}
+	if quick {
+		keeps = []float64{0.01, 1.0}
+	}
+	max := epochsArg(quick, 150)
+	for _, keep := range keeps {
+		ds := base
+		if keep < 1 {
+			ds = data.SubsampleSparsity(base, keep, 9)
+		}
+		opt := OptimalLoss(spec, ds)
+		target := targetFor(opt, 50)
+		pm := runEngine(spec, ds, core.Plan{ModelRep: core.PerMachine, DataRep: core.FullReplication, Seed: 2}).RunToLoss(target, max)
+		pn := runEngine(spec, ds, core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 2}).RunToLoss(target, max)
+		ratio := pm.Time.Seconds() / pn.Time.Seconds()
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%.2f", keep), fmt.Sprintf("%.2f", ratio)})
+		metrics[fmt.Sprintf("ratio/%.2f", keep)] = ratio
+	}
+	t.Notes = "paper: ratio < 1 (PerMachine better) at 1% density, >> 1 when dense"
+	return &Result{Table: t, Metrics: metrics}
+}
+
+// Fig17a reproduces Figure 17(a): the FullReplication/Sharding ratio
+// of time to a loss target, by error level (SVM RCV1): FullReplication
+// wins at low error, Sharding at high error.
+func Fig17a(quick bool) *Result {
+	t := &Table{
+		Name:   "fig17a",
+		Title:  "FullReplication vs Sharding by error level, SVM (RCV1, PerNode)",
+		Header: []string{"error", "FullRepl s", "Sharding s", "ratio (FullRepl/Sharding)"},
+	}
+	metrics := map[string]float64{}
+	spec := model.NewSVM()
+	ds := data.RCV1()
+	opt := OptimalLoss(spec, ds)
+	max := epochsArg(quick, 200)
+	full := runEngine(spec, ds, core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 4}).RunEpochs(max)
+	shard := runEngine(spec, ds, core.Plan{ModelRep: core.PerNode, DataRep: core.Sharding, Seed: 4}).RunEpochs(max)
+	// Error levels are looser than the paper's because the sharded
+	// PerNode estimate plateaus earlier on the scaled dataset; the
+	// claim under test is the trend of the ratio with the error level.
+	for _, pct := range []float64{400, 200, 100, 50, 10} {
+		target := targetFor(opt, pct)
+		ft, _, fok := timeToTarget(full, target)
+		st, _, sok := timeToTarget(shard, target)
+		if !fok {
+			ft = full[len(full)-1].CumTime
+		}
+		if !sok {
+			st = shard[len(shard)-1].CumTime
+		}
+		row := []string{fmt.Sprintf("%.0f%%", pct), fmtSecs(ft, fok), fmtSecs(st, sok)}
+		switch {
+		case fok && sok:
+			ratio := ft.Seconds() / st.Seconds()
+			row = append(row, fmt.Sprintf("%.2f", ratio))
+			metrics[fmt.Sprintf("ratio/%.0f", pct)] = ratio
+		case fok && !sok:
+			// The low-error regime of the paper's plot: only the
+			// fully replicated run ever reaches the target.
+			row = append(row, "FullRepl only")
+			metrics[fmt.Sprintf("fullOnly/%.0f", pct)] = 1
+		default:
+			row = append(row, "timeout")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper: FullRepl 1.8-2.5x faster at low error (here: it alone reaches the low-error targets); comparable or slower at high error"
+	return &Result{Table: t, Metrics: metrics}
+}
+
+// Fig17b reproduces Figure 17(b): throughput of Gibbs sampling and
+// neural-network training under the classic choice vs DimmWitted's.
+func Fig17b(quick bool) *Result {
+	t := &Table{
+		Name:   "fig17b",
+		Title:  "Extensions: variables/second (millions), classic choice vs DimmWitted",
+		Header: []string{"workload", "classic", "DimmWitted", "speedup"},
+	}
+	metrics := map[string]float64{}
+
+	// Gibbs: single PerMachine chain vs chain-per-node.
+	g := factor.Paleo()
+	sweeps := 3
+	if quick {
+		sweeps = 1
+	}
+	single := factor.NewSampler(g, numa.Local2, factor.SingleChain, 1).RunSweeps(sweeps)
+	perNode := factor.NewSampler(g, numa.Local2, factor.ChainPerNode, 1).RunSweeps(sweeps)
+	gibbsSpeedup := perNode.Throughput / single.Throughput
+	t.Rows = append(t.Rows, []string{
+		"Gibbs (paleo)",
+		fmt.Sprintf("%.3g", single.Throughput/1e6),
+		fmt.Sprintf("%.3g", perNode.Throughput/1e6),
+		fmt.Sprintf("%.1fx", gibbsSpeedup),
+	})
+	metrics["gibbsSpeedup"] = gibbsSpeedup
+
+	// Neural network: PerMachine+Sharding (LeCun) vs PerNode+FullRepl.
+	examples := 400
+	if quick {
+		examples = 150
+	}
+	ds := nn.SyntheticMNIST(examples, 256, 10, 0.08, 3)
+	classic, err := nn.NewTrainer(ds, nn.TrainerConfig{Strategy: nn.Classic(), Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	dw, err := nn.NewTrainer(ds, nn.TrainerConfig{Strategy: nn.DimmWitted(), Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	c := classic.RunEpoch()
+	d := dw.RunEpoch()
+	nnSpeedup := d.NeuronThroughput / c.NeuronThroughput
+	t.Rows = append(t.Rows, []string{
+		"NN (mnist)",
+		fmt.Sprintf("%.3g", c.NeuronThroughput/1e6),
+		fmt.Sprintf("%.3g", d.NeuronThroughput/1e6),
+		fmt.Sprintf("%.1fx", nnSpeedup),
+	})
+	metrics["nnSpeedup"] = nnSpeedup
+	t.Notes = "paper: Gibbs ~4x, NN >10x over the classic choices"
+	return &Result{Table: t, Metrics: metrics}
+}
+
+// Fig20 reproduces Appendix Figure 20: speedup vs thread count for the
+// three model-replication strategies and a Delite-like baseline
+// (PerMachine with OS placement, which stops scaling beyond one
+// socket), LR on Music, local2.
+func Fig20(quick bool) *Result {
+	t := &Table{
+		Name:   "fig20",
+		Title:  "Speedup vs threads, LR (Music), local2",
+		Header: []string{"threads", "PerCore", "PerNode", "PerMachine", "Delite-like"},
+	}
+	metrics := map[string]float64{}
+	spec := model.NewLR()
+	ds := data.Music()
+	threads := []int{1, 2, 4, 6, 8, 12}
+	if quick {
+		threads = []int{1, 4, 12}
+	}
+	epochTime := func(rep core.ModelReplication, placement core.Placement, workers int) float64 {
+		return runEngine(spec, ds, core.Plan{
+			ModelRep: rep, DataRep: core.Sharding, Workers: workers, Placement: placement,
+		}).RunEpoch().SimTime.Seconds()
+	}
+	base := map[string]float64{
+		"PerCore":    epochTime(core.PerCore, core.PlacementNUMA, 1),
+		"PerNode":    epochTime(core.PerNode, core.PlacementNUMA, 1),
+		"PerMachine": epochTime(core.PerMachine, core.PlacementNUMA, 1),
+		"Delite":     epochTime(core.PerMachine, core.PlacementOS, 1),
+	}
+	for _, w := range threads {
+		pc := base["PerCore"] / epochTime(core.PerCore, core.PlacementNUMA, w)
+		pn := base["PerNode"] / epochTime(core.PerNode, core.PlacementNUMA, w)
+		pm := base["PerMachine"] / epochTime(core.PerMachine, core.PlacementNUMA, w)
+		dl := base["Delite"] / epochTime(core.PerMachine, core.PlacementOS, w)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%.1f", pc), fmt.Sprintf("%.1f", pn),
+			fmt.Sprintf("%.1f", pm), fmt.Sprintf("%.1f", dl),
+		})
+		metrics[fmt.Sprintf("percore/%d", w)] = pc
+		metrics[fmt.Sprintf("pernode/%d", w)] = pn
+		metrics[fmt.Sprintf("permachine/%d", w)] = pm
+		metrics[fmt.Sprintf("delite/%d", w)] = dl
+	}
+	t.Notes = "paper: PerCore scales most linearly; PerMachine (and Delite) plateau"
+	return &Result{Table: t, Metrics: metrics}
+}
+
+// Fig21 reproduces Appendix Figure 21: time per epoch grows linearly
+// with the example count on the ClueWeb-like least-squares workload.
+func Fig21(quick bool) *Result {
+	t := &Table{
+		Name:   "fig21",
+		Title:  "Scalability: time per epoch vs scale, ClueWeb-like LS",
+		Header: []string{"scale", "rows", "s/epoch"},
+	}
+	metrics := map[string]float64{}
+	spec := model.NewLS()
+	scales := []float64{0.01, 0.1, 0.5, 1.0}
+	if quick {
+		scales = []float64{0.01, 0.1, 1.0}
+	}
+	for _, s := range scales {
+		ds := data.ClueWeb(s)
+		sec := runEngine(spec, ds, core.Plan{ModelRep: core.PerNode, DataRep: core.Sharding}).RunEpoch().SimTime.Seconds()
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%.2f", s), fmt.Sprintf("%d", ds.Rows()), fmt.Sprintf("%.4g", sec)})
+		metrics[fmt.Sprintf("epochTime/%.2f", s)] = sec
+	}
+	t.Notes = "paper: near-linear growth; the 100K-weight model stays LLC-resident"
+	return &Result{Table: t, Metrics: metrics}
+}
+
+// Fig22 reproduces Appendix Figure 22: importance (leverage-score)
+// sampling vs Sharding vs FullReplication on Music least squares:
+// sampling 10% of tuples reaches mid-range losses faster, while the
+// low-tolerance variant processes as much as FullReplication and wins
+// nothing.
+func Fig22(quick bool) *Result {
+	t := &Table{
+		Name:   "fig22",
+		Title:  "Importance sampling: simulated seconds to error targets, LS (Music, PerNode)",
+		Header: []string{"error", "Sharding", "FullRepl", "Importance(10%)", "Importance(100%)"},
+	}
+	metrics := map[string]float64{}
+	spec := model.NewLS()
+	ds := data.MusicRegression()
+	opt := OptimalLoss(spec, ds)
+	max := epochsArg(quick, 120)
+	strategies := []struct {
+		name string
+		plan core.Plan
+	}{
+		{"Sharding", core.Plan{ModelRep: core.PerNode, DataRep: core.Sharding, Seed: 6}},
+		{"FullRepl", core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 6}},
+		{"Imp10", core.Plan{ModelRep: core.PerNode, DataRep: core.Importance, ImportanceFraction: 0.1, Seed: 6}},
+		{"Imp100", core.Plan{ModelRep: core.PerNode, DataRep: core.Importance, ImportanceFraction: 1.0, Seed: 6}},
+	}
+	hists := map[string][]core.EpochResult{}
+	for _, s := range strategies {
+		hists[s.name] = runEngine(spec, ds, s.plan).RunEpochs(max)
+	}
+	for _, pct := range []float64{100, 50, 10} {
+		target := targetFor(opt, pct)
+		row := []string{fmt.Sprintf("%.0f%%", pct)}
+		for _, s := range strategies {
+			tt, _, ok := timeToTarget(hists[s.name], target)
+			if !ok {
+				tt = hists[s.name][len(hists[s.name])-1].CumTime
+			}
+			row = append(row, fmtSecs(tt, ok))
+			metrics[fmt.Sprintf("%s/%.0f", s.name, pct)] = tt.Seconds()
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper: Importance(ε=0.1) ~3x faster than FullRepl at 10% loss; ε=0.01 processes as much as FullRepl"
+	return &Result{Table: t, Metrics: metrics}
+}
+
+// AppA reproduces the Appendix A micro-studies: worker/data
+// collocation (NUMA vs OS), dense vs sparse storage, and the row- vs
+// column-major mismatch penalty.
+func AppA(quick bool) *Result {
+	t := &Table{
+		Name:   "appA",
+		Title:  "Appendix A: placement and storage micro-studies, SVM",
+		Header: []string{"study", "baseline s/epoch", "optimised s/epoch", "speedup"},
+	}
+	metrics := map[string]float64{}
+	spec := model.NewSVM()
+
+	// (1) Data/worker collocation: OS vs NUMA placement on RCV1.
+	rcv1 := data.RCV1()
+	osT := runEngine(spec, rcv1, core.Plan{ModelRep: core.PerNode, Placement: core.PlacementOS}).RunEpoch().SimTime.Seconds()
+	numaT := runEngine(spec, rcv1, core.Plan{ModelRep: core.PerNode, Placement: core.PlacementNUMA}).RunEpoch().SimTime.Seconds()
+	t.Rows = append(t.Rows, []string{"collocation (OS -> NUMA)", fmt.Sprintf("%.4g", osT), fmt.Sprintf("%.4g", numaT), fmt.Sprintf("%.2fx", osT/numaT)})
+	metrics["collocation"] = osT / numaT
+
+	// (2) Storage format on dense data: sparse CSR vs dense rows.
+	music := data.Music()
+	sparseT := runEngine(spec, music, core.Plan{ModelRep: core.PerNode}).RunEpoch().SimTime.Seconds()
+	denseT := runEngine(spec, music, core.Plan{ModelRep: core.PerNode, DenseStorage: true}).RunEpoch().SimTime.Seconds()
+	t.Rows = append(t.Rows, []string{"storage on dense data (sparse -> dense)", fmt.Sprintf("%.4g", sparseT), fmt.Sprintf("%.4g", denseT), fmt.Sprintf("%.2fx", sparseT/denseT)})
+	metrics["denseOnDense"] = sparseT / denseT
+
+	// (3) Storage format on sparse data: dense rows vs sparse CSR.
+	sub := data.SubsampleSparsity(music, 0.05, 2)
+	denseSub := runEngine(spec, sub, core.Plan{ModelRep: core.PerNode, DenseStorage: true}).RunEpoch().SimTime.Seconds()
+	sparseSub := runEngine(spec, sub, core.Plan{ModelRep: core.PerNode}).RunEpoch().SimTime.Seconds()
+	t.Rows = append(t.Rows, []string{"storage on 5% data (dense -> sparse)", fmt.Sprintf("%.4g", denseSub), fmt.Sprintf("%.4g", sparseSub), fmt.Sprintf("%.2fx", denseSub/sparseSub)})
+	metrics["sparseOnSparse"] = denseSub / sparseSub
+
+	t.Notes = "paper: NUMA collocation up to 2x; dense up to 2x on dense data; sparse up to 4x on sparse data"
+	return &Result{Table: t, Metrics: metrics}
+}

@@ -1,0 +1,224 @@
+package factor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dimmwitted/internal/numa"
+)
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(2, []Factor{{Vars: []int32{0, 5}, Weight: 1}}); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	if _, err := NewGraph(2, []Factor{{Vars: nil, Weight: 1}}); err == nil {
+		t.Error("empty factor accepted")
+	}
+	g, err := NewGraph(3, []Factor{{Vars: []int32{0, 1}, Weight: 1}, {Vars: []int32{1, 2}, Weight: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.VarFactors(1)) != 2 || len(g.VarFactors(0)) != 1 {
+		t.Errorf("variable index wrong: %v / %v", g.VarFactors(1), g.VarFactors(0))
+	}
+	if g.NNZ() != 4 {
+		t.Errorf("NNZ = %d, want 4", g.NNZ())
+	}
+}
+
+func TestConditionalLogOdds(t *testing.T) {
+	// Single attractive pairwise factor: if the neighbour is 1, the
+	// log-odds for 1 should be +w; if 0, -w.
+	g, err := NewGraph(2, []Factor{{Vars: []int32{0, 1}, Weight: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ConditionalLogOdds(0, []int8{0, 1}); got != 2 {
+		t.Errorf("log-odds with neighbour=1: %v, want 2", got)
+	}
+	if got := g.ConditionalLogOdds(0, []int8{0, 0}); got != -2 {
+		t.Errorf("log-odds with neighbour=0: %v, want -2", got)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := Generate(GenerateConfig{Vars: 200, Factors: 500, MaxArity: 3, WeightStd: 1, Seed: 1})
+	if g.NumVars != 200 || len(g.Factors) != 500 {
+		t.Fatalf("shape: %d vars, %d factors", g.NumVars, len(g.Factors))
+	}
+	for i, f := range g.Factors {
+		if len(f.Vars) < 2 || len(f.Vars) > 3 {
+			t.Fatalf("factor %d arity %d", i, len(f.Vars))
+		}
+		seen := map[int32]bool{}
+		for _, v := range f.Vars {
+			if seen[v] {
+				t.Fatalf("factor %d repeats variable %d", i, v)
+			}
+			seen[v] = true
+		}
+	}
+	// Degree skew: most-connected variable far above mean.
+	maxDeg, total := 0, 0
+	for v := 0; v < g.NumVars; v++ {
+		d := len(g.VarFactors(v))
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(total) / float64(g.NumVars)
+	if float64(maxDeg) < 5*mean {
+		t.Errorf("degree not skewed: max %d, mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestPaleoAnalog(t *testing.T) {
+	g := Paleo()
+	if g.NumVars != 4000 || len(g.Factors) != 9000 {
+		t.Errorf("paleo shape: %d vars, %d factors", g.NumVars, len(g.Factors))
+	}
+}
+
+func TestGibbsMatchesExactMarginals(t *testing.T) {
+	// A small chain graph where exact inference is tractable: Gibbs
+	// marginals must approach the exact ones.
+	g, err := NewGraph(5, []Factor{
+		{Vars: []int32{0, 1}, Weight: 1.2},
+		{Vars: []int32{1, 2}, Weight: -0.8},
+		{Vars: []int32{2, 3}, Weight: 0.5},
+		{Vars: []int32{3, 4}, Weight: 1.5},
+		{Vars: []int32{0, 4}, Weight: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(g, numa.Local2, SingleChain, 7)
+	s.RunSweeps(4000)
+	got := s.Marginals()
+	for v := range exact {
+		if math.Abs(got[v]-exact[v]) > 0.05 {
+			t.Errorf("marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])
+		}
+	}
+}
+
+func TestPerNodeChainsPoolSamples(t *testing.T) {
+	g, err := NewGraph(4, []Factor{
+		{Vars: []int32{0, 1}, Weight: 1},
+		{Vars: []int32{2, 3}, Weight: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(g, numa.Local2, ChainPerNode, 11)
+	res := s.RunSweeps(3000)
+	if res.Samples != int64(3000*4*2) {
+		t.Errorf("samples = %d, want 24000 (2 chains)", res.Samples)
+	}
+	got := s.Marginals()
+	for v := range exact {
+		if math.Abs(got[v]-exact[v]) > 0.05 {
+			t.Errorf("pooled marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])
+		}
+	}
+}
+
+func TestPerNodeThroughputBeatsSingleChain(t *testing.T) {
+	// Figure 17(b): DimmWitted's chain-per-node achieves ~4x the
+	// sample throughput of the single PerMachine chain.
+	g := Paleo()
+	single := NewSampler(g, numa.Local2, SingleChain, 1).RunSweeps(2)
+	perNode := NewSampler(g, numa.Local2, ChainPerNode, 1).RunSweeps(2)
+	ratio := perNode.Throughput / single.Throughput
+	if ratio < 1.5 {
+		t.Errorf("PerNode/PerMachine Gibbs throughput ratio = %.2f, want >= 1.5 (paper: ~4)", ratio)
+	}
+}
+
+func TestExactMarginalsRejectsLargeGraphs(t *testing.T) {
+	g := Generate(GenerateConfig{Vars: 30, Factors: 10, MaxArity: 2, WeightStd: 1, Seed: 1})
+	if _, err := ExactMarginals(g); err == nil {
+		t.Error("exact inference on 30 variables accepted")
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	g := Generate(GenerateConfig{Vars: 50, Factors: 100, MaxArity: 2, WeightStd: 1, Seed: 3})
+	run := func() []float64 {
+		s := NewSampler(g, numa.Local2, SingleChain, 9)
+		s.RunSweeps(50)
+		return s.Marginals()
+	}
+	a, b := run(), run()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("marginal %d differs: %v vs %v", v, a[v], b[v])
+		}
+	}
+}
+
+func TestDiscardBurnIn(t *testing.T) {
+	// Weak potentials keep the chain mixing between modes; strong
+	// agreement weights would make the distribution bimodal and the
+	// marginal estimate initialization-dependent.
+	g, err := NewGraph(3, []Factor{{Vars: []int32{0, 1}, Weight: 0.7}, {Vars: []int32{1, 2}, Weight: 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(g, numa.Local2, ChainPerNode, 4)
+	s.RunSweeps(50)
+	s.DiscardBurnIn()
+	for _, m := range s.Marginals() {
+		if m != 0 {
+			t.Fatalf("tallies not cleared: %v", m)
+		}
+	}
+	s.RunSweeps(2000)
+	exact, err := ExactMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Marginals()
+	for v := range exact {
+		if math.Abs(got[v]-exact[v]) > 0.06 {
+			t.Errorf("post-burn-in marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])
+		}
+	}
+}
+
+func TestChainStrategyString(t *testing.T) {
+	if SingleChain.String() != "PerMachine" || ChainPerNode.String() != "PerNode" {
+		t.Error("strategy stringers wrong")
+	}
+}
+
+// Property: conditional log-odds are antisymmetric under flipping all
+// other variables for purely pairwise graphs with symmetric potentials.
+func TestLogOddsFlipProperty(t *testing.T) {
+	g := Generate(GenerateConfig{Vars: 20, Factors: 40, MaxArity: 2, WeightStd: 1, Seed: 5})
+	f := func(varSel uint8, bits uint32) bool {
+		v := int(varSel) % g.NumVars
+		assign := make([]int8, g.NumVars)
+		flipped := make([]int8, g.NumVars)
+		for i := range assign {
+			assign[i] = int8((bits >> (uint(i) % 32)) & 1)
+			flipped[i] = 1 - assign[i]
+		}
+		lo := g.ConditionalLogOdds(v, assign)
+		loF := g.ConditionalLogOdds(v, flipped)
+		return math.Abs(lo+loF) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

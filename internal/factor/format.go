@@ -1,0 +1,115 @@
+package factor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text factor-graph format read and written here is a minimal
+// DeepDive-style interchange form:
+//
+//	# comments and blank lines are ignored
+//	vars <count>
+//	factor <kind> <weight> <var> [<var> ...]
+//
+// e.g.
+//
+//	vars 3
+//	factor imply 1.5 0 1 2    # x0 ∧ x1 ⇒ x2
+//	factor equal -0.8 0 2
+//
+// It exists so cmd/dwgibbs can run inference over user-supplied
+// graphs, and round-trips through WriteGraph/ReadGraph.
+
+// WriteGraph serialises the graph in the text format.
+func WriteGraph(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "vars %d\n", g.NumVars); err != nil {
+		return err
+	}
+	for i := range g.Factors {
+		f := &g.Factors[i]
+		if _, err := fmt.Fprintf(bw, "factor %s %g", f.Kind, f.Weight); err != nil {
+			return err
+		}
+		for _, v := range f.Vars {
+			if _, err := fmt.Fprintf(bw, " %d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGraph parses the text format and returns a validated graph.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	numVars := -1
+	var factors []Factor
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "vars":
+			if numVars >= 0 {
+				return nil, fmt.Errorf("factor: line %d: duplicate vars directive", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("factor: line %d: vars takes one count", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("factor: line %d: bad variable count %q", lineNo, fields[1])
+			}
+			numVars = n
+		case "factor":
+			if numVars < 0 {
+				return nil, fmt.Errorf("factor: line %d: factor before vars directive", lineNo)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("factor: line %d: factor needs kind, weight and at least one variable", lineNo)
+			}
+			kind, err := kindByName(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("factor: line %d: %w", lineNo, err)
+			}
+			weight, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("factor: line %d: bad weight %q", lineNo, fields[2])
+			}
+			vars := make([]int32, 0, len(fields)-3)
+			for _, f := range fields[3:] {
+				v, err := strconv.Atoi(f)
+				if err != nil || v < 0 || v >= numVars {
+					return nil, fmt.Errorf("factor: line %d: bad variable %q", lineNo, f)
+				}
+				vars = append(vars, int32(v))
+			}
+			factors = append(factors, Factor{Vars: vars, Weight: weight, Kind: kind})
+		default:
+			return nil, fmt.Errorf("factor: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if numVars < 0 {
+		return nil, fmt.Errorf("factor: missing vars directive")
+	}
+	return NewGraph(numVars, factors)
+}

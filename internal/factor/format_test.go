@@ -1,0 +1,146 @@
+package factor
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dimmwitted/internal/numa"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Equal: "equal", And: "and", Or: "or", Imply: "imply"} {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+		back, err := kindByName(want)
+		if err != nil || back != k {
+			t.Errorf("kindByName(%q) = %v, %v", want, back, err)
+		}
+	}
+	if _, err := kindByName("xor"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}
+
+func TestFactorKindsFire(t *testing.T) {
+	assign := []int8{1, 1, 0}
+	cases := []struct {
+		f    Factor
+		want bool
+	}{
+		{Factor{Vars: []int32{0, 1}, Kind: Equal}, true},
+		{Factor{Vars: []int32{0, 2}, Kind: Equal}, false},
+		{Factor{Vars: []int32{0, 1}, Kind: And}, true},
+		{Factor{Vars: []int32{0, 2}, Kind: And}, false},
+		{Factor{Vars: []int32{2}, Kind: Or}, false},
+		{Factor{Vars: []int32{0, 2}, Kind: Or}, true},
+		{Factor{Vars: []int32{0, 1, 2}, Kind: Imply}, false}, // 1∧1 ⇒ 0 violated
+		{Factor{Vars: []int32{0, 2, 1}, Kind: Imply}, true},  // antecedent 1∧0 false
+		{Factor{Vars: []int32{0, 1}, Kind: Imply}, true},     // 1 ⇒ 1
+	}
+	for i, c := range cases {
+		if got := c.f.fires(assign); got != c.want {
+			t.Errorf("case %d (%v %v): fires = %v, want %v", i, c.f.Kind, c.f.Vars, got, c.want)
+		}
+	}
+}
+
+func TestImplyGibbsMatchesExact(t *testing.T) {
+	// A small implication network: x0 ⇒ x1, x1 ⇒ x2, prior pulling x0
+	// up. Gibbs marginals must match exact inference with mixed kinds.
+	g, err := NewGraph(3, []Factor{
+		{Vars: []int32{0}, Weight: 1.0, Kind: And}, // prior on x0
+		{Vars: []int32{0, 1}, Weight: 1.5, Kind: Imply},
+		{Vars: []int32{1, 2}, Weight: 1.5, Kind: Imply},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(exact[0] > 0.5 && exact[1] > 0.5) {
+		t.Fatalf("implication network marginals unexpected: %v", exact)
+	}
+	s := NewSampler(g, numa.Local2, SingleChain, 3)
+	s.RunSweeps(200)
+	s.DiscardBurnIn()
+	s.RunSweeps(4000)
+	got := s.Marginals()
+	for v := range exact {
+		if math.Abs(got[v]-exact[v]) > 0.05 {
+			t.Errorf("marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])
+		}
+	}
+}
+
+func TestGraphFormatRoundTrip(t *testing.T) {
+	g, err := NewGraph(4, []Factor{
+		{Vars: []int32{0, 1}, Weight: 1.25, Kind: Equal},
+		{Vars: []int32{1, 2, 3}, Weight: -0.5, Kind: Imply},
+		{Vars: []int32{3}, Weight: 2, Kind: Or},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars != 4 || len(back.Factors) != 3 {
+		t.Fatalf("shape changed: %d vars %d factors", back.NumVars, len(back.Factors))
+	}
+	for i := range g.Factors {
+		a, b := g.Factors[i], back.Factors[i]
+		if a.Weight != b.Weight || a.Kind != b.Kind || len(a.Vars) != len(b.Vars) {
+			t.Errorf("factor %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadGraphComments(t *testing.T) {
+	src := `
+# a comment
+vars 2
+
+factor equal 1.5 0 1  # trailing comment
+`
+	g, err := ReadGraph(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != 2 || len(g.Factors) != 1 || g.Factors[0].Weight != 1.5 {
+		t.Errorf("parsed graph wrong: %+v", g)
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"no vars":           "factor equal 1 0 1",
+		"dup vars":          "vars 2\nvars 3",
+		"bad count":         "vars zero",
+		"zero count":        "vars 0",
+		"short factor":      "vars 2\nfactor equal 1",
+		"bad kind":          "vars 2\nfactor xor 1 0 1",
+		"bad weight":        "vars 2\nfactor equal w 0 1",
+		"var out of range":  "vars 2\nfactor equal 1 0 5",
+		"negative var":      "vars 2\nfactor equal 1 -1 0",
+		"unknown directive": "vars 2\nfoo bar",
+		"empty":             "",
+	}
+	for name, src := range cases {
+		if _, err := ReadGraph(strings.NewReader(src)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package factor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dimmwitted/internal/numa"
+)
+
+// ChainStrategy selects how Gibbs chains map onto the machine,
+// mirroring the engine's model-replication granularities.
+type ChainStrategy int
+
+const (
+	// SingleChain runs one chain whose assignment all workers update —
+	// the PerMachine (Hogwild!-Gibbs) layout.
+	SingleChain ChainStrategy = iota
+	// ChainPerNode runs one independent chain per NUMA node, sampling
+	// pooled across chains at the end — the DimmWitted layout.
+	ChainPerNode
+)
+
+// String implements fmt.Stringer.
+func (s ChainStrategy) String() string {
+	if s == SingleChain {
+		return "PerMachine"
+	}
+	return "PerNode"
+}
+
+// Sampler runs Gibbs sampling over a factor graph on a simulated NUMA
+// machine, charging column-to-row access costs per variable sampled.
+type Sampler struct {
+	// G is the factor graph.
+	G *Graph
+	// Strategy is the chain layout.
+	Strategy ChainStrategy
+
+	mach   *numa.Machine
+	chains []*chain
+	rng    *rand.Rand
+
+	sweeps  int
+	samples int64
+}
+
+// chain is one Gibbs chain: an assignment, its marginal tallies, and
+// the simulated regions backing them.
+type chain struct {
+	assign    []int8
+	ones      []int64
+	tallies   int64
+	assignReg *numa.Region
+	factorReg *numa.Region
+	workers   []*numa.Core
+	rng       *rand.Rand
+}
+
+// NewSampler builds a sampler for the graph on the given machine
+// topology.
+func NewSampler(g *Graph, top numa.Topology, strategy ChainStrategy, seed int64) *Sampler {
+	s := &Sampler{
+		G:        g,
+		Strategy: strategy,
+		mach:     numa.New(top),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	assignBytes := int64(g.NumVars)
+	factorBytes := g.NNZ() * 8
+	switch strategy {
+	case SingleChain:
+		c := s.newChain(seed + 1)
+		c.assignReg = s.mach.NewInterleavedRegion("assign", assignBytes, numa.MachineShared)
+		// Every worker writes one variable per step of a NumVars-sized
+		// assignment: single-word updates rarely collide (Figure 16b's
+		// mechanism), but the hot skewed variables still do.
+		workers := top.TotalCores()
+		p := float64(workers-1) / float64(g.NumVars) * 4 // skew multiplier
+		if p > 1 {
+			p = 1
+		}
+		c.assignReg.WriteCollisionProb = p
+		c.factorReg = s.mach.NewInterleavedRegion("factors", factorBytes, numa.Private)
+		c.workers = s.mach.Cores()
+		s.chains = []*chain{c}
+	case ChainPerNode:
+		for n := 0; n < top.Nodes; n++ {
+			c := s.newChain(seed + 1 + int64(n))
+			c.assignReg = s.mach.NewRegion(fmt.Sprintf("assign-n%d", n), assignBytes, n, numa.NodeShared)
+			c.factorReg = s.mach.NewRegion(fmt.Sprintf("factors-n%d", n), factorBytes, n, numa.Private)
+			c.workers = s.mach.NodeCores(n)
+			s.chains = append(s.chains, c)
+		}
+	}
+	return s
+}
+
+// newChain allocates a chain with a random initial assignment.
+func (s *Sampler) newChain(seed int64) *chain {
+	rng := rand.New(rand.NewSource(seed))
+	c := &chain{
+		assign: make([]int8, s.G.NumVars),
+		ones:   make([]int64, s.G.NumVars),
+		rng:    rng,
+	}
+	for v := range c.assign {
+		c.assign[v] = int8(rng.Intn(2))
+	}
+	return c
+}
+
+// sampleVar resamples variable v of chain c, charging the worker core
+// for the column-to-row access: the factor column, the member
+// assignments, and the single assignment write.
+func (s *Sampler) sampleVar(c *chain, core *numa.Core, v int) {
+	var reads int64
+	for _, fi := range s.G.VarFactors(v) {
+		reads += int64(len(s.G.Factors[fi].Vars))
+	}
+	core.ReadStream(c.factorReg, reads) // factor structure
+	core.ReadCached(c.assignReg, reads) // member assignments
+	core.Compute(float64(reads)*2 + 8)  // energy accumulation
+	logOdds := s.G.ConditionalLogOdds(v, c.assign)
+	p1 := 1 / (1 + math.Exp(-logOdds))
+	val := int8(0)
+	if c.rng.Float64() < p1 {
+		val = 1
+	}
+	c.assign[v] = val
+	core.Write(c.assignReg, 1)
+	c.ones[v] += int64(val)
+}
+
+// RunSweeps performs n full sweeps (every chain resamples every
+// variable once per sweep, its variables split across its workers in a
+// deterministic round-robin interleave) and returns the result.
+func (s *Sampler) RunSweeps(n int) SweepResult {
+	s.mach.Reset()
+	for sweep := 0; sweep < n; sweep++ {
+		for _, c := range s.chains {
+			perm := c.rng.Perm(s.G.NumVars)
+			for i, v := range perm {
+				core := c.workers[i%len(c.workers)]
+				s.sampleVar(c, core, v)
+				s.samples++
+			}
+			c.tallies++
+		}
+		s.sweeps++
+	}
+	simT := s.mach.SimTime()
+	return SweepResult{
+		Sweeps:      n,
+		Samples:     int64(n * s.G.NumVars * len(s.chains)),
+		SimTime:     simT,
+		Throughput:  float64(n*s.G.NumVars*len(s.chains)) / simT.Seconds(),
+		Counters:    s.mach.Counters(),
+		TotalSweeps: s.sweeps,
+	}
+}
+
+// SweepResult reports a RunSweeps call.
+type SweepResult struct {
+	// Sweeps is the number of sweeps in this call.
+	Sweeps int
+	// Samples is the number of variable samples drawn in this call
+	// (across all chains).
+	Samples int64
+	// SimTime is the simulated duration of this call.
+	SimTime time.Duration
+	// Throughput is samples per simulated second — the paper's
+	// Figure 17(b) metric (variables/second).
+	Throughput float64
+	// Counters holds the PMU-style counters of this call.
+	Counters numa.Counters
+	// TotalSweeps is the sampler's lifetime sweep count.
+	TotalSweeps int
+}
+
+// DiscardBurnIn zeroes every chain's marginal tallies, discarding the
+// sweeps drawn so far as burn-in. Typical use: RunSweeps(b) to mix,
+// DiscardBurnIn, then RunSweeps(n) and read Marginals.
+func (s *Sampler) DiscardBurnIn() {
+	for _, c := range s.chains {
+		for v := range c.ones {
+			c.ones[v] = 0
+		}
+		c.tallies = 0
+	}
+}
+
+// Marginals returns the pooled estimate of P(x_v = 1) across all
+// chains' tallies.
+func (s *Sampler) Marginals() []float64 {
+	out := make([]float64, s.G.NumVars)
+	var total float64
+	for _, c := range s.chains {
+		total += float64(c.tallies)
+	}
+	if total == 0 {
+		return out
+	}
+	for v := range out {
+		var ones float64
+		for _, c := range s.chains {
+			ones += float64(c.ones[v])
+		}
+		out[v] = ones / total
+	}
+	return out
+}
+
+// ExactMarginals enumerates all assignments of a small graph (≤ 20
+// variables) and returns the exact marginals, for validating the
+// sampler.
+func ExactMarginals(g *Graph) ([]float64, error) {
+	if g.NumVars > 20 {
+		return nil, fmt.Errorf("factor: exact inference on %d variables is infeasible", g.NumVars)
+	}
+	probs := make([]float64, g.NumVars)
+	var z float64
+	assign := make([]int8, g.NumVars)
+	for mask := 0; mask < 1<<g.NumVars; mask++ {
+		for v := range assign {
+			assign[v] = int8((mask >> v) & 1)
+		}
+		var energy float64
+		for i := range g.Factors {
+			if g.Factors[i].fires(assign) {
+				energy += g.Factors[i].Weight
+			}
+		}
+		w := math.Exp(energy)
+		z += w
+		for v := range assign {
+			if assign[v] == 1 {
+				probs[v] += w
+			}
+		}
+	}
+	for v := range probs {
+		probs[v] /= z
+	}
+	return probs, nil
+}

@@ -1,0 +1,107 @@
+package mat
+
+import "fmt"
+
+// CSC is a sparse matrix in compressed sparse column format. Column
+// j's nonzeros live at positions ColPtr[j]..ColPtr[j+1] of RowIdx/Vals.
+// The column-wise and column-to-row access methods stream this layout:
+// for column j, RowIdx gives exactly the set S(j) = {i : a_ij != 0}
+// that the paper's f_ctr receives (Section 3.1, footnote 2).
+type CSC struct {
+	// Rows and Cols are the matrix dimensions.
+	Rows, Cols int
+	// ColPtr has length Cols+1; ColPtr[0] == 0.
+	ColPtr []int64
+	// RowIdx holds the row index of every nonzero, column by column.
+	RowIdx []int32
+	// Vals holds the value of every nonzero, column by column.
+	Vals []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSC) NNZ() int64 { return int64(len(m.Vals)) }
+
+// ColNNZ returns the number of nonzeros in column j.
+func (m *CSC) ColNNZ(j int) int { return int(m.ColPtr[j+1] - m.ColPtr[j]) }
+
+// Col returns views of column j's row indices and values. The returned
+// slices alias the matrix and must not be modified.
+func (m *CSC) Col(j int) (rows []int32, vals []float64) {
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	return m.RowIdx[lo:hi], m.Vals[lo:hi]
+}
+
+// MulTVec computes y = Aᵀ x given the CSC layout (equivalently, the
+// column-wise inner products ⟨a_:j, x⟩). len(x) must be Rows and
+// len(y) must be Cols.
+func (m *CSC) MulTVec(x, y []float64) {
+	for j := 0; j < m.Cols; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += m.Vals[k] * x[m.RowIdx[k]]
+		}
+		y[j] = s
+	}
+}
+
+// Bytes returns the approximate in-memory size of the representation.
+func (m *CSC) Bytes() int64 {
+	return int64(len(m.ColPtr))*8 + int64(len(m.RowIdx))*4 + int64(len(m.Vals))*8
+}
+
+// Validate checks structural invariants.
+func (m *CSC) Validate() error {
+	if len(m.ColPtr) != m.Cols+1 {
+		return fmt.Errorf("mat: CSC ColPtr length %d, want %d", len(m.ColPtr), m.Cols+1)
+	}
+	if m.ColPtr[0] != 0 {
+		return fmt.Errorf("mat: CSC ColPtr[0] = %d, want 0", m.ColPtr[0])
+	}
+	if m.ColPtr[m.Cols] != int64(len(m.Vals)) || len(m.RowIdx) != len(m.Vals) {
+		return fmt.Errorf("mat: CSC nnz mismatch: ptr=%d idx=%d vals=%d",
+			m.ColPtr[m.Cols], len(m.RowIdx), len(m.Vals))
+	}
+	for j := 0; j < m.Cols; j++ {
+		if m.ColPtr[j] > m.ColPtr[j+1] {
+			return fmt.Errorf("mat: CSC ColPtr not monotone at column %d", j)
+		}
+	}
+	for k, i := range m.RowIdx {
+		if i < 0 || int(i) >= m.Rows {
+			return fmt.Errorf("mat: CSC row index %d out of range at nnz %d", i, k)
+		}
+	}
+	return nil
+}
+
+// ToCSR converts the matrix back to compressed sparse row format.
+func (m *CSC) ToCSR() *CSR {
+	nnz := len(m.Vals)
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int64, m.Rows+1),
+		ColIdx: make([]int32, nnz),
+		Vals:   make([]float64, nnz),
+	}
+	for _, i := range m.RowIdx {
+		out.RowPtr[i+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	next := make([]int64, m.Rows)
+	copy(next, out.RowPtr[:m.Rows])
+	for j := 0; j < m.Cols; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		for k := lo; k < hi; k++ {
+			i := m.RowIdx[k]
+			p := next[i]
+			out.ColIdx[p] = int32(j)
+			out.Vals[p] = m.Vals[k]
+			next[i]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+// Package mat implements the storage substrate of the engine: sparse
+// matrices in compressed sparse row (CSR) and column (CSC) formats,
+// dense matrices in row- and column-major order, and the small dense
+// linear algebra needed for leverage-score sampling.
+//
+// The paper's access methods map directly onto these layouts: row-wise
+// access streams CSR rows, column-wise and column-to-row access stream
+// CSC columns (Section 2.1, Appendix A). DimmWitted "always stores the
+// dataset in a way that is consistent with the access method", so the
+// engine materialises whichever of the two the plan needs.
+package mat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one nonzero of a sparse row or column.
+type Entry struct {
+	// Idx is the column index (in a row) or row index (in a column).
+	Idx int32
+	// Val is the nonzero value.
+	Val float64
+}
+
+// CSR is a sparse matrix in compressed sparse row format. Row i's
+// nonzeros live at positions RowPtr[i]..RowPtr[i+1] of ColIdx/Vals.
+type CSR struct {
+	// Rows and Cols are the matrix dimensions.
+	Rows, Cols int
+	// RowPtr has length Rows+1; RowPtr[0] == 0.
+	RowPtr []int64
+	// ColIdx holds the column index of every nonzero, row by row.
+	ColIdx []int32
+	// Vals holds the value of every nonzero, row by row.
+	Vals []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int64 { return int64(len(m.Vals)) }
+
+// RowNNZ returns the number of nonzeros in row i (the paper's n_i).
+func (m *CSR) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// Row returns views of row i's column indices and values. The returned
+// slices alias the matrix and must not be modified.
+func (m *CSR) Row(i int) (idx []int32, vals []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Vals[lo:hi]
+}
+
+// MulVec computes y = A x. len(x) must be Cols and len(y) must be Rows.
+func (m *CSR) MulVec(x, y []float64) {
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Bytes returns the approximate in-memory size of the sparse
+// representation (index + value arrays), used by the cost model.
+func (m *CSR) Bytes() int64 {
+	return int64(len(m.RowPtr))*8 + int64(len(m.ColIdx))*4 + int64(len(m.Vals))*8
+}
+
+// Validate checks structural invariants and returns a descriptive
+// error on the first violation.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("mat: CSR RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("mat: CSR RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	if m.RowPtr[m.Rows] != int64(len(m.Vals)) || len(m.ColIdx) != len(m.Vals) {
+		return fmt.Errorf("mat: CSR nnz mismatch: ptr=%d idx=%d vals=%d",
+			m.RowPtr[m.Rows], len(m.ColIdx), len(m.Vals))
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("mat: CSR RowPtr not monotone at row %d", i)
+		}
+	}
+	for k, j := range m.ColIdx {
+		if j < 0 || int(j) >= m.Cols {
+			return fmt.Errorf("mat: CSR column index %d out of range at nnz %d", j, k)
+		}
+	}
+	return nil
+}
+
+// ToCSC converts the matrix to compressed sparse column format using a
+// counting pass, preserving within-column row order.
+func (m *CSR) ToCSC() *CSC {
+	nnz := len(m.Vals)
+	out := &CSC{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		ColPtr: make([]int64, m.Cols+1),
+		RowIdx: make([]int32, nnz),
+		Vals:   make([]float64, nnz),
+	}
+	for _, j := range m.ColIdx {
+		out.ColPtr[j+1]++
+	}
+	for j := 0; j < m.Cols; j++ {
+		out.ColPtr[j+1] += out.ColPtr[j]
+	}
+	next := make([]int64, m.Cols)
+	copy(next, out.ColPtr[:m.Cols])
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := m.ColIdx[k]
+			p := next[j]
+			out.RowIdx[p] = int32(i)
+			out.Vals[p] = m.Vals[k]
+			next[j]++
+		}
+	}
+	return out
+}
+
+// ToDense materialises the matrix in the given dense order.
+func (m *CSR) ToDense(order Order) *Dense {
+	d := NewDense(m.Rows, m.Cols, order)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			d.Set(i, int(m.ColIdx[k]), m.Vals[k])
+		}
+	}
+	return d
+}
+
+// Builder incrementally assembles a CSR matrix row by row.
+type Builder struct {
+	cols   int
+	rowPtr []int64
+	colIdx []int32
+	vals   []float64
+}
+
+// NewBuilder returns a builder for matrices with the given column count.
+func NewBuilder(cols int) *Builder {
+	return &Builder{cols: cols, rowPtr: []int64{0}}
+}
+
+// AddRow appends one row given parallel index/value slices. Indices
+// need not be sorted; they are sorted internally. It panics on an index
+// out of range or mismatched lengths, which are programming errors.
+func (b *Builder) AddRow(idx []int32, vals []float64) {
+	if len(idx) != len(vals) {
+		panic(fmt.Sprintf("mat: AddRow with %d indices, %d values", len(idx), len(vals)))
+	}
+	start := len(b.colIdx)
+	for k, j := range idx {
+		if j < 0 || int(j) >= b.cols {
+			panic(fmt.Sprintf("mat: AddRow index %d out of %d columns", j, b.cols))
+		}
+		b.colIdx = append(b.colIdx, j)
+		b.vals = append(b.vals, vals[k])
+	}
+	seg := rowSegment{idx: b.colIdx[start:], vals: b.vals[start:]}
+	sort.Sort(seg)
+	b.rowPtr = append(b.rowPtr, int64(len(b.colIdx)))
+}
+
+// AddEntries appends one row given a slice of entries.
+func (b *Builder) AddEntries(entries []Entry) {
+	idx := make([]int32, len(entries))
+	vals := make([]float64, len(entries))
+	for k, e := range entries {
+		idx[k] = e.Idx
+		vals[k] = e.Val
+	}
+	b.AddRow(idx, vals)
+}
+
+// AddDenseRow appends a fully dense row.
+func (b *Builder) AddDenseRow(row []float64) {
+	if len(row) != b.cols {
+		panic(fmt.Sprintf("mat: AddDenseRow with %d values, want %d", len(row), b.cols))
+	}
+	for j, v := range row {
+		b.colIdx = append(b.colIdx, int32(j))
+		b.vals = append(b.vals, v)
+	}
+	b.rowPtr = append(b.rowPtr, int64(len(b.colIdx)))
+}
+
+// Build finalises and returns the matrix. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *CSR {
+	return &CSR{
+		Rows:   len(b.rowPtr) - 1,
+		Cols:   b.cols,
+		RowPtr: b.rowPtr,
+		ColIdx: b.colIdx,
+		Vals:   b.vals,
+	}
+}
+
+type rowSegment struct {
+	idx  []int32
+	vals []float64
+}
+
+func (s rowSegment) Len() int           { return len(s.idx) }
+func (s rowSegment) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s rowSegment) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}

@@ -1,0 +1,123 @@
+package mat
+
+import "fmt"
+
+// Order selects the element layout of a dense matrix. The paper's
+// appendix shows that accessing a column-major matrix row-wise costs
+// ~9x more L1 misses; the engine therefore always materialises the
+// order matching the access method.
+type Order int
+
+const (
+	// RowMajor stores row i contiguously.
+	RowMajor Order = iota
+	// ColMajor stores column j contiguously.
+	ColMajor
+)
+
+// String implements fmt.Stringer.
+func (o Order) String() string {
+	if o == RowMajor {
+		return "row-major"
+	}
+	return "col-major"
+}
+
+// Dense is a dense matrix in either row- or column-major order.
+type Dense struct {
+	// Rows and Cols are the matrix dimensions.
+	Rows, Cols int
+	// Layout is the element order of Data.
+	Layout Order
+	// Data holds Rows*Cols elements in Layout order.
+	Data []float64
+}
+
+// NewDense returns an all-zero dense matrix.
+func NewDense(rows, cols int, order Order) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Layout: order, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[d.index(i, j)] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[d.index(i, j)] = v }
+
+func (d *Dense) index(i, j int) int {
+	if d.Layout == RowMajor {
+		return i*d.Cols + j
+	}
+	return j*d.Rows + i
+}
+
+// Row copies row i into dst, which must have length Cols. For a
+// row-major matrix this is a contiguous copy; for column-major it is a
+// strided gather (the slow path the appendix measures).
+func (d *Dense) Row(i int, dst []float64) {
+	if d.Layout == RowMajor {
+		copy(dst, d.Data[i*d.Cols:(i+1)*d.Cols])
+		return
+	}
+	for j := 0; j < d.Cols; j++ {
+		dst[j] = d.Data[j*d.Rows+i]
+	}
+}
+
+// Col copies column j into dst, which must have length Rows.
+func (d *Dense) Col(j int, dst []float64) {
+	if d.Layout == ColMajor {
+		copy(dst, d.Data[j*d.Rows:(j+1)*d.Rows])
+		return
+	}
+	for i := 0; i < d.Rows; i++ {
+		dst[i] = d.Data[i*d.Cols+j]
+	}
+}
+
+// MulVec computes y = A x.
+func (d *Dense) MulVec(x, y []float64) {
+	if d.Layout == RowMajor {
+		for i := 0; i < d.Rows; i++ {
+			row := d.Data[i*d.Cols : (i+1)*d.Cols]
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] = s
+		}
+		return
+	}
+	for i := range y[:d.Rows] {
+		y[i] = 0
+	}
+	for j := 0; j < d.Cols; j++ {
+		col := d.Data[j*d.Rows : (j+1)*d.Rows]
+		xj := x[j]
+		for i, v := range col {
+			y[i] += v * xj
+		}
+	}
+}
+
+// Bytes returns the in-memory size of the element array.
+func (d *Dense) Bytes() int64 { return int64(len(d.Data)) * 8 }
+
+// Transposed returns a new matrix with the same layout holding Aᵀ.
+func (d *Dense) Transposed() *Dense {
+	t := NewDense(d.Cols, d.Rows, d.Layout)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			t.Set(j, i, d.At(i, j))
+		}
+	}
+	return t
+}
+
+// Validate checks dimensional invariants.
+func (d *Dense) Validate() error {
+	if len(d.Data) != d.Rows*d.Cols {
+		return fmt.Errorf("mat: Dense %dx%d with %d elements", d.Rows, d.Cols, len(d.Data))
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package mat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// csrMagic identifies the binary CSR format; the version byte guards
+// against silent format drift.
+const csrMagic = "DWCSR\x01"
+
+// WriteTo serialises the matrix in a compact little-endian binary
+// format (magic, dims, nnz, then the three arrays). It implements
+// io.WriterTo.
+func (m *CSR) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(csrMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(csrMagic))
+	if err := write(int64(m.Rows)); err != nil {
+		return n, err
+	}
+	if err := write(int64(m.Cols)); err != nil {
+		return n, err
+	}
+	if err := write(int64(len(m.Vals))); err != nil {
+		return n, err
+	}
+	if err := write(m.RowPtr); err != nil {
+		return n, err
+	}
+	if err := write(m.ColIdx); err != nil {
+		return n, err
+	}
+	if err := write(m.Vals); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadCSR deserialises a matrix written by WriteTo and validates it.
+func ReadCSR(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(csrMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("mat: reading CSR header: %w", err)
+	}
+	if string(magic) != csrMagic {
+		return nil, fmt.Errorf("mat: bad CSR magic %q", magic)
+	}
+	var rows, cols, nnz int64
+	for _, p := range []*int64{&rows, &cols, &nnz} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("mat: reading CSR dims: %w", err)
+		}
+	}
+	// Cap the header-declared sizes before allocating: a corrupt or
+	// hostile header must not be able to demand an arbitrary
+	// allocation (found by FuzzReadCSR). 16M rows/columns/nonzeros
+	// bounds the transient allocation to ~128 MB and comfortably
+	// covers every dataset this library generates.
+	const maxDim = 1 << 24
+	if rows < 0 || cols < 0 || nnz < 0 || rows > maxDim || cols > maxDim || nnz > maxDim {
+		return nil, fmt.Errorf("mat: implausible CSR dims %dx%d nnz=%d", rows, cols, nnz)
+	}
+	m := &CSR{
+		Rows:   int(rows),
+		Cols:   int(cols),
+		RowPtr: make([]int64, rows+1),
+		ColIdx: make([]int32, nnz),
+		Vals:   make([]float64, nnz),
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.RowPtr); err != nil {
+		return nil, fmt.Errorf("mat: reading RowPtr: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.ColIdx); err != nil {
+		return nil, fmt.Errorf("mat: reading ColIdx: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.Vals); err != nil {
+		return nil, fmt.Errorf("mat: reading Vals: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("mat: deserialised matrix invalid: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,101 @@
+package mat
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSRRoundTrip(t *testing.T) {
+	m := buildTestCSR()
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+		t.Fatalf("shape changed: %dx%d nnz=%d", back.Rows, back.Cols, back.NNZ())
+	}
+	for i := 0; i < m.Rows; i++ {
+		ai, av := m.Row(i)
+		bi, bv := back.Row(i)
+		for k := range ai {
+			if ai[k] != bi[k] || av[k] != bv[k] {
+				t.Errorf("row %d entry %d changed", i, k)
+			}
+		}
+	}
+}
+
+func TestReadCSRRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": []byte("NOTCSR\x01aaaaaaaaaaaaaaaaaaaaaaaa"),
+		"truncated": append([]byte(csrMagic), 1, 0, 0),
+	}
+	for name, b := range cases {
+		if _, err := ReadCSR(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadCSRRejectsImplausibleDims(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(csrMagic)
+	// rows = -1
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	buf.Write(make([]byte, 16))
+	if _, err := ReadCSR(&buf); err == nil {
+		t.Error("negative rows accepted")
+	}
+}
+
+// Property: WriteTo/ReadCSR round-trips random matrices exactly.
+func TestCSRIORoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(15), 1+rng.Intn(15)
+		b := NewBuilder(cols)
+		for i := 0; i < rows; i++ {
+			nnz := rng.Intn(cols + 1)
+			perm := rng.Perm(cols)[:nnz]
+			idx := make([]int32, nnz)
+			vals := make([]float64, nnz)
+			for k, j := range perm {
+				idx[k] = int32(j)
+				vals[k] = rng.NormFloat64()
+			}
+			b.AddRow(idx, vals)
+		}
+		m := b.Build()
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSR(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NNZ() != m.NNZ() || back.Rows != m.Rows || back.Cols != m.Cols {
+			return false
+		}
+		for k := range m.Vals {
+			if m.Vals[k] != back.Vals[k] || m.ColIdx[k] != back.ColIdx[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,403 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestCSR() *CSR {
+	// [ 1 0 2 ]
+	// [ 0 3 0 ]
+	// [ 4 0 5 ]
+	b := NewBuilder(3)
+	b.AddRow([]int32{0, 2}, []float64{1, 2})
+	b.AddRow([]int32{1}, []float64{3})
+	b.AddRow([]int32{2, 0}, []float64{5, 4}) // unsorted on purpose
+	return b.Build()
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	m := buildTestCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.Rows != 3 || m.Cols != 3 || m.NNZ() != 5 {
+		t.Fatalf("shape = %dx%d nnz=%d", m.Rows, m.Cols, m.NNZ())
+	}
+	idx, vals := m.Row(2)
+	if idx[0] != 0 || idx[1] != 2 || vals[0] != 4 || vals[1] != 5 {
+		t.Errorf("row 2 not sorted: idx=%v vals=%v", idx, vals)
+	}
+	if m.RowNNZ(1) != 1 {
+		t.Errorf("RowNNZ(1) = %d, want 1", m.RowNNZ(1))
+	}
+}
+
+func TestBuilderAddEntriesAndDenseRow(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEntries([]Entry{{Idx: 1, Val: 7}})
+	b.AddDenseRow([]float64{1, 2})
+	m := b.Build()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+	idx, vals := m.Row(1)
+	if len(idx) != 2 || vals[1] != 2 {
+		t.Errorf("dense row wrong: %v %v", idx, vals)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	check("mismatched lengths", func() {
+		NewBuilder(3).AddRow([]int32{0}, []float64{1, 2})
+	})
+	check("index out of range", func() {
+		NewBuilder(3).AddRow([]int32{3}, []float64{1})
+	})
+	check("dense row wrong width", func() {
+		NewBuilder(3).AddDenseRow([]float64{1})
+	})
+}
+
+func TestCSRMulVec(t *testing.T) {
+	m := buildTestCSR()
+	y := make([]float64, 3)
+	m.MulVec([]float64{1, 1, 1}, y)
+	want := []float64{3, 3, 9}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestCSRToCSCRoundTrip(t *testing.T) {
+	m := buildTestCSR()
+	csc := m.ToCSC()
+	if err := csc.Validate(); err != nil {
+		t.Fatalf("CSC Validate: %v", err)
+	}
+	rows, vals := csc.Col(0)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 || vals[1] != 4 {
+		t.Errorf("col 0 = %v %v", rows, vals)
+	}
+	if csc.ColNNZ(1) != 1 {
+		t.Errorf("ColNNZ(1) = %d", csc.ColNNZ(1))
+	}
+	back := csc.ToCSR()
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-trip Validate: %v", err)
+	}
+	if back.NNZ() != m.NNZ() {
+		t.Fatalf("round-trip NNZ = %d, want %d", back.NNZ(), m.NNZ())
+	}
+	for i := 0; i < m.Rows; i++ {
+		ai, av := m.Row(i)
+		bi, bv := back.Row(i)
+		if len(ai) != len(bi) {
+			t.Fatalf("row %d nnz changed", i)
+		}
+		for k := range ai {
+			if ai[k] != bi[k] || av[k] != bv[k] {
+				t.Errorf("row %d entry %d changed: (%d,%v) -> (%d,%v)", i, k, ai[k], av[k], bi[k], bv[k])
+			}
+		}
+	}
+}
+
+func TestCSCMulTVec(t *testing.T) {
+	m := buildTestCSR().ToCSC()
+	y := make([]float64, 3)
+	m.MulTVec([]float64{1, 2, 3}, y)
+	// Aᵀ [1 2 3] = [1*1+4*3, 3*2, 2*1+5*3] = [13, 6, 17]
+	want := []float64{13, 6, 17}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestCSRValidateCatchesCorruption(t *testing.T) {
+	m := buildTestCSR()
+	m.ColIdx[0] = 99
+	if err := m.Validate(); err == nil {
+		t.Error("Validate missed out-of-range column")
+	}
+	m = buildTestCSR()
+	m.RowPtr[1] = 100
+	if err := m.Validate(); err == nil {
+		t.Error("Validate missed broken RowPtr")
+	}
+}
+
+func TestDenseBothOrders(t *testing.T) {
+	for _, order := range []Order{RowMajor, ColMajor} {
+		d := NewDense(2, 3, order)
+		d.Set(0, 1, 5)
+		d.Set(1, 2, 7)
+		if d.At(0, 1) != 5 || d.At(1, 2) != 7 || d.At(0, 0) != 0 {
+			t.Errorf("%v: At/Set wrong", order)
+		}
+		row := make([]float64, 3)
+		d.Row(0, row)
+		if row[1] != 5 || row[0] != 0 {
+			t.Errorf("%v: Row = %v", order, row)
+		}
+		col := make([]float64, 2)
+		d.Col(2, col)
+		if col[1] != 7 {
+			t.Errorf("%v: Col = %v", order, col)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%v: %v", order, err)
+		}
+	}
+}
+
+func TestDenseMulVecMatchesCSR(t *testing.T) {
+	m := buildTestCSR()
+	x := []float64{2, -1, 0.5}
+	want := make([]float64, 3)
+	m.MulVec(x, want)
+	for _, order := range []Order{RowMajor, ColMajor} {
+		d := m.ToDense(order)
+		got := make([]float64, 3)
+		d.MulVec(x, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Errorf("%v: y[%d] = %v, want %v", order, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDenseTransposed(t *testing.T) {
+	d := NewDense(2, 3, RowMajor)
+	d.Set(0, 2, 9)
+	tr := d.Transposed()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 0) != 9 {
+		t.Errorf("Transposed wrong: %dx%d At(2,0)=%v", tr.Rows, tr.Cols, tr.At(2, 0))
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := NewDense(3, 3, RowMajor)
+	vals := [][]float64{{4, 7, 2}, {3, 6, 1}, {2, 5, 3}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	// A * A⁻¹ should be identity.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += a.At(i, k) * inv.At(k, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-9 {
+				t.Errorf("(A·A⁻¹)[%d][%d] = %v, want %v", i, j, s, want)
+			}
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := NewDense(2, 2, RowMajor)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Inverse(a); err == nil {
+		t.Error("Inverse of singular matrix succeeded")
+	}
+	if _, err := Inverse(NewDense(2, 3, RowMajor)); err == nil {
+		t.Error("Inverse of non-square matrix succeeded")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := NewDense(2, 2, RowMajor)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// 2x+y=5, x+3y=10 -> x=1, y=3
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("Solve = %v, want [1 3]", x)
+	}
+	if _, err := Solve(a, []float64{1}); err == nil {
+		t.Error("Solve with wrong-length rhs succeeded")
+	}
+}
+
+func TestGram(t *testing.T) {
+	m := buildTestCSR()
+	g := Gram(m, 0)
+	// AᵀA for the test matrix: columns c0=(1,0,4), c1=(0,3,0), c2=(2,0,5)
+	want := [][]float64{{17, 0, 22}, {0, 9, 0}, {22, 0, 29}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(g.At(i, j)-want[i][j]) > 1e-12 {
+				t.Errorf("G[%d][%d] = %v, want %v", i, j, g.At(i, j), want[i][j])
+			}
+		}
+	}
+	gr := Gram(m, 2.5)
+	if math.Abs(gr.At(0, 0)-19.5) > 1e-12 {
+		t.Errorf("ridge not applied: %v", gr.At(0, 0))
+	}
+}
+
+func TestLeverageScores(t *testing.T) {
+	// For a full-rank square matrix, leverage scores are all 1 and sum
+	// to d (standard identity: trace of the hat matrix equals rank).
+	b := NewBuilder(3)
+	b.AddDenseRow([]float64{1, 0, 0})
+	b.AddDenseRow([]float64{0, 2, 0})
+	b.AddDenseRow([]float64{0, 0, 3})
+	scores, err := LeverageScores(b.Build(), 0)
+	if err != nil {
+		t.Fatalf("LeverageScores: %v", err)
+	}
+	var sum float64
+	for i, s := range scores {
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("score[%d] = %v, want 1", i, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-3) > 1e-9 {
+		t.Errorf("sum of scores = %v, want 3", sum)
+	}
+}
+
+func TestLeverageScoresOverdetermined(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(4)
+	n := 50
+	for i := 0; i < n; i++ {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		b.AddDenseRow(row)
+	}
+	scores, err := LeverageScores(b.Build(), 1e-9)
+	if err != nil {
+		t.Fatalf("LeverageScores: %v", err)
+	}
+	var sum float64
+	for i, s := range scores {
+		if s < 0 || s > 1+1e-6 {
+			t.Errorf("score[%d] = %v outside [0,1]", i, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-4) > 1e-6 {
+		t.Errorf("sum of scores = %v, want ~4 (the rank)", sum)
+	}
+}
+
+// Property: CSR -> CSC -> CSR is the identity on random sparse matrices.
+func TestSparseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		b := NewBuilder(cols)
+		for i := 0; i < rows; i++ {
+			nnz := rng.Intn(cols + 1)
+			perm := rng.Perm(cols)[:nnz]
+			idx := make([]int32, nnz)
+			vals := make([]float64, nnz)
+			for k, j := range perm {
+				idx[k] = int32(j)
+				vals[k] = rng.NormFloat64()
+			}
+			b.AddRow(idx, vals)
+		}
+		m := b.Build()
+		back := m.ToCSC().ToCSR()
+		if back.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := 0; i < m.Rows; i++ {
+			ai, av := m.Row(i)
+			bi, bv := back.Row(i)
+			for k := range ai {
+				if ai[k] != bi[k] || av[k] != bv[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CSR MulVec agrees with the dense materialisation in both
+// element orders.
+func TestMulVecConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(10), 1+rng.Intn(10)
+		b := NewBuilder(cols)
+		for i := 0; i < rows; i++ {
+			row := make([]float64, cols)
+			for j := range row {
+				if rng.Float64() < 0.5 {
+					row[j] = rng.NormFloat64()
+				}
+			}
+			b.AddDenseRow(row)
+		}
+		m := b.Build()
+		x := make([]float64, cols)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		m.MulVec(x, want)
+		for _, order := range []Order{RowMajor, ColMajor} {
+			got := make([]float64, rows)
+			m.ToDense(order).MulVec(x, got)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

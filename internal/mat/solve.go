@@ -1,0 +1,170 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gram computes G = AᵀA + ridge·I as a d×d row-major dense matrix.
+// The small ridge keeps G invertible for rank-deficient synthetic data;
+// leverage-score sampling (Appendix C.4) only needs G as a similarity
+// weighting, so regularisation does not change its role.
+func Gram(a *CSR, ridge float64) *Dense {
+	g := NewDense(a.Cols, a.Cols, RowMajor)
+	for i := 0; i < a.Rows; i++ {
+		idx, vals := a.Row(i)
+		for p, jp := range idx {
+			vp := vals[p]
+			rowBase := int(jp) * a.Cols
+			for q, jq := range idx {
+				g.Data[rowBase+int(jq)] += vp * vals[q]
+			}
+			_ = p
+		}
+	}
+	for j := 0; j < a.Cols; j++ {
+		g.Data[j*a.Cols+j] += ridge
+	}
+	return g
+}
+
+// Inverse returns the inverse of a square row-major dense matrix using
+// Gauss–Jordan elimination with partial pivoting. It returns an error
+// if the matrix is singular to working precision.
+func Inverse(a *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: Inverse of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Augmented [A | I] working copy in row-major order.
+	w := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, 2*n)
+		for j := 0; j < n; j++ {
+			w[i][j] = a.At(i, j)
+		}
+		w[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(w[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("mat: singular matrix (pivot %g at column %d)", best, col)
+		}
+		w[col], w[pivot] = w[pivot], w[col]
+		inv := 1 / w[col][col]
+		for j := 0; j < 2*n; j++ {
+			w[col][j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || w[r][col] == 0 {
+				continue
+			}
+			f := w[r][col]
+			for j := 0; j < 2*n; j++ {
+				w[r][j] -= f * w[col][j]
+			}
+		}
+	}
+	out := NewDense(n, n, RowMajor)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*n:(i+1)*n], w[i][n:])
+	}
+	return out, nil
+}
+
+// Solve returns x with A x = b for a square row-major dense matrix,
+// using Gaussian elimination with partial pivoting.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: Solve with non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("mat: Solve with %d-vector for %d-row matrix", len(b), a.Rows)
+	}
+	n := a.Rows
+	w := make([][]float64, n)
+	rhs := make([]float64, n)
+	copy(rhs, b)
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			w[i][j] = a.At(i, j)
+		}
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(w[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("mat: singular matrix (pivot %g at column %d)", best, col)
+		}
+		w[col], w[pivot] = w[pivot], w[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		for r := col + 1; r < n; r++ {
+			if w[r][col] == 0 {
+				continue
+			}
+			f := w[r][col] / w[col][col]
+			for j := col; j < n; j++ {
+				w[r][j] -= f * w[col][j]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= w[i][j] * x[j]
+		}
+		x[i] = s / w[i][i]
+	}
+	return x, nil
+}
+
+// LeverageScores returns the (approximate) linear leverage score of
+// every row of A: s(i) = aᵢᵀ (AᵀA)⁻¹ aᵢ, the importance weight behind
+// the paper's Importance data-replication strategy (Appendix C.4).
+// A small ridge regularises the Gram matrix.
+func LeverageScores(a *CSR, ridge float64) ([]float64, error) {
+	ginv, err := Inverse(Gram(a, ridge))
+	if err != nil {
+		return nil, fmt.Errorf("mat: leverage scores: %w", err)
+	}
+	scores := make([]float64, a.Rows)
+	tmp := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		idx, vals := a.Row(i)
+		// tmp = G⁻¹ aᵢ restricted to the support needed.
+		for j := range tmp {
+			tmp[j] = 0
+		}
+		for p, jp := range idx {
+			v := vals[p]
+			rowBase := int(jp) * a.Cols
+			for j := 0; j < a.Cols; j++ {
+				tmp[j] += v * ginv.Data[rowBase+j]
+			}
+		}
+		var s float64
+		for p, jp := range idx {
+			s += vals[p] * tmp[jp]
+		}
+		if s < 0 {
+			s = 0 // numerical noise; true leverage scores are in [0, 1]
+		}
+		scores[i] = s
+	}
+	return scores, nil
+}

@@ -1,0 +1,162 @@
+// Package metrics provides convergence measurement utilities shared by
+// the experiment drivers and the CLI tools: loss curves indexed by both
+// epoch and simulated time, the paper's "time to come within p% of the
+// optimal loss" statistic, plateau detection, and CSV export for
+// external plotting.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is one observation of a convergence curve.
+type Point struct {
+	// Epoch is the 1-based epoch number.
+	Epoch int
+	// Time is the cumulative simulated time at the end of the epoch.
+	Time time.Duration
+	// Loss is the objective value after the epoch.
+	Loss float64
+}
+
+// Curve is a convergence trajectory: losses by epoch, in order.
+type Curve struct {
+	// Name labels the run (strategy, system, ...).
+	Name string
+	// Points holds the observations in epoch order.
+	Points []Point
+}
+
+// Append adds one observation; epochs must arrive in increasing order.
+func (c *Curve) Append(p Point) error {
+	if n := len(c.Points); n > 0 && p.Epoch <= c.Points[n-1].Epoch {
+		return fmt.Errorf("metrics: epoch %d after %d", p.Epoch, c.Points[n-1].Epoch)
+	}
+	c.Points = append(c.Points, p)
+	return nil
+}
+
+// Best returns the minimum loss seen, or +Inf on an empty curve.
+func (c *Curve) Best() float64 {
+	best := math.Inf(1)
+	for _, p := range c.Points {
+		if p.Loss < best {
+			best = p.Loss
+		}
+	}
+	return best
+}
+
+// Final returns the last observation; ok is false on an empty curve.
+func (c *Curve) Final() (Point, bool) {
+	if len(c.Points) == 0 {
+		return Point{}, false
+	}
+	return c.Points[len(c.Points)-1], true
+}
+
+// TimeTo returns the first time the curve reaches (or dips below) the
+// target loss; ok is false if it never does.
+func (c *Curve) TimeTo(target float64) (time.Duration, bool) {
+	for _, p := range c.Points {
+		if p.Loss <= target {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// EpochsTo returns the first epoch at or below the target loss.
+func (c *Curve) EpochsTo(target float64) (int, bool) {
+	for _, p := range c.Points {
+		if p.Loss <= target {
+			return p.Epoch, true
+		}
+	}
+	return 0, false
+}
+
+// WithinPct converts the paper's "within p% of the optimal loss" into
+// an absolute target: opt * (1 + pct/100).
+func WithinPct(opt, pct float64) float64 { return opt * (1 + pct/100) }
+
+// Plateaued reports whether the last window observations improved the
+// loss by less than relTol relative to the window's start — the
+// stopping heuristic dwrun uses.
+func (c *Curve) Plateaued(window int, relTol float64) bool {
+	n := len(c.Points)
+	if n < window+1 {
+		return false
+	}
+	start := c.Points[n-window-1].Loss
+	end := c.Points[n-1].Loss
+	if start == 0 {
+		return end == 0
+	}
+	return (start-end)/math.Abs(start) < relTol
+}
+
+// Speedup returns how much faster this curve reaches the target than
+// other does. The result is >1 when c is faster; ok is false when
+// either curve never reaches the target.
+func (c *Curve) Speedup(other *Curve, target float64) (float64, bool) {
+	mine, ok1 := c.TimeTo(target)
+	theirs, ok2 := other.TimeTo(target)
+	if !ok1 || !ok2 || mine <= 0 {
+		return 0, false
+	}
+	return theirs.Seconds() / mine.Seconds(), true
+}
+
+// WriteCSV emits "name,epoch,seconds,loss" rows for every curve, with
+// a header, suitable for external plotting.
+func WriteCSV(w io.Writer, curves ...*Curve) error {
+	if _, err := fmt.Fprintln(w, "name,epoch,seconds,loss"); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.9g,%.9g\n", c.Name, p.Epoch, p.Time.Seconds(), p.Loss); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary aggregates a set of runs of the same experiment (different
+// seeds) into median statistics.
+type Summary struct {
+	// Runs is the number of curves aggregated.
+	Runs int
+	// MedianBest is the median of per-run best losses.
+	MedianBest float64
+	// MedianEpochs is the median epoch count.
+	MedianEpochs int
+}
+
+// Summarize computes a Summary over the curves.
+func Summarize(curves []*Curve) Summary {
+	if len(curves) == 0 {
+		return Summary{}
+	}
+	bests := make([]float64, 0, len(curves))
+	epochs := make([]int, 0, len(curves))
+	for _, c := range curves {
+		bests = append(bests, c.Best())
+		if p, ok := c.Final(); ok {
+			epochs = append(epochs, p.Epoch)
+		}
+	}
+	sort.Float64s(bests)
+	sort.Ints(epochs)
+	s := Summary{Runs: len(curves), MedianBest: bests[len(bests)/2]}
+	if len(epochs) > 0 {
+		s.MedianEpochs = epochs[len(epochs)/2]
+	}
+	return s
+}

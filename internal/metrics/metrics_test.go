@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleCurve() *Curve {
+	c := &Curve{Name: "run"}
+	losses := []float64{1.0, 0.5, 0.3, 0.25, 0.249}
+	for i, l := range losses {
+		if err := c.Append(Point{Epoch: i + 1, Time: time.Duration(i+1) * time.Millisecond, Loss: l}); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+func TestAppendOrdering(t *testing.T) {
+	c := &Curve{}
+	if err := c.Append(Point{Epoch: 1, Loss: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(Point{Epoch: 1, Loss: 0.5}); err == nil {
+		t.Error("duplicate epoch accepted")
+	}
+	if err := c.Append(Point{Epoch: 0, Loss: 0.5}); err == nil {
+		t.Error("regressing epoch accepted")
+	}
+}
+
+func TestBestAndFinal(t *testing.T) {
+	c := sampleCurve()
+	if c.Best() != 0.249 {
+		t.Errorf("Best = %v", c.Best())
+	}
+	p, ok := c.Final()
+	if !ok || p.Epoch != 5 {
+		t.Errorf("Final = %+v, %v", p, ok)
+	}
+	empty := &Curve{}
+	if !math.IsInf(empty.Best(), 1) {
+		t.Error("empty Best not +Inf")
+	}
+	if _, ok := empty.Final(); ok {
+		t.Error("empty Final ok")
+	}
+}
+
+func TestTimeToAndEpochsTo(t *testing.T) {
+	c := sampleCurve()
+	d, ok := c.TimeTo(0.3)
+	if !ok || d != 3*time.Millisecond {
+		t.Errorf("TimeTo(0.3) = %v, %v", d, ok)
+	}
+	e, ok := c.EpochsTo(0.5)
+	if !ok || e != 2 {
+		t.Errorf("EpochsTo(0.5) = %v, %v", e, ok)
+	}
+	if _, ok := c.TimeTo(0.1); ok {
+		t.Error("unreachable target reported reached")
+	}
+}
+
+func TestWithinPct(t *testing.T) {
+	if got := WithinPct(0.2, 50); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("WithinPct = %v", got)
+	}
+}
+
+func TestPlateaued(t *testing.T) {
+	c := sampleCurve()
+	if !c.Plateaued(1, 0.05) {
+		t.Error("flat tail not detected")
+	}
+	if c.Plateaued(4, 0.05) {
+		t.Error("improving window flagged as plateau")
+	}
+	if (&Curve{}).Plateaued(2, 0.05) {
+		t.Error("empty curve plateaued")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	fast := sampleCurve()
+	slow := &Curve{Name: "slow"}
+	for i, l := range []float64{1.0, 0.8, 0.6, 0.45, 0.3} {
+		_ = slow.Append(Point{Epoch: i + 1, Time: time.Duration(i+1) * 10 * time.Millisecond, Loss: l})
+	}
+	s, ok := fast.Speedup(slow, 0.3)
+	if !ok || math.Abs(s-(50.0/3.0)) > 1e-9 {
+		t.Errorf("Speedup = %v, %v", s, ok)
+	}
+	if _, ok := fast.Speedup(slow, 0.01); ok {
+		t.Error("speedup to unreachable target reported")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleCurve()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "name,epoch,seconds,loss\n") {
+		t.Error("missing header")
+	}
+	if strings.Count(out, "\n") != 6 {
+		t.Errorf("want 6 lines, got %d:\n%s", strings.Count(out, "\n"), out)
+	}
+	if !strings.Contains(out, "run,3,0.003,0.3") {
+		t.Errorf("missing row: %s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a, b, c := sampleCurve(), sampleCurve(), &Curve{Name: "short"}
+	_ = c.Append(Point{Epoch: 1, Loss: 0.9})
+	s := Summarize([]*Curve{a, b, c})
+	if s.Runs != 3 {
+		t.Errorf("Runs = %d", s.Runs)
+	}
+	if s.MedianBest != 0.249 {
+		t.Errorf("MedianBest = %v", s.MedianBest)
+	}
+	if s.MedianEpochs != 5 {
+		t.Errorf("MedianEpochs = %d", s.MedianEpochs)
+	}
+	if got := Summarize(nil); got.Runs != 0 {
+		t.Error("empty summarize")
+	}
+}
+
+// Property: TimeTo is monotone in the target — a looser target is
+// reached no later than a tighter one.
+func TestTimeToMonotoneProperty(t *testing.T) {
+	c := sampleCurve()
+	f := func(a, b uint8) bool {
+		lo := 0.2 + float64(a)/255
+		hi := lo + float64(b)/255
+		tLo, okLo := c.TimeTo(lo)
+		tHi, okHi := c.TimeTo(hi)
+		if okLo && !okHi {
+			return false // looser target must also be reachable
+		}
+		if okLo && okHi {
+			return tHi <= tLo
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

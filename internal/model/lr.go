@@ -1,0 +1,133 @@
+package model
+
+import (
+	"math"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/vec"
+)
+
+// LR is binary logistic regression trained on the logistic loss,
+// optionally with L2 regularisation (see SVM.Lambda for the
+// support-scaled lazy scheme).
+type LR struct {
+	// Lambda is the L2 regularisation weight; 0 disables it.
+	Lambda float64
+}
+
+// NewLR returns an unregularised logistic-regression specification.
+func NewLR() *LR { return &LR{} }
+
+// NewLRRegularized returns an LR with L2 weight lambda.
+func NewLRRegularized(lambda float64) *LR { return &LR{Lambda: lambda} }
+
+// Name implements Spec.
+func (*LR) Name() string { return "lr" }
+
+// Supports implements Spec.
+func (*LR) Supports() []Access { return []Access{RowWise, ColToRow} }
+
+// DenseUpdate implements Spec.
+func (*LR) DenseUpdate() bool { return false }
+
+// NewReplica implements Spec.
+func (*LR) NewReplica(ds *data.Dataset) *Replica {
+	return &Replica{X: make([]float64, ds.Cols())}
+}
+
+// sigmoid returns 1/(1+e^-t) with clamping against overflow.
+func sigmoid(t float64) float64 {
+	if t > 35 {
+		return 1
+	}
+	if t < -35 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-t))
+}
+
+// RowStep implements Spec: one SGD step on example i.
+//
+//	p = σ(y_i ⟨x, a_i⟩);  x += step · (1 − p) · y_i · a_i
+func (lr *LR) RowStep(ds *data.Dataset, i int, r *Replica, step float64) Stats {
+	idx, vals := ds.A.Row(i)
+	y := ds.Labels[i]
+	st := Stats{
+		DataWords:   len(idx),
+		ModelReads:  len(idx),
+		ModelWrites: len(idx),
+		Flops:       4*len(idx) + 8,
+	}
+	if lr.Lambda > 0 && len(idx) > 0 {
+		shrink := 1 - step*lr.Lambda*float64(ds.Cols())/(float64(len(idx))*float64(ds.Rows()))
+		if shrink < 0 {
+			shrink = 0
+		}
+		for _, j := range idx {
+			r.X[j] *= shrink
+		}
+		st.ModelWrites += len(idx)
+		st.Flops += len(idx)
+	}
+	p := sigmoid(y * vec.SparseDot(vals, idx, r.X))
+	vec.SparseAXPY(step*(1-p)*y, vals, idx, r.X)
+	return st
+}
+
+// ColStep implements Spec: coordinate gradient step on x_j via
+// column-to-row access, recomputing probabilities from the raw rows.
+func (*LR) ColStep(ds *data.Dataset, j int, r *Replica, step float64) Stats {
+	rows, colVals := ds.CSC().Col(j)
+	var grad float64
+	st := Stats{ModelWrites: 1}
+	for k, i := range rows {
+		idx, vals := ds.A.Row(int(i))
+		y := ds.Labels[i]
+		p := sigmoid(y * vec.SparseDot(vals, idx, r.X))
+		grad -= (1 - p) * y * colVals[k]
+		st.DataWords += len(idx)
+		st.ModelReads += len(idx)
+		st.Flops += 2*len(idx) + 10
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		r.X[j] -= step * grad / n
+	}
+	return st
+}
+
+// RefreshAux implements Spec: LR keeps no auxiliary state.
+func (*LR) RefreshAux(*data.Dataset, *Replica) {}
+
+// Loss implements Spec: mean logistic loss, plus (λ/2N)‖x‖² when
+// regularised.
+func (lr *LR) Loss(ds *data.Dataset, x []float64) float64 {
+	var total float64
+	for i := 0; i < ds.Rows(); i++ {
+		idx, vals := ds.A.Row(i)
+		m := ds.Labels[i] * vec.SparseDot(vals, idx, x)
+		// log(1 + e^{-m}) computed stably.
+		switch {
+		case m > 35:
+			// loss ~ e^{-m} ~ 0
+		case m < -35:
+			total += -m
+		default:
+			total += math.Log1p(math.Exp(-m))
+		}
+	}
+	loss := total / float64(ds.Rows())
+	if lr.Lambda > 0 {
+		n := vec.Norm2(x)
+		loss += 0.5 * lr.Lambda * n * n / float64(ds.Rows())
+	}
+	return loss
+}
+
+// Combine implements Spec: Bismarck-style model averaging.
+func (*LR) Combine(replicas [][]float64, dst []float64) {
+	vec.Average(dst, replicas...)
+}
+
+// Aggregate implements Spec: iterative estimator, not an aggregate.
+func (*LR) Aggregate() bool { return false }

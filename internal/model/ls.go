@@ -1,0 +1,109 @@
+package model
+
+import (
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/vec"
+)
+
+// LS is least-squares regression on the squared loss.
+//
+// Row-wise it is SGD; column-wise it is exact coordinate descent over
+// a maintained residual vector r = Ax − y, the classical SCD layout
+// (GraphLab/Shogun/Thetis in Figure 2). The residual is the replica's
+// auxiliary state and is rebuilt by RefreshAux after model averaging.
+type LS struct{}
+
+// NewLS returns a least-squares specification.
+func NewLS() *LS { return &LS{} }
+
+// Name implements Spec.
+func (*LS) Name() string { return "ls" }
+
+// Supports implements Spec.
+func (*LS) Supports() []Access { return []Access{RowWise, ColWise} }
+
+// DenseUpdate implements Spec.
+func (*LS) DenseUpdate() bool { return false }
+
+// NewReplica implements Spec: residuals start at −y since x = 0.
+func (*LS) NewReplica(ds *data.Dataset) *Replica {
+	r := &Replica{X: make([]float64, ds.Cols()), Aux: make([]float64, ds.Rows())}
+	for i := range r.Aux {
+		r.Aux[i] = -ds.Labels[i]
+	}
+	return r
+}
+
+// RowStep implements Spec: one SGD step on example i.
+//
+//	e = ⟨x, a_i⟩ − y_i;  x −= step · e · a_i
+func (*LS) RowStep(ds *data.Dataset, i int, r *Replica, step float64) Stats {
+	idx, vals := ds.A.Row(i)
+	e := vec.SparseDot(vals, idx, r.X) - ds.Labels[i]
+	vec.SparseAXPY(-step*e, vals, idx, r.X)
+	return Stats{
+		DataWords:   len(idx),
+		ModelReads:  len(idx),
+		ModelWrites: len(idx),
+		Flops:       4 * len(idx),
+	}
+}
+
+// ColStep implements Spec: exact coordinate minimisation of component
+// j over the residual cache.
+//
+//	δ = −⟨A_:j, r⟩ / ⟨A_:j, A_:j⟩;  x_j += δ;  r += δ·A_:j
+func (*LS) ColStep(ds *data.Dataset, j int, r *Replica, step float64) Stats {
+	rows, vals := ds.CSC().Col(j)
+	var dot, norm float64
+	for k, i := range rows {
+		dot += vals[k] * r.Aux[i]
+		norm += vals[k] * vals[k]
+	}
+	st := Stats{
+		DataWords:   len(rows),
+		AuxReads:    len(rows),
+		ModelReads:  1,
+		ModelWrites: 1,
+		AuxWrites:   len(rows),
+		Flops:       6 * len(rows),
+	}
+	if norm == 0 {
+		return st
+	}
+	// Exact minimisation scaled by step (step = 1 recovers exact CD;
+	// the engine may damp it for stability under stale replicas).
+	delta := -step * dot / norm
+	r.X[j] += delta
+	for k, i := range rows {
+		r.Aux[i] += delta * vals[k]
+	}
+	return st
+}
+
+// RefreshAux implements Spec: rebuild r = Ax − y from the model.
+func (*LS) RefreshAux(ds *data.Dataset, r *Replica) {
+	for i := 0; i < ds.Rows(); i++ {
+		idx, vals := ds.A.Row(i)
+		r.Aux[i] = vec.SparseDot(vals, idx, r.X) - ds.Labels[i]
+	}
+}
+
+// Loss implements Spec: mean squared error (half).
+func (*LS) Loss(ds *data.Dataset, x []float64) float64 {
+	var total float64
+	for i := 0; i < ds.Rows(); i++ {
+		idx, vals := ds.A.Row(i)
+		e := vec.SparseDot(vals, idx, x) - ds.Labels[i]
+		total += 0.5 * e * e
+	}
+	return total / float64(ds.Rows())
+}
+
+// Combine implements Spec: Bismarck-style model averaging.
+func (*LS) Combine(replicas [][]float64, dst []float64) {
+	vec.Average(dst, replicas...)
+}
+
+// Aggregate implements Spec: iterative estimator, not an aggregate.
+func (*LS) Aggregate() bool { return false }

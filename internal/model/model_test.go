@@ -1,0 +1,453 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/vec"
+)
+
+// trainRows runs sequential row-wise epochs and returns the replica.
+func trainRows(spec Spec, ds *data.Dataset, epochs int, step, decay float64) *Replica {
+	r := spec.NewReplica(ds)
+	rng := rand.New(rand.NewSource(7))
+	for e := 0; e < epochs; e++ {
+		for _, i := range rng.Perm(ds.Rows()) {
+			spec.RowStep(ds, i, r, step)
+		}
+		step *= decay
+	}
+	return r
+}
+
+// trainCols runs sequential column-wise epochs and returns the replica.
+func trainCols(spec Spec, ds *data.Dataset, epochs int, step, decay float64) *Replica {
+	r := spec.NewReplica(ds)
+	rng := rand.New(rand.NewSource(7))
+	for e := 0; e < epochs; e++ {
+		for _, j := range rng.Perm(ds.Cols()) {
+			spec.ColStep(ds, j, r, step)
+		}
+		step *= decay
+	}
+	return r
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"svm", "lr", "ls", "lp", "qp", "sum"} {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if spec.Name() != name {
+			t.Errorf("ByName(%s).Name() = %s", name, spec.Name())
+		}
+		if len(spec.Supports()) == 0 {
+			t.Errorf("%s supports no access methods", name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) succeeded")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if RowWise.String() != "row-wise" || ColWise.String() != "column-wise" || ColToRow.String() != "column-to-row" {
+		t.Error("Access.String wrong")
+	}
+	if Access(9).String() == "" {
+		t.Error("unknown access should stringify")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ds := data.Reuters()
+	if err := Validate(NewSVM(), ds, RowWise); err != nil {
+		t.Errorf("SVM row-wise on reuters: %v", err)
+	}
+	if err := Validate(NewSVM(), ds, ColWise); err == nil {
+		t.Error("SVM claims pure column-wise support")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	var s Stats
+	s.Add(Stats{DataWords: 1, ModelReads: 2, ModelWrites: 3, AuxReads: 4, AuxWrites: 5, Flops: 6})
+	s.Add(Stats{DataWords: 1})
+	if s.DataWords != 2 || s.ModelWrites != 3 || s.Flops != 6 {
+		t.Errorf("Stats.Add wrong: %+v", s)
+	}
+}
+
+func TestReplicaClone(t *testing.T) {
+	r := &Replica{X: []float64{1, 2}, Aux: []float64{3}}
+	c := r.Clone()
+	c.X[0] = 9
+	c.Aux[0] = 9
+	if r.X[0] != 1 || r.Aux[0] != 3 {
+		t.Error("Clone aliases original")
+	}
+	noAux := (&Replica{X: []float64{1}}).Clone()
+	if noAux.Aux != nil {
+		t.Error("Clone invented Aux")
+	}
+}
+
+func TestSVMRowTrainingConverges(t *testing.T) {
+	ds := data.Reuters()
+	spec := NewSVM()
+	init := spec.Loss(ds, spec.NewReplica(ds).X)
+	r := trainRows(spec, ds, 10, 0.1, 0.9)
+	final := spec.Loss(ds, r.X)
+	if final >= init/2 {
+		t.Errorf("SVM row training: loss %v -> %v, want at least 2x reduction", init, final)
+	}
+}
+
+func TestSVMColTrainingConverges(t *testing.T) {
+	ds := data.Reuters()
+	spec := NewSVM()
+	init := spec.Loss(ds, spec.NewReplica(ds).X)
+	r := trainCols(spec, ds, 10, 0.5, 0.9)
+	final := spec.Loss(ds, r.X)
+	if final >= init/2 {
+		t.Errorf("SVM col training: loss %v -> %v", init, final)
+	}
+}
+
+func TestSVMAccuracyOnSeparableData(t *testing.T) {
+	ds := data.Reuters()
+	r := trainRows(NewSVM(), ds, 15, 0.1, 0.9)
+	correct := 0
+	for i := 0; i < ds.Rows(); i++ {
+		idx, vals := ds.A.Row(i)
+		var m float64
+		for k, j := range idx {
+			m += vals[k] * r.X[j]
+		}
+		if (m >= 0 && ds.Labels[i] > 0) || (m < 0 && ds.Labels[i] < 0) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(ds.Rows())
+	if acc < 0.85 {
+		t.Errorf("SVM accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestSVMStepStats(t *testing.T) {
+	ds := data.Reuters()
+	spec := NewSVM()
+	r := spec.NewReplica(ds)
+	st := spec.RowStep(ds, 0, r, 0.1)
+	nnz := ds.A.RowNNZ(0)
+	if st.DataWords != nnz || st.ModelReads != nnz {
+		t.Errorf("row stats %+v, want %d data/model reads", st, nnz)
+	}
+	// At a zero model the margin is 0 < 1, so the step writes.
+	if st.ModelWrites != nnz {
+		t.Errorf("expected sparse write of %d words, got %d", nnz, st.ModelWrites)
+	}
+	cst := spec.ColStep(ds, 0, r, 0.1)
+	if cst.ModelWrites != 1 {
+		t.Errorf("col step writes %d model words, want 1", cst.ModelWrites)
+	}
+}
+
+func TestLRTrainingConverges(t *testing.T) {
+	ds := data.Reuters()
+	spec := NewLR()
+	init := spec.Loss(ds, spec.NewReplica(ds).X)
+	if math.Abs(init-math.Log(2)) > 1e-9 {
+		t.Errorf("LR loss at zero = %v, want ln 2", init)
+	}
+	r := trainRows(spec, ds, 10, 0.2, 0.9)
+	if final := spec.Loss(ds, r.X); final >= init/2 {
+		t.Errorf("LR row training: loss %v -> %v", init, final)
+	}
+	rc := trainCols(spec, ds, 10, 1.0, 0.9)
+	if final := spec.Loss(ds, rc.X); final >= init/2 {
+		t.Errorf("LR col training: loss %v -> %v", init, final)
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if sigmoid(1000) != 1 || sigmoid(-1000) != 0 {
+		t.Error("sigmoid not clamped")
+	}
+	if math.Abs(sigmoid(0)-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", sigmoid(0))
+	}
+}
+
+func TestLSRowTrainingConverges(t *testing.T) {
+	ds := data.MusicRegression()
+	spec := NewLS()
+	init := spec.Loss(ds, spec.NewReplica(ds).X)
+	r := trainRows(spec, ds, 10, 0.005, 0.95)
+	if final := spec.Loss(ds, r.X); final >= init/10 {
+		t.Errorf("LS row training: loss %v -> %v, want 10x reduction", init, final)
+	}
+}
+
+func TestLSColExactCD(t *testing.T) {
+	ds := data.MusicRegression()
+	spec := NewLS()
+	init := spec.Loss(ds, spec.NewReplica(ds).X)
+	r := trainCols(spec, ds, 15, 1.0, 1.0)
+	final := spec.Loss(ds, r.X)
+	if final >= init/20 {
+		t.Errorf("LS exact CD: loss %v -> %v, want 20x reduction", init, final)
+	}
+}
+
+func TestLSAuxInvariant(t *testing.T) {
+	// After any sequence of column steps, Aux must equal Ax − y.
+	ds := data.MusicRegression()
+	spec := NewLS()
+	r := spec.NewReplica(ds)
+	rng := rand.New(rand.NewSource(3))
+	for s := 0; s < 200; s++ {
+		spec.ColStep(ds, rng.Intn(ds.Cols()), r, 1.0)
+	}
+	want := spec.NewReplica(ds)
+	copy(want.X, r.X)
+	spec.RefreshAux(ds, want)
+	for i := range want.Aux {
+		if math.Abs(want.Aux[i]-r.Aux[i]) > 1e-6 {
+			t.Fatalf("aux[%d] = %v, want %v", i, r.Aux[i], want.Aux[i])
+		}
+	}
+}
+
+func TestLPColTrainingConverges(t *testing.T) {
+	ds := data.AmazonLP()
+	spec := NewLP()
+	rep := spec.NewReplica(ds)
+	init := spec.Loss(ds, rep.X)
+	r := trainCols(spec, ds, 20, 1.0, 1.0)
+	final := spec.Loss(ds, r.X)
+	if final >= init*0.8 {
+		t.Errorf("LP CD: loss %v -> %v", init, final)
+	}
+	// Cover must stay in the box and be near-feasible.
+	for j, x := range r.X {
+		if x < -1e-9 || x > 1+1e-9 {
+			t.Fatalf("x[%d] = %v outside [0,1]", j, x)
+		}
+	}
+	var worst float64
+	for i := 0; i < ds.Rows(); i++ {
+		idx, _ := ds.A.Row(i)
+		if v := 1 - r.X[idx[0]] - r.X[idx[1]]; v > worst {
+			worst = v
+		}
+	}
+	if worst > 0.2 {
+		t.Errorf("worst constraint violation = %v", worst)
+	}
+}
+
+func TestLPRowTrainingReducesLoss(t *testing.T) {
+	ds := data.AmazonLP()
+	spec := NewLP()
+	init := spec.Loss(ds, spec.NewReplica(ds).X)
+	r := trainRows(spec, ds, 20, 0.05, 0.95)
+	final := spec.Loss(ds, r.X)
+	if final >= init {
+		t.Errorf("LP SGD: loss %v -> %v", init, final)
+	}
+	for j, x := range r.X {
+		if x < 0 || x > 1 {
+			t.Fatalf("x[%d] = %v outside [0,1]", j, x)
+		}
+	}
+}
+
+func TestLPAuxInvariant(t *testing.T) {
+	ds := data.AmazonLP()
+	spec := NewLP()
+	r := spec.NewReplica(ds)
+	rng := rand.New(rand.NewSource(5))
+	for s := 0; s < 500; s++ {
+		spec.ColStep(ds, rng.Intn(ds.Cols()), r, 1.0)
+	}
+	check := &Replica{X: append([]float64(nil), r.X...), Aux: make([]float64, ds.Rows())}
+	spec.RefreshAux(ds, check)
+	for i := range check.Aux {
+		if math.Abs(check.Aux[i]-r.Aux[i]) > 1e-6 {
+			t.Fatalf("violation cache drifted at edge %d: %v vs %v", i, r.Aux[i], check.Aux[i])
+		}
+	}
+}
+
+func TestLPColBeatsRowInEpochs(t *testing.T) {
+	// The paper's headline LP observation: coordinate descent reaches
+	// low loss in far fewer epochs than row-wise SGD.
+	ds := data.AmazonLP()
+	spec := NewLP()
+	colLoss := spec.Loss(ds, trainCols(spec, ds, 5, 1.0, 1.0).X)
+	rowLoss := spec.Loss(ds, trainRows(spec, ds, 5, 0.05, 0.95).X)
+	if colLoss >= rowLoss {
+		t.Errorf("after 5 epochs: col loss %v not better than row loss %v", colLoss, rowLoss)
+	}
+}
+
+func TestQPTrainingConverges(t *testing.T) {
+	// The QP optimum is far from zero (the ±1 anchors conflict through
+	// the smoothness term), so convergence is measured as closing the
+	// gap to a near-optimal reference obtained by running CD long.
+	ds := data.AmazonQP()
+	spec := NewQP()
+	init := spec.Loss(ds, spec.NewReplica(ds).X)
+	ref := spec.Loss(ds, trainCols(spec, ds, 80, 1.0, 1.0).X)
+	if ref >= init {
+		t.Fatalf("reference run did not improve: %v -> %v", init, ref)
+	}
+	got := spec.Loss(ds, trainCols(spec, ds, 10, 1.0, 1.0).X)
+	if gap := (got - ref) / (init - ref); gap > 0.25 {
+		t.Errorf("QP CD closed only %v of the gap after 10 epochs (loss %v, ref %v)", 1-gap, got, ref)
+	}
+	rr := trainRows(spec, ds, 10, 0.1, 0.95)
+	if final := spec.Loss(ds, rr.X); final >= init {
+		t.Errorf("QP SGD: loss %v -> %v", init, final)
+	}
+}
+
+func TestQPColStepIsExactFixedPoint(t *testing.T) {
+	// Applying the same coordinate update twice in a row must not move
+	// the coordinate the second time (exact minimisation).
+	ds := data.AmazonQP()
+	spec := NewQP()
+	r := trainCols(spec, ds, 2, 1.0, 1.0)
+	before := r.X[10]
+	spec.ColStep(ds, 10, r, 1.0)
+	once := r.X[10]
+	spec.ColStep(ds, 10, r, 1.0)
+	if math.Abs(r.X[10]-once) > 1e-12 {
+		t.Errorf("second identical ColStep moved x: %v -> %v -> %v", before, once, r.X[10])
+	}
+}
+
+func TestParallelSumExact(t *testing.T) {
+	ds := data.ParallelSum(100, 8)
+	spec := NewParallelSum()
+	r := spec.NewReplica(ds)
+	var st Stats
+	for i := 0; i < ds.Rows(); i++ {
+		st.Add(spec.RowStep(ds, i, r, 0))
+	}
+	if r.X[0] != 800 {
+		t.Errorf("sum = %v, want 800", r.X[0])
+	}
+	if spec.Loss(ds, r.X) != 0 {
+		t.Errorf("loss = %v, want 0", spec.Loss(ds, r.X))
+	}
+	if st.DataWords != 800 {
+		t.Errorf("data words = %d, want 800", st.DataWords)
+	}
+	// Column-wise sum agrees.
+	rc := spec.NewReplica(ds)
+	for j := 0; j < ds.Cols(); j++ {
+		spec.ColStep(ds, j, rc, 0)
+	}
+	if rc.X[0] != 800 {
+		t.Errorf("column sum = %v, want 800", rc.X[0])
+	}
+}
+
+// Property: SVM row steps never move model components outside the
+// example's support.
+func TestSVMSparseUpdateProperty(t *testing.T) {
+	ds := data.Reuters()
+	spec := NewSVM()
+	f := func(rowSel uint16) bool {
+		r := spec.NewReplica(ds)
+		i := int(rowSel) % ds.Rows()
+		spec.RowStep(ds, i, r, 0.5)
+		idx, _ := ds.A.Row(i)
+		support := map[int32]bool{}
+		for _, j := range idx {
+			support[j] = true
+		}
+		for j, v := range r.X {
+			if v != 0 && !support[int32(j)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: one exact LS coordinate step never increases the loss.
+func TestLSColStepMonotoneProperty(t *testing.T) {
+	ds := data.MusicRegression()
+	spec := NewLS()
+	f := func(colSel uint16, steps uint8) bool {
+		r := spec.NewReplica(ds)
+		rng := rand.New(rand.NewSource(int64(steps)))
+		for s := 0; s < int(steps%16); s++ {
+			spec.ColStep(ds, rng.Intn(ds.Cols()), r, 1.0)
+		}
+		before := spec.Loss(ds, r.X)
+		spec.ColStep(ds, int(colSel)%ds.Cols(), r, 1.0)
+		after := spec.Loss(ds, r.X)
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSVMRegularization(t *testing.T) {
+	ds := data.Reuters()
+	plain := NewSVM()
+	reg := NewSVMRegularized(5.0)
+	rPlain := trainRows(plain, ds, 10, 0.1, 0.9)
+	rReg := trainRows(reg, ds, 10, 0.1, 0.9)
+	normPlain := vec.Norm2(rPlain.X)
+	normReg := vec.Norm2(rReg.X)
+	if normReg >= normPlain {
+		t.Errorf("regularised norm %v not below unregularised %v", normReg, normPlain)
+	}
+	// The regularised loss includes the penalty term.
+	x := rReg.X
+	if reg.Loss(ds, x) <= plain.Loss(ds, x) {
+		t.Error("regularised loss missing the penalty term")
+	}
+	// Regularised training still separates the data.
+	if hinge := plain.Loss(ds, x); hinge > 0.5 {
+		t.Errorf("regularised model underfits badly: hinge %v", hinge)
+	}
+}
+
+func TestSVMRegularizedStepCountsWrites(t *testing.T) {
+	ds := data.Reuters()
+	reg := NewSVMRegularized(1.0)
+	r := reg.NewReplica(ds)
+	st := reg.RowStep(ds, 0, r, 0.1)
+	nnz := ds.A.RowNNZ(0)
+	if st.ModelWrites != 2*nnz {
+		t.Errorf("regularised step writes %d, want %d (shrink + gradient)", st.ModelWrites, 2*nnz)
+	}
+}
+
+func TestLRRegularization(t *testing.T) {
+	ds := data.Reuters()
+	plain := NewLR()
+	reg := NewLRRegularized(5.0)
+	rPlain := trainRows(plain, ds, 10, 0.2, 0.9)
+	rReg := trainRows(reg, ds, 10, 0.2, 0.9)
+	if vec.Norm2(rReg.X) >= vec.Norm2(rPlain.X) {
+		t.Errorf("regularised LR norm %v not below %v", vec.Norm2(rReg.X), vec.Norm2(rPlain.X))
+	}
+	if reg.Loss(ds, rReg.X) <= plain.Loss(ds, rReg.X) {
+		t.Error("regularised LR loss missing the penalty")
+	}
+}

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// networkWire is the gob wire form of a Network; indirection keeps the
+// wire format explicit and lets LoadNetwork validate before returning.
+type networkWire struct {
+	Sizes   []int
+	Weights [][]float64
+	Biases  [][]float64
+}
+
+// Save serialises the network with encoding/gob.
+func (n *Network) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(networkWire{
+		Sizes: n.Sizes, Weights: n.Weights, Biases: n.Biases,
+	})
+}
+
+// LoadNetwork deserialises a network written by Save and validates its
+// internal consistency.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	var w networkWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("nn: decoding network: %w", err)
+	}
+	if len(w.Sizes) < 2 {
+		return nil, fmt.Errorf("nn: network with %d layers", len(w.Sizes))
+	}
+	if len(w.Weights) != len(w.Sizes)-1 || len(w.Biases) != len(w.Sizes)-1 {
+		return nil, fmt.Errorf("nn: layer count mismatch: %d sizes, %d weights, %d biases",
+			len(w.Sizes), len(w.Weights), len(w.Biases))
+	}
+	for l := 0; l < len(w.Sizes)-1; l++ {
+		if len(w.Weights[l]) != w.Sizes[l]*w.Sizes[l+1] {
+			return nil, fmt.Errorf("nn: layer %d weights %d, want %d", l, len(w.Weights[l]), w.Sizes[l]*w.Sizes[l+1])
+		}
+		if len(w.Biases[l]) != w.Sizes[l+1] {
+			return nil, fmt.Errorf("nn: layer %d biases %d, want %d", l, len(w.Biases[l]), w.Sizes[l+1])
+		}
+	}
+	return &Network{Sizes: w.Sizes, Weights: w.Weights, Biases: w.Biases}, nil
+}
+
+// Split partitions the dataset into train and test subsets with the
+// given test fraction, shuffled deterministically by seed.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(d.Images))
+	nTest := int(testFrac * float64(len(d.Images)))
+	if nTest < 0 {
+		nTest = 0
+	}
+	if nTest > len(d.Images) {
+		nTest = len(d.Images)
+	}
+	train = &Dataset{Classes: d.Classes}
+	test = &Dataset{Classes: d.Classes}
+	for i, p := range perm {
+		dst := train
+		if i < nTest {
+			dst = test
+		}
+		dst.Images = append(dst.Images, d.Images[p])
+		dst.Labels = append(dst.Labels, d.Labels[p])
+	}
+	return train, test
+}

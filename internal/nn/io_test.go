@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNetworkSaveLoadRoundTrip(t *testing.T) {
+	ds := smallData()
+	tr, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tr.RunEpoch()
+	}
+	var buf bytes.Buffer
+	if err := tr.Net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same predictions, same loss.
+	if got, want := back.Loss(ds), tr.Net.Loss(ds); got != want {
+		t.Errorf("loaded loss %v, want %v", got, want)
+	}
+	for i := 0; i < 20; i++ {
+		if back.Predict(ds.Images[i]) != tr.Net.Predict(ds.Images[i]) {
+			t.Fatalf("prediction %d changed after round trip", i)
+		}
+	}
+}
+
+func TestLoadNetworkRejectsCorrupt(t *testing.T) {
+	if _, err := LoadNetwork(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Structurally inconsistent payload.
+	var buf bytes.Buffer
+	n := NewNetwork(smallSizes(), 1)
+	n.Weights[0] = n.Weights[0][:5] // corrupt layer 0
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadNetwork(&buf); err == nil {
+		t.Error("inconsistent network accepted")
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	ds := SyntheticMNIST(100, 16, 4, 0.05, 3)
+	train, test := ds.Split(0.25, 7)
+	if len(test.Images) != 25 || len(train.Images) != 75 {
+		t.Fatalf("split sizes %d/%d", len(train.Images), len(test.Images))
+	}
+	if train.Classes != 4 || test.Classes != 4 {
+		t.Error("classes not propagated")
+	}
+	// Deterministic under seed.
+	train2, _ := ds.Split(0.25, 7)
+	for i := range train.Labels {
+		if train.Labels[i] != train2.Labels[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	// Edge fractions.
+	all, none := ds.Split(0, 1)
+	if len(all.Images) != 100 || len(none.Images) != 0 {
+		t.Error("zero-fraction split wrong")
+	}
+}
+
+func TestGeneralisationOnHeldOut(t *testing.T) {
+	ds := SyntheticMNIST(400, 32, 10, 0.08, 5)
+	train, test := ds.Split(0.25, 9)
+	tr, err := NewTrainer(train, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		tr.RunEpoch()
+	}
+	if acc := tr.Net.Accuracy(test); acc < 0.7 {
+		t.Errorf("held-out accuracy = %v, want >= 0.7", acc)
+	}
+}

@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"dimmwitted/internal/numa"
+)
+
+func smallSizes() []int { return []int{32, 24, 16, 10} }
+
+func smallData() *Dataset { return SyntheticMNIST(300, 32, 10, 0.08, 1) }
+
+func TestNetworkShapes(t *testing.T) {
+	n := NewNetwork(LeCunSizes(), 1)
+	if len(n.Weights) != 6 {
+		t.Fatalf("7-layer net has %d weight matrices, want 6", len(n.Weights))
+	}
+	wantParams := 0
+	s := LeCunSizes()
+	for l := 0; l < len(s)-1; l++ {
+		wantParams += s[l]*s[l+1] + s[l+1]
+	}
+	if n.NumParams() != wantParams {
+		t.Errorf("NumParams = %d, want %d", n.NumParams(), wantParams)
+	}
+	wantNeurons := 0
+	for _, w := range s[1:] {
+		wantNeurons += w
+	}
+	if n.NumNeurons() != wantNeurons {
+		t.Errorf("NumNeurons = %d, want %d", n.NumNeurons(), wantNeurons)
+	}
+}
+
+func TestForwardIsDistribution(t *testing.T) {
+	n := NewNetwork(smallSizes(), 2)
+	ds := smallData()
+	s := newScratch(n.Sizes)
+	out := n.forward(ds.Images[0], s)
+	var sum float64
+	for _, p := range out {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v outside [0,1]", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	n := NewNetwork(smallSizes(), 3)
+	ds := smallData()
+	init := n.Loss(ds)
+	s := newScratch(n.Sizes)
+	for epoch := 0; epoch < 5; epoch++ {
+		for i := range ds.Images {
+			n.SGDStep(ds.Images[i], ds.Labels[i], 0.05, s)
+		}
+	}
+	final := n.Loss(ds)
+	if final >= init/2 {
+		t.Errorf("SGD loss %v -> %v, want at least halved", init, final)
+	}
+}
+
+func TestTrainingReachesHighAccuracy(t *testing.T) {
+	ds := smallData()
+	tr, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		tr.RunEpoch()
+	}
+	if acc := tr.Net.Accuracy(ds); acc < 0.8 {
+		t.Errorf("accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	n := NewNetwork(smallSizes(), 5)
+	c := n.Clone()
+	c.Weights[0][0] += 100
+	if n.Weights[0][0] == c.Weights[0][0] {
+		t.Error("Clone aliases weights")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := NewNetwork(smallSizes(), 6)
+	b := a.Clone()
+	for l := range b.Weights {
+		for i := range b.Weights[l] {
+			b.Weights[l][i] = a.Weights[l][i] + 2
+		}
+	}
+	dst := a.Clone()
+	if err := Average(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dst.Weights[0][0], a.Weights[0][0]+1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("average = %v, want %v", got, want)
+	}
+	bad := NewNetwork([]int{32, 10}, 7)
+	if err := Average(bad, a); err == nil {
+		t.Error("mismatched architectures averaged")
+	}
+}
+
+func TestDimmWittedStrategyFasterThanClassic(t *testing.T) {
+	// Figure 17(b): PerNode+FullReplication yields over an order of
+	// magnitude more neuron throughput than PerMachine+Sharding, whose
+	// fully dense updates hammer one machine-shared network.
+	ds := smallData()
+	classic, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: Classic(), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := classic.RunEpoch()
+	d := dw.RunEpoch()
+	ratio := d.NeuronThroughput / c.NeuronThroughput
+	if ratio < 5 {
+		t.Errorf("DW/classic neuron throughput ratio = %.1f, want >= 5 (paper: >10)", ratio)
+	}
+}
+
+func TestTrainerValidation(t *testing.T) {
+	if _, err := NewTrainer(&Dataset{}, TrainerConfig{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	ds := smallData()
+	if _, err := NewTrainer(ds, TrainerConfig{Sizes: []int{999, 10}}); err == nil {
+		t.Error("mismatched input dim accepted")
+	}
+}
+
+func TestTrainerEpochBookkeeping(t *testing.T) {
+	ds := smallData()
+	tr, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: Classic(), Machine: numa.Local2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := tr.RunEpoch()
+	r2 := tr.RunEpoch()
+	if r1.Epoch != 1 || r2.Epoch != 2 {
+		t.Errorf("epoch numbering: %d, %d", r1.Epoch, r2.Epoch)
+	}
+	if r1.Examples != int64(len(ds.Images)) {
+		t.Errorf("classic epoch processed %d examples, want %d", r1.Examples, len(ds.Images))
+	}
+	if tr.SimTime() != r1.SimTime+r2.SimTime {
+		t.Error("cumulative SimTime wrong")
+	}
+}
+
+func TestFullReplicationProcessesPerNode(t *testing.T) {
+	ds := smallData()
+	tr, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tr.RunEpoch()
+	want := int64(len(ds.Images) * numa.Local2.Nodes)
+	if r.Examples != want {
+		t.Errorf("full replication processed %d, want %d", r.Examples, want)
+	}
+}
+
+func TestSyntheticMNISTLearnable(t *testing.T) {
+	ds := SyntheticMNIST(200, 64, 5, 0.05, 11)
+	if len(ds.Images) != 200 || ds.Classes != 5 {
+		t.Fatalf("dataset shape wrong")
+	}
+	counts := make([]int, 5)
+	for i, img := range ds.Images {
+		for _, v := range img {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v outside [0,1]", v)
+			}
+		}
+		counts[ds.Labels[i]]++
+	}
+	for c, n := range counts {
+		if n != 40 {
+			t.Errorf("class %d has %d examples, want 40", c, n)
+		}
+	}
+	// Same-class examples are closer than cross-class ones on average.
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return s
+	}
+	same := dist(ds.Images[0], ds.Images[5]) // both class 0
+	diff := dist(ds.Images[0], ds.Images[1]) // classes 0, 1
+	if same >= diff {
+		t.Errorf("intra-class distance %v >= inter-class %v", same, diff)
+	}
+}

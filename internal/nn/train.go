@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dimmwitted/internal/numa"
+)
+
+// Strategy selects the tradeoff point for network training: the
+// paper's Figure 17(b) compares the classical choice (LeCun's
+// PerMachine + Sharding) with DimmWitted's (PerNode +
+// FullReplication).
+type Strategy struct {
+	// PerNodeModel replicates the network per NUMA node (vs one
+	// machine-shared network).
+	PerNodeModel bool
+	// FullReplication gives every node the whole dataset each epoch
+	// (vs sharding it).
+	FullReplication bool
+}
+
+// Classic is LeCun et al.'s layout: one shared network, sharded data.
+func Classic() Strategy { return Strategy{} }
+
+// DimmWitted is the paper's layout: a network per node, full data.
+func DimmWitted() Strategy { return Strategy{PerNodeModel: true, FullReplication: true} }
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	m, d := "PerMachine", "Sharding"
+	if s.PerNodeModel {
+		m = "PerNode"
+	}
+	if s.FullReplication {
+		d = "FullReplication"
+	}
+	return fmt.Sprintf("%s/%s", m, d)
+}
+
+// Trainer trains a network on a simulated NUMA machine under a
+// strategy, charging per-example costs: the example read, the dense
+// forward read of every parameter, and the dense backward write of
+// every parameter — the fully dense update pattern that makes the
+// machine-shared layout so expensive.
+type Trainer struct {
+	// Net is the combined network (valid after each epoch).
+	Net *Network
+
+	ds       *Dataset
+	strategy Strategy
+	mach     *numa.Machine
+	replicas []*Network
+	regions  []*numa.Region
+	dataRegs []*numa.Region
+	scratch  []*scratch
+	rng      *rand.Rand
+	step     float64
+	decay    float64
+	cumTime  time.Duration
+	examples int64
+	epoch    int
+}
+
+// TrainerConfig parameterises NewTrainer.
+type TrainerConfig struct {
+	// Sizes is the network architecture; nil means LeCunSizes.
+	Sizes []int
+	// Machine is the simulated topology; zero means local2.
+	Machine numa.Topology
+	// Strategy is the tradeoff point.
+	Strategy Strategy
+	// Step is the initial SGD step; 0 means 0.05.
+	Step float64
+	// Decay is the per-epoch step multiplier; 0 means 0.95.
+	Decay float64
+	// Seed drives initialisation and traversal.
+	Seed int64
+}
+
+// NewTrainer builds a trainer for the dataset.
+func NewTrainer(ds *Dataset, cfg TrainerConfig) (*Trainer, error) {
+	if len(ds.Images) == 0 {
+		return nil, fmt.Errorf("nn: empty dataset")
+	}
+	if cfg.Sizes == nil {
+		cfg.Sizes = LeCunSizes()
+	}
+	if len(ds.Images[0]) != cfg.Sizes[0] {
+		return nil, fmt.Errorf("nn: input dim %d != first layer %d", len(ds.Images[0]), cfg.Sizes[0])
+	}
+	if cfg.Machine.Nodes == 0 {
+		cfg.Machine = numa.Local2
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 0.05
+	}
+	if cfg.Decay == 0 {
+		cfg.Decay = 0.95
+	}
+	t := &Trainer{
+		ds:       ds,
+		strategy: cfg.Strategy,
+		mach:     numa.New(cfg.Machine),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		step:     cfg.Step,
+		decay:    cfg.Decay,
+	}
+	proto := NewNetwork(cfg.Sizes, cfg.Seed)
+	t.Net = proto.Clone()
+	paramBytes := int64(proto.NumParams()) * 8
+	dataBytes := int64(len(ds.Images)*cfg.Sizes[0]) * 8
+	if cfg.Strategy.PerNodeModel {
+		for n := 0; n < cfg.Machine.Nodes; n++ {
+			t.replicas = append(t.replicas, proto.Clone())
+			t.regions = append(t.regions,
+				t.mach.NewRegion(fmt.Sprintf("net-n%d", n), paramBytes, n, numa.NodeShared))
+			t.dataRegs = append(t.dataRegs,
+				t.mach.NewRegion(fmt.Sprintf("imgs-n%d", n), dataBytes, n, numa.Private))
+		}
+	} else {
+		t.replicas = []*Network{proto.Clone()}
+		reg := t.mach.NewInterleavedRegion("net", paramBytes, numa.MachineShared)
+		// Back-prop touches every parameter of every layer on every
+		// example: the update is fully dense, so concurrent writers on
+		// different sockets collide constantly.
+		if cfg.Machine.TotalCores() > 1 {
+			reg.WriteCollisionProb = 1
+		}
+		t.regions = []*numa.Region{reg}
+		t.dataRegs = []*numa.Region{t.mach.NewInterleavedRegion("imgs", dataBytes, numa.Private)}
+	}
+	for range t.mach.Cores() {
+		t.scratch = append(t.scratch, newScratch(cfg.Sizes))
+	}
+	return t, nil
+}
+
+// EpochResult reports one training epoch.
+type EpochResult struct {
+	// Epoch is the 1-based epoch count.
+	Epoch int
+	// Loss is the combined network's cross-entropy after the epoch.
+	Loss float64
+	// SimTime is this epoch's simulated duration.
+	SimTime time.Duration
+	// NeuronThroughput is neuron activations computed per simulated
+	// second, Figure 17(b)'s metric.
+	NeuronThroughput float64
+	// Examples is the number of examples processed this epoch.
+	Examples int64
+}
+
+// RunEpoch trains for one epoch and returns its measurements.
+func (t *Trainer) RunEpoch() EpochResult {
+	t.mach.Reset()
+	params := int64(t.Net.NumParams())
+	inputWords := int64(t.Net.Sizes[0])
+	var examples int64
+
+	trainChain := func(rep int, cores []*numa.Core, items []int) {
+		net := t.replicas[rep]
+		for i, ex := range items {
+			core := cores[i%len(cores)]
+			sc := t.scratch[core.ID]
+			touched := net.SGDStep(t.ds.Images[ex], t.ds.Labels[ex], t.step, sc)
+			core.ReadStream(t.dataRegs[rep], inputWords)
+			core.ReadCached(t.regions[rep], params)    // forward + backward read
+			core.Write(t.regions[rep], int64(touched)) // dense gradient write
+			core.Compute(float64(params) * 4)          // multiply-accumulate both passes
+			examples++
+		}
+	}
+
+	if t.strategy.PerNodeModel {
+		for n := range t.replicas {
+			perm := t.rng.Perm(len(t.ds.Images))
+			items := perm
+			if !t.strategy.FullReplication {
+				// Sharded PerNode: node n trains on its slice only.
+				share := len(perm) / len(t.replicas)
+				items = perm[n*share : (n+1)*share]
+			}
+			trainChain(n, t.mach.NodeCores(n), items)
+		}
+		if err := Average(t.Net, t.replicas...); err != nil {
+			panic(err) // unreachable: clones share architecture
+		}
+		for _, r := range t.replicas {
+			if err := Average(r, t.Net); err != nil {
+				panic(err)
+			}
+		}
+	} else {
+		trainChain(0, t.mach.Cores(), t.rng.Perm(len(t.ds.Images)))
+		t.Net = t.replicas[0].Clone()
+	}
+	t.step *= t.decay
+
+	simT := t.mach.SimTime()
+	t.cumTime += simT
+	t.examples += examples
+	t.epoch++
+	neurons := float64(examples) * float64(t.Net.NumNeurons())
+	return EpochResult{
+		Epoch:            t.epoch,
+		Loss:             t.Net.Loss(t.ds),
+		SimTime:          simT,
+		NeuronThroughput: neurons / simT.Seconds(),
+		Examples:         examples,
+	}
+}
+
+// SimTime returns the cumulative simulated training time.
+func (t *Trainer) SimTime() time.Duration { return t.cumTime }

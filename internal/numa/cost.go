@@ -1,0 +1,76 @@
+package numa
+
+// CostModel holds the synthetic per-access costs, expressed in cycles
+// per 8-byte word. The defaults are chosen so that the ratios the paper
+// reports fall out of the model:
+//
+//   - an LLC hit is ~4x cheaper than a local DRAM stream,
+//   - a remote DRAM stream over the QPI is ~2x a local one
+//     (Figure 3 measures 6 GB/s node-local vs 11 GB/s QPI shared by
+//     all cores of a socket),
+//   - a write to machine-shared state costs Alpha() times a read
+//     because the cache-coherence protocol stalls the writer
+//     (Section 3.2 estimates alpha in 4..12, growing with sockets),
+//   - a write to node-shared state pays a small intra-socket coherence
+//     premium but never crosses the QPI.
+type CostModel struct {
+	// ReadLocal is the cost of streaming one word from node-local DRAM.
+	ReadLocal float64
+	// ReadRemote is the cost of streaming one word from another node's
+	// DRAM across the interconnect.
+	ReadRemote float64
+	// ReadLLC is the cost of reading one word that hits the local LLC.
+	ReadLLC float64
+	// ReadLLCRemote is the cost of reading one word from a remote
+	// socket's LLC (coherence traffic over the QPI).
+	ReadLLCRemote float64
+	// WritePrivate is the cost of writing one word to core-private state.
+	WritePrivate float64
+	// WriteNodeShared is the cost of writing one word to state shared
+	// by the cores of one socket (L3-mediated coherence).
+	WriteNodeShared float64
+	// WriteMachineShared is the baseline cost of writing one word to
+	// state shared across sockets when no other socket is writing
+	// concurrently (coherence-light).
+	WriteMachineShared float64
+	// ContentionPenalty scales the extra cost of a machine-shared
+	// write when it collides with a concurrent writer on another
+	// socket: cost += Alpha() * ContentionPenalty * p per word, where
+	// p is the engine's estimated collision probability. Collisions
+	// stall the processor for the full coherence round trip, which is
+	// one to two orders of magnitude beyond a streaming read — this is
+	// what makes PerMachine replication 23x slower per epoch than
+	// PerNode on dense-update workloads (Figure 8b) while leaving
+	// sparse-update workloads (LP/QP) nearly unaffected (Figure 16b).
+	ContentionPenalty float64
+	// SyncPerWord is the cost charged to the averaging worker per word
+	// it ships across sockets when averaging model replicas.
+	SyncPerWord float64
+}
+
+// DefaultCostModel returns the cost model used by all experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ReadLocal:          1.0,
+		ReadRemote:         2.0,
+		ReadLLC:            0.25,
+		ReadLLCRemote:      1.5,
+		WritePrivate:       1.0,
+		WriteNodeShared:    1.6,
+		WriteMachineShared: 1.6,
+		ContentionPenalty:  50,
+		SyncPerWord:        2.0,
+	}
+}
+
+// WordBytes is the size of the unit every cost is charged per: one
+// float64 model/data element.
+const WordBytes = 8
+
+// Words converts a byte count to whole words, rounding up.
+func Words(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + WordBytes - 1) / WordBytes
+}

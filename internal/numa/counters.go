@@ -1,0 +1,61 @@
+package numa
+
+import "fmt"
+
+// Counters mirrors the Intel PMU events the paper measures to explain
+// its results (Section 4.1): local and remote LLC requests, local and
+// remote DRAM requests, plus QPI traffic and coherence invalidations,
+// which the paper discusses qualitatively. All values count 8-byte
+// words (or events, for Invalidations).
+type Counters struct {
+	// LocalDRAM counts words streamed from the accessing core's own
+	// node DRAM.
+	LocalDRAM int64
+	// RemoteDRAM counts words streamed from another node's DRAM.
+	RemoteDRAM int64
+	// LocalLLC counts words served by the accessing core's socket LLC.
+	LocalLLC int64
+	// RemoteLLC counts words served by another socket's LLC.
+	RemoteLLC int64
+	// QPIWords counts words that crossed the inter-socket interconnect
+	// for any reason (remote reads, coherence, model averaging).
+	QPIWords int64
+	// Invalidations counts cacheline-invalidation events caused by
+	// writes to state shared across sockets.
+	Invalidations int64
+	// WriteWords counts all words written, regardless of placement.
+	WriteWords int64
+	// ReadWords counts all words read, regardless of placement.
+	ReadWords int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.LocalDRAM += other.LocalDRAM
+	c.RemoteDRAM += other.RemoteDRAM
+	c.LocalLLC += other.LocalLLC
+	c.RemoteLLC += other.RemoteLLC
+	c.QPIWords += other.QPIWords
+	c.Invalidations += other.Invalidations
+	c.WriteWords += other.WriteWords
+	c.ReadWords += other.ReadWords
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// CrossNodeDRAMRatio returns RemoteDRAM / LocalDRAM, the statistic
+// behind the paper's "11x more cross-node DRAM requests" observation.
+// It returns 0 when no local DRAM traffic was recorded.
+func (c *Counters) CrossNodeDRAMRatio() float64 {
+	if c.LocalDRAM == 0 {
+		return 0
+	}
+	return float64(c.RemoteDRAM) / float64(c.LocalDRAM)
+}
+
+// String implements fmt.Stringer with a compact one-line summary.
+func (c Counters) String() string {
+	return fmt.Sprintf("dram(local=%d remote=%d) llc(local=%d remote=%d) qpi=%d inval=%d rw=(%d/%d)",
+		c.LocalDRAM, c.RemoteDRAM, c.LocalLLC, c.RemoteLLC, c.QPIWords, c.Invalidations, c.ReadWords, c.WriteWords)
+}

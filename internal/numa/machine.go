@@ -1,0 +1,312 @@
+package numa
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sharing describes who may mutate a memory region, which determines
+// the coherence cost of writes. It corresponds to the granularities of
+// model replication in the paper (Section 3.3): core-private replicas
+// (PerCore), a replica shared by one socket (PerNode), and a single
+// machine-wide replica (PerMachine).
+type Sharing int
+
+const (
+	// Private state is written by exactly one core; writes are cheap.
+	Private Sharing = iota
+	// NodeShared state is written by the cores of one socket; writes
+	// pay an intra-socket (L3) coherence premium.
+	NodeShared
+	// MachineShared state is written by cores on several sockets;
+	// every write pays the alpha contention factor and generates
+	// cross-socket invalidation traffic.
+	MachineShared
+)
+
+// String implements fmt.Stringer.
+func (s Sharing) String() string {
+	switch s {
+	case Private:
+		return "private"
+	case NodeShared:
+		return "node-shared"
+	case MachineShared:
+		return "machine-shared"
+	default:
+		return fmt.Sprintf("Sharing(%d)", int(s))
+	}
+}
+
+// InterleavedHome is the Home value of a region whose pages are
+// interleaved round-robin across all nodes (the OS default for large
+// shared allocations).
+const InterleavedHome = -1
+
+// Region is a simulated memory allocation: a size, a home node (or
+// InterleavedHome), and a sharing level. Regions do not hold data —
+// real Go slices hold the data — they only exist so that accesses can
+// be charged placement-dependent costs.
+type Region struct {
+	// Name labels the region in diagnostics.
+	Name string
+	// Home is the node whose DRAM holds the region, or InterleavedHome.
+	Home int
+	// Bytes is the allocation size, used to decide LLC residency.
+	Bytes int64
+	// Sharing is the mutation scope; see the Sharing constants.
+	Sharing Sharing
+	// WriteCollisionProb is the estimated probability that a write to
+	// this region collides with a concurrent write from another
+	// socket. Only meaningful for MachineShared regions; the engine
+	// sets it from the number of concurrent writers and the update
+	// footprint relative to the region size.
+	WriteCollisionProb float64
+}
+
+// FitsLLC reports whether the region fits in one socket's last-level
+// cache, in which case repeated (cached) reads are served from the LLC.
+func (r *Region) FitsLLC(t Topology) bool { return r.Bytes <= t.LLCBytes() }
+
+// Machine is a simulated NUMA machine: a topology, a cost model, and a
+// set of logical cores that accumulate synthetic cycles and PMU-style
+// counters as the engine charges memory accesses to them.
+//
+// A Machine is not safe for concurrent use by multiple goroutines
+// except that distinct cores may be charged concurrently as long as
+// each core is driven by a single goroutine.
+type Machine struct {
+	// Top is the machine shape.
+	Top Topology
+	// Cost is the per-access cost table.
+	Cost CostModel
+
+	cores      []*Core
+	background []*Core
+}
+
+// Core is one logical core of a simulated machine. Accesses charged to
+// the core accumulate cycles (converted to synthetic time) and PMU
+// counters. Each Core must be driven by at most one goroutine.
+type Core struct {
+	// ID is the core index in [0, Top.TotalCores()), or negative for
+	// background (helper-thread) cores.
+	ID int
+	// Node is the socket the core belongs to.
+	Node int
+	// Cycles is the synthetic cycle count accumulated so far.
+	Cycles float64
+	// Ctr holds the PMU-style counters for this core.
+	Ctr Counters
+
+	m *Machine
+}
+
+// New creates a simulated machine with the given topology and the
+// default cost model. Cores are numbered node-major: core i lives on
+// node i / CoresPerNode.
+func New(top Topology) *Machine {
+	return NewWithCost(top, DefaultCostModel())
+}
+
+// NewWithCost creates a simulated machine with an explicit cost model.
+func NewWithCost(top Topology, cost CostModel) *Machine {
+	m := &Machine{Top: top, Cost: cost}
+	m.cores = make([]*Core, top.TotalCores())
+	for i := range m.cores {
+		m.cores[i] = &Core{ID: i, Node: i / top.CoresPerNode, m: m}
+	}
+	return m
+}
+
+// Core returns core i. It panics if i is out of range, as that is
+// always a programming error in the engine.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Cores returns all foreground cores in ID order. The returned slice
+// must not be modified.
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// NodeCores returns the foreground cores of one node in ID order.
+func (m *Machine) NodeCores(node int) []*Core {
+	per := m.Top.CoresPerNode
+	return m.cores[node*per : (node+1)*per]
+}
+
+// NewBackgroundCore allocates an extra core on the given node that does
+// not occupy a foreground worker slot. The paper's asynchronous model-
+// averaging runs on such a helper thread. Background cores participate
+// in MaxCycles/SimTime like foreground cores.
+func (m *Machine) NewBackgroundCore(node int) *Core {
+	c := &Core{ID: -(len(m.background) + 1), Node: node, m: m}
+	m.background = append(m.background, c)
+	return c
+}
+
+// NewRegion allocates a simulated region homed on one node.
+func (m *Machine) NewRegion(name string, bytes int64, home int, sharing Sharing) *Region {
+	if home != InterleavedHome && (home < 0 || home >= m.Top.Nodes) {
+		panic(fmt.Sprintf("numa: region %q homed on node %d of %d", name, home, m.Top.Nodes))
+	}
+	return &Region{Name: name, Home: home, Bytes: bytes, Sharing: sharing}
+}
+
+// NewInterleavedRegion allocates a simulated region whose pages are
+// spread round-robin across all nodes, like the OS default placement
+// the paper's appendix calls the "OS" protocol.
+func (m *Machine) NewInterleavedRegion(name string, bytes int64, sharing Sharing) *Region {
+	return &Region{Name: name, Home: InterleavedHome, Bytes: bytes, Sharing: sharing}
+}
+
+// Reset zeroes all core cycles and counters, so the next accesses are
+// measured from a clean slate (used between epochs).
+func (m *Machine) Reset() {
+	for _, c := range m.cores {
+		c.Cycles = 0
+		c.Ctr.Reset()
+	}
+	for _, c := range m.background {
+		c.Cycles = 0
+		c.Ctr.Reset()
+	}
+}
+
+// MaxCycles returns the largest cycle count over the foreground cores,
+// i.e. the critical path of a phase in which all workers run in
+// parallel. Background cores are excluded: they model asynchronous
+// helpers (the model-averaging thread) that overlap with the workers
+// and never gate an epoch — the precise point of the paper's
+// "batch writes across sockets without impeding throughput" design.
+// Their traffic still lands in Counters.
+func (m *Machine) MaxCycles() float64 {
+	var max float64
+	for _, c := range m.cores {
+		if c.Cycles > max {
+			max = c.Cycles
+		}
+	}
+	return max
+}
+
+// SimTime converts MaxCycles to synthetic wall-clock time using the
+// topology's core clock.
+func (m *Machine) SimTime() time.Duration {
+	ns := m.MaxCycles() / m.Top.ClockGHz
+	return time.Duration(ns * float64(time.Nanosecond))
+}
+
+// Counters returns the sum of all cores' counters.
+func (m *Machine) Counters() Counters {
+	var total Counters
+	for _, c := range m.cores {
+		total.Add(c.Ctr)
+	}
+	for _, c := range m.background {
+		total.Add(c.Ctr)
+	}
+	return total
+}
+
+// local reports whether the region's DRAM is on the core's node for a
+// given access; for interleaved regions a 1/Nodes fraction is local.
+func (c *Core) localFraction(r *Region) float64 {
+	if r.Home == InterleavedHome {
+		return 1.0 / float64(c.m.Top.Nodes)
+	}
+	if r.Home == c.Node {
+		return 1
+	}
+	return 0
+}
+
+// ReadStream charges a streaming read of the given number of words,
+// served from DRAM (it never hits the LLC; use ReadCached for state
+// small and hot enough to be cache-resident).
+func (c *Core) ReadStream(r *Region, words int64) {
+	if words <= 0 {
+		return
+	}
+	f := c.localFraction(r)
+	localWords := int64(f * float64(words))
+	remoteWords := words - localWords
+	c.Cycles += float64(localWords)*c.m.Cost.ReadLocal + float64(remoteWords)*c.m.Cost.ReadRemote
+	c.Ctr.LocalDRAM += localWords
+	c.Ctr.RemoteDRAM += remoteWords
+	c.Ctr.QPIWords += remoteWords
+	c.Ctr.ReadWords += words
+}
+
+// ReadCached charges a read of hot state: if the region fits in one
+// socket's LLC it is served from cache (local or remote depending on
+// the region's home), otherwise it degrades to a DRAM stream.
+func (c *Core) ReadCached(r *Region, words int64) {
+	if words <= 0 {
+		return
+	}
+	if !r.FitsLLC(c.m.Top) {
+		c.ReadStream(r, words)
+		return
+	}
+	// Machine-shared cached state migrates between sockets; reads by a
+	// core whose socket is not the region's home go across the QPI.
+	homeLocal := r.Home == c.Node || (r.Home == InterleavedHome && c.m.Top.Nodes == 1)
+	if r.Sharing == NodeShared {
+		// A node-shared replica is cached in its own socket's LLC.
+		homeLocal = r.Home == c.Node
+	}
+	if homeLocal {
+		c.Cycles += float64(words) * c.m.Cost.ReadLLC
+		c.Ctr.LocalLLC += words
+	} else {
+		c.Cycles += float64(words) * c.m.Cost.ReadLLCRemote
+		c.Ctr.RemoteLLC += words
+		c.Ctr.QPIWords += words
+	}
+	c.Ctr.ReadWords += words
+}
+
+// Write charges a write of the given number of words. Cost depends on
+// the region's sharing level: machine-shared writes pay the topology's
+// alpha contention factor and emit cross-socket invalidations.
+func (c *Core) Write(r *Region, words int64) {
+	if words <= 0 {
+		return
+	}
+	cost := &c.m.Cost
+	switch r.Sharing {
+	case Private:
+		c.Cycles += float64(words) * cost.WritePrivate
+	case NodeShared:
+		c.Cycles += float64(words) * cost.WriteNodeShared
+	case MachineShared:
+		alpha := c.m.Top.Alpha()
+		perWord := cost.WriteMachineShared +
+			alpha*cost.ContentionPenalty*r.WriteCollisionProb
+		c.Cycles += float64(words) * perWord
+		c.Ctr.Invalidations += int64(float64(words)*r.WriteCollisionProb + 0.5)
+		c.Ctr.QPIWords += words
+	}
+	if r.Home != InterleavedHome && r.Home != c.Node && r.Sharing != MachineShared {
+		// Writing to a replica homed on another socket still crosses
+		// the interconnect even without multi-writer contention.
+		c.Ctr.QPIWords += words
+	}
+	c.Ctr.WriteWords += words
+}
+
+// Compute charges pure ALU work (gradient arithmetic) that involves no
+// memory placement effects.
+func (c *Core) Compute(cycles float64) {
+	if cycles > 0 {
+		c.Cycles += cycles
+	}
+}
+
+// ThroughputGBps converts bytes processed during a simulated duration
+// into the GB/s figure the paper's Figure 13 reports.
+func ThroughputGBps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e9
+}

@@ -1,0 +1,396 @@
+package numa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTopologyCatalog(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 5 {
+		t.Fatalf("Machines() returned %d topologies, want 5", len(ms))
+	}
+	for _, top := range ms {
+		if err := top.Validate(); err != nil {
+			t.Errorf("topology %s invalid: %v", top.Name, err)
+		}
+	}
+}
+
+func TestTopologyFigure3Values(t *testing.T) {
+	// Spot-check against Figure 3 of the paper.
+	cases := []struct {
+		top   Topology
+		nodes int
+		cores int
+		llc   int
+	}{
+		{Local2, 2, 6, 12},
+		{Local4, 4, 10, 24},
+		{Local8, 8, 8, 24},
+		{EC21, 2, 8, 20},
+		{EC22, 2, 8, 20},
+	}
+	for _, c := range cases {
+		if c.top.Nodes != c.nodes || c.top.CoresPerNode != c.cores || c.top.LLCMB != c.llc {
+			t.Errorf("%s = (%d nodes, %d cores, %d MB), want (%d, %d, %d)",
+				c.top.Name, c.top.Nodes, c.top.CoresPerNode, c.top.LLCMB, c.nodes, c.cores, c.llc)
+		}
+	}
+}
+
+func TestTotalCores(t *testing.T) {
+	if got := Local2.TotalCores(); got != 12 {
+		t.Errorf("local2 TotalCores = %d, want 12", got)
+	}
+	if got := Local4.TotalCores(); got != 40 {
+		t.Errorf("local4 TotalCores = %d, want 40", got)
+	}
+	if got := Local8.TotalCores(); got != 64 {
+		t.Errorf("local8 TotalCores = %d, want 64", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	top, err := ByName("local4")
+	if err != nil {
+		t.Fatalf("ByName(local4): %v", err)
+	}
+	if top.Nodes != 4 {
+		t.Errorf("local4 nodes = %d, want 4", top.Nodes)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded, want error")
+	}
+}
+
+func TestAlphaGrowsWithSockets(t *testing.T) {
+	// Section 3.2: alpha ~ 4 on local2, ~ 12 on local8, growing with
+	// the socket count.
+	a2, a4, a8 := Local2.Alpha(), Local4.Alpha(), Local8.Alpha()
+	if a2 != 4 {
+		t.Errorf("local2 alpha = %v, want 4", a2)
+	}
+	if a8 != 12 {
+		t.Errorf("local8 alpha = %v, want 12", a8)
+	}
+	if !(a2 < a4 && a4 < a8) {
+		t.Errorf("alpha not increasing: %v, %v, %v", a2, a4, a8)
+	}
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	bad := []Topology{
+		{Name: "zero-nodes", Nodes: 0, CoresPerNode: 4, ClockGHz: 2, LLCMB: 8},
+		{Name: "zero-cores", Nodes: 2, CoresPerNode: 0, ClockGHz: 2, LLCMB: 8},
+		{Name: "zero-clock", Nodes: 2, CoresPerNode: 4, ClockGHz: 0, LLCMB: 8},
+		{Name: "zero-llc", Nodes: 2, CoresPerNode: 4, ClockGHz: 2, LLCMB: 0},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%s) = nil, want error", b.Name)
+		}
+	}
+}
+
+func TestCoreNodeAssignment(t *testing.T) {
+	m := New(Local2)
+	for i, c := range m.Cores() {
+		wantNode := i / Local2.CoresPerNode
+		if c.Node != wantNode {
+			t.Errorf("core %d on node %d, want %d", i, c.Node, wantNode)
+		}
+	}
+	if got := len(m.NodeCores(1)); got != Local2.CoresPerNode {
+		t.Errorf("NodeCores(1) has %d cores, want %d", got, Local2.CoresPerNode)
+	}
+	for _, c := range m.NodeCores(1) {
+		if c.Node != 1 {
+			t.Errorf("NodeCores(1) returned core %d on node %d", c.ID, c.Node)
+		}
+	}
+}
+
+func TestReadStreamLocalVsRemote(t *testing.T) {
+	m := New(Local2)
+	local := m.NewRegion("local", 1<<30, 0, Private)
+	remote := m.NewRegion("remote", 1<<30, 1, Private)
+
+	c := m.Core(0) // node 0
+	c.ReadStream(local, 1000)
+	localCycles := c.Cycles
+	if c.Ctr.LocalDRAM != 1000 || c.Ctr.RemoteDRAM != 0 {
+		t.Errorf("local read counters = %+v", c.Ctr)
+	}
+
+	m.Reset()
+	c.ReadStream(remote, 1000)
+	remoteCycles := c.Cycles
+	if c.Ctr.RemoteDRAM != 1000 || c.Ctr.LocalDRAM != 0 {
+		t.Errorf("remote read counters = %+v", c.Ctr)
+	}
+	if c.Ctr.QPIWords != 1000 {
+		t.Errorf("remote read QPIWords = %d, want 1000", c.Ctr.QPIWords)
+	}
+	if remoteCycles <= localCycles {
+		t.Errorf("remote read (%v cycles) not more expensive than local (%v)", remoteCycles, localCycles)
+	}
+}
+
+func TestInterleavedRegionSplitsTraffic(t *testing.T) {
+	m := New(Local4) // 4 nodes => 1/4 local
+	r := m.NewInterleavedRegion("data", 1<<30, Private)
+	c := m.Core(0)
+	c.ReadStream(r, 4000)
+	if c.Ctr.LocalDRAM != 1000 {
+		t.Errorf("interleaved LocalDRAM = %d, want 1000", c.Ctr.LocalDRAM)
+	}
+	if c.Ctr.RemoteDRAM != 3000 {
+		t.Errorf("interleaved RemoteDRAM = %d, want 3000", c.Ctr.RemoteDRAM)
+	}
+}
+
+func TestReadCachedHitsLLCWhenFits(t *testing.T) {
+	m := New(Local2)
+	small := m.NewRegion("model", 1<<20, 0, NodeShared) // 1 MB < 12 MB LLC
+	big := m.NewRegion("data", 1<<30, 0, Private)       // 1 GB > LLC
+
+	c := m.Core(0)
+	c.ReadCached(small, 100)
+	if c.Ctr.LocalLLC != 100 || c.Ctr.LocalDRAM != 0 {
+		t.Errorf("small cached read counters = %+v", c.Ctr)
+	}
+	llcCycles := c.Cycles
+
+	m.Reset()
+	c.ReadCached(big, 100)
+	if c.Ctr.LocalDRAM != 100 || c.Ctr.LocalLLC != 0 {
+		t.Errorf("big cached read fell back wrong: %+v", c.Ctr)
+	}
+	if c.Cycles <= llcCycles {
+		t.Errorf("DRAM fallback (%v) not more expensive than LLC hit (%v)", c.Cycles, llcCycles)
+	}
+}
+
+func TestReadCachedRemoteLLC(t *testing.T) {
+	m := New(Local2)
+	// Node-shared replica homed on node 1, read by a node-0 core.
+	r := m.NewRegion("replica1", 1<<20, 1, NodeShared)
+	c := m.Core(0)
+	c.ReadCached(r, 50)
+	if c.Ctr.RemoteLLC != 50 {
+		t.Errorf("RemoteLLC = %d, want 50", c.Ctr.RemoteLLC)
+	}
+	if c.Ctr.QPIWords != 50 {
+		t.Errorf("QPIWords = %d, want 50", c.Ctr.QPIWords)
+	}
+}
+
+func TestWriteCostOrdering(t *testing.T) {
+	// The heart of the model-replication tradeoff: private writes <
+	// node-shared writes < machine-shared writes, and machine-shared
+	// writes are more expensive on machines with more sockets.
+	cost := func(top Topology, s Sharing, collision float64) float64 {
+		m := New(top)
+		r := m.NewRegion("x", 1<<20, 0, s)
+		r.WriteCollisionProb = collision
+		c := m.Core(0)
+		c.Write(r, 1000)
+		return c.Cycles
+	}
+	p := cost(Local2, Private, 0)
+	n := cost(Local2, NodeShared, 0)
+	g2 := cost(Local2, MachineShared, 0.3)
+	g8 := cost(Local8, MachineShared, 0.3)
+	if !(p < n && n < g2) {
+		t.Errorf("write cost ordering violated: private=%v nodeShared=%v machineShared=%v", p, n, g2)
+	}
+	if g8 <= g2 {
+		t.Errorf("8-socket contended write (%v) not more expensive than 2-socket (%v)", g8, g2)
+	}
+	// An uncontended machine-shared write costs the same as a
+	// node-shared one: single-threaded DimmWitted "has the same
+	// implementation as Hogwild!" (Section 4.2).
+	if got := cost(Local2, MachineShared, 0); got != n {
+		t.Errorf("uncontended machine-shared write = %v, want %v", got, n)
+	}
+	// Sparse updates (low collision) are barely penalised relative to
+	// dense ones (Figure 16b's mechanism).
+	sparse := cost(Local2, MachineShared, 0.01)
+	dense := cost(Local2, MachineShared, 0.5)
+	if dense < 10*sparse {
+		t.Errorf("dense contended write (%v) should dwarf sparse (%v)", dense, sparse)
+	}
+}
+
+func TestMachineSharedWritesEmitInvalidations(t *testing.T) {
+	m := New(Local2)
+	r := m.NewRegion("shared", 1<<20, 0, MachineShared)
+	r.WriteCollisionProb = 0.5
+	c := m.Core(7) // node 1
+	c.Write(r, 42)
+	if c.Ctr.Invalidations != 21 {
+		t.Errorf("Invalidations = %d, want 21 (collision-scaled)", c.Ctr.Invalidations)
+	}
+	if c.Ctr.QPIWords != 42 {
+		t.Errorf("QPIWords = %d, want 42", c.Ctr.QPIWords)
+	}
+}
+
+func TestWriteToRemoteHomedReplicaCrossesQPI(t *testing.T) {
+	m := New(Local2)
+	r := m.NewRegion("replica", 1<<20, 1, NodeShared)
+	c := m.Core(0) // node 0 writing to node-1-homed replica
+	c.Write(r, 10)
+	if c.Ctr.QPIWords != 10 {
+		t.Errorf("QPIWords = %d, want 10", c.Ctr.QPIWords)
+	}
+}
+
+func TestMaxCyclesAndSimTime(t *testing.T) {
+	m := New(Local2)
+	r := m.NewRegion("d", 1<<30, 0, Private)
+	m.Core(0).ReadStream(r, 100)
+	m.Core(1).ReadStream(r, 300)
+	want := m.Core(1).Cycles
+	if got := m.MaxCycles(); got != want {
+		t.Errorf("MaxCycles = %v, want %v", got, want)
+	}
+	if m.SimTime() <= 0 {
+		t.Error("SimTime not positive after work")
+	}
+	m.Reset()
+	if m.MaxCycles() != 0 {
+		t.Error("MaxCycles nonzero after Reset")
+	}
+}
+
+func TestBackgroundCoreOffCriticalPathButCounted(t *testing.T) {
+	m := New(Local2)
+	bg := m.NewBackgroundCore(0)
+	if bg.ID >= 0 {
+		t.Errorf("background core ID = %d, want negative", bg.ID)
+	}
+	// Background (asynchronous helper) work never gates an epoch...
+	bg.Compute(1e6)
+	if m.MaxCycles() != 0 {
+		t.Errorf("MaxCycles = %v, want 0: background cores must not gate the critical path", m.MaxCycles())
+	}
+	// ...but its memory traffic still shows up in the counters.
+	r := m.NewRegion("x", 8, 1, Private)
+	bg.Write(r, 1)
+	if got := m.Counters().WriteWords; got != 1 {
+		t.Errorf("background write not counted: %d", got)
+	}
+	m.Reset()
+	if bg.Cycles != 0 {
+		t.Error("Reset skipped background core")
+	}
+}
+
+func TestCountersAddAndReset(t *testing.T) {
+	a := Counters{LocalDRAM: 1, RemoteDRAM: 2, LocalLLC: 3, RemoteLLC: 4, QPIWords: 5, Invalidations: 6, WriteWords: 7, ReadWords: 8}
+	var b Counters
+	b.Add(a)
+	b.Add(a)
+	if b.LocalDRAM != 2 || b.RemoteDRAM != 4 || b.QPIWords != 10 || b.ReadWords != 16 {
+		t.Errorf("Add wrong: %+v", b)
+	}
+	b.Reset()
+	if b != (Counters{}) {
+		t.Errorf("Reset left %+v", b)
+	}
+}
+
+func TestCrossNodeDRAMRatio(t *testing.T) {
+	c := Counters{LocalDRAM: 10, RemoteDRAM: 110}
+	if got := c.CrossNodeDRAMRatio(); math.Abs(got-11) > 1e-12 {
+		t.Errorf("ratio = %v, want 11", got)
+	}
+	zero := Counters{}
+	if zero.CrossNodeDRAMRatio() != 0 {
+		t.Error("zero counters ratio should be 0")
+	}
+}
+
+func TestThroughputGBps(t *testing.T) {
+	got := ThroughputGBps(2e9, time.Second)
+	if math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("ThroughputGBps = %v, want 2", got)
+	}
+	if ThroughputGBps(1, 0) != 0 {
+		t.Error("zero duration should yield 0 throughput")
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct{ bytes, want int64 }{
+		{0, 0}, {-5, 0}, {1, 1}, {8, 1}, {9, 2}, {16, 2}, {17, 3},
+	}
+	for _, c := range cases {
+		if got := Words(c.bytes); got != c.want {
+			t.Errorf("Words(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestSharingString(t *testing.T) {
+	if Private.String() != "private" || NodeShared.String() != "node-shared" || MachineShared.String() != "machine-shared" {
+		t.Error("Sharing.String wrong")
+	}
+	if Sharing(99).String() == "" {
+		t.Error("unknown sharing should still stringify")
+	}
+}
+
+func TestNewRegionPanicsOnBadHome(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRegion with bad home did not panic")
+		}
+	}()
+	m := New(Local2)
+	m.NewRegion("bad", 8, 5, Private)
+}
+
+// Property: streaming-read cycle cost is additive and monotone in the
+// number of words, for any placement.
+func TestReadStreamAdditiveProperty(t *testing.T) {
+	f := func(w1, w2 uint16, homeSel uint8) bool {
+		m := New(Local2)
+		home := int(homeSel) % 2
+		r := m.NewRegion("r", 1<<30, home, Private)
+		c := m.Core(0)
+		c.ReadStream(r, int64(w1))
+		c.ReadStream(r, int64(w2))
+		split := c.Cycles
+		m.Reset()
+		c.ReadStream(r, int64(w1)+int64(w2))
+		joint := c.Cycles
+		return math.Abs(split-joint) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counters never go negative and reads+writes are conserved.
+func TestCounterConservationProperty(t *testing.T) {
+	f := func(reads, writes uint16) bool {
+		m := New(Local4)
+		r := m.NewInterleavedRegion("r", 1<<30, MachineShared)
+		c := m.Core(3)
+		c.ReadStream(r, int64(reads))
+		c.Write(r, int64(writes))
+		ctr := c.Ctr
+		if ctr.ReadWords != int64(reads) || ctr.WriteWords != int64(writes) {
+			return false
+		}
+		return ctr.LocalDRAM+ctr.RemoteDRAM == int64(reads)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

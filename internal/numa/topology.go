@@ -1,0 +1,114 @@
+// Package numa simulates a non-uniform memory access (NUMA) machine.
+//
+// The DimmWitted paper's hardware-efficiency results depend on pinning
+// workers to cores, placing memory on specific sockets, and reading PMU
+// counters. None of that is controllable from portable Go, so this
+// package provides a deterministic cost simulator instead: logical
+// cores accumulate synthetic cycles for every memory access, charged
+// according to where the accessed region lives (same node, remote node,
+// last-level cache) and how it is shared (private, node-shared,
+// machine-shared). The per-access costs follow the paper's own cost
+// model (Figure 6): reads are proportional to bytes moved, writes to
+// shared state carry a contention factor alpha that grows with the
+// number of sockets (alpha ~ 4 on a 2-socket box, ~ 12 on 8 sockets).
+//
+// Simulated time is reported in nanoseconds of a synthetic clock; the
+// absolute values are meaningless, but ratios between strategies
+// reproduce the shape of the paper's measurements.
+package numa
+
+import "fmt"
+
+// Topology describes the static shape of a NUMA machine: how many
+// sockets (nodes), how many cores each socket carries, and the sizes
+// that matter for the cost model. The five predefined topologies mirror
+// Figure 3 of the paper.
+type Topology struct {
+	// Name is the short machine name used throughout the paper
+	// (local2, local4, local8, ec2.1, ec2.2).
+	Name string
+	// Nodes is the number of NUMA nodes (sockets).
+	Nodes int
+	// CoresPerNode is the number of physical cores on each socket.
+	CoresPerNode int
+	// RAMPerNodeGB is the DRAM directly attached to each socket.
+	RAMPerNodeGB int
+	// ClockGHz is the core clock; simulated cycles are divided by it
+	// to produce synthetic nanoseconds.
+	ClockGHz float64
+	// LLCMB is the size of the shared last-level cache per socket.
+	LLCMB int
+}
+
+// TotalCores returns the number of cores across all nodes.
+func (t Topology) TotalCores() int { return t.Nodes * t.CoresPerNode }
+
+// LLCBytes returns the last-level cache capacity of one socket in bytes.
+func (t Topology) LLCBytes() int64 { return int64(t.LLCMB) << 20 }
+
+// Alpha is the write-contention cost factor of the paper's cost model
+// (Section 3.2): the average ratio between the cost of a contended
+// write to machine-shared state and a streaming read. The paper reports
+// alpha ~= 4 for two sockets growing to ~= 12 for eight; we interpolate
+// linearly at 1.33 per additional socket beyond two.
+func (t Topology) Alpha() float64 {
+	if t.Nodes <= 2 {
+		return 4
+	}
+	a := 4 + float64(t.Nodes-2)*8.0/6.0
+	if a > 12 {
+		return 12
+	}
+	return a
+}
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	return fmt.Sprintf("%s(%dx%d cores, %dMB LLC, %.1fGHz)",
+		t.Name, t.Nodes, t.CoresPerNode, t.LLCMB, t.ClockGHz)
+}
+
+// Validate reports an error if the topology is not usable.
+func (t Topology) Validate() error {
+	switch {
+	case t.Nodes <= 0:
+		return fmt.Errorf("numa: topology %q has %d nodes", t.Name, t.Nodes)
+	case t.CoresPerNode <= 0:
+		return fmt.Errorf("numa: topology %q has %d cores/node", t.Name, t.CoresPerNode)
+	case t.ClockGHz <= 0:
+		return fmt.Errorf("numa: topology %q has clock %.2f GHz", t.Name, t.ClockGHz)
+	case t.LLCMB <= 0:
+		return fmt.Errorf("numa: topology %q has %d MB LLC", t.Name, t.LLCMB)
+	}
+	return nil
+}
+
+// The five machine configurations evaluated in the paper (Figure 3).
+var (
+	// Local2 is the paper's local2: 2 nodes x 6 cores, 32 GB/node,
+	// 2.6 GHz, 12 MB LLC. End-to-end numbers (Figure 11) use it.
+	Local2 = Topology{Name: "local2", Nodes: 2, CoresPerNode: 6, RAMPerNodeGB: 32, ClockGHz: 2.6, LLCMB: 12}
+	// Local4 is the paper's local4: 4 nodes x 10 cores.
+	Local4 = Topology{Name: "local4", Nodes: 4, CoresPerNode: 10, RAMPerNodeGB: 64, ClockGHz: 2.0, LLCMB: 24}
+	// Local8 is the paper's local8: 8 nodes x 8 cores.
+	Local8 = Topology{Name: "local8", Nodes: 8, CoresPerNode: 8, RAMPerNodeGB: 128, ClockGHz: 2.6, LLCMB: 24}
+	// EC21 is the paper's ec2.1 Amazon configuration.
+	EC21 = Topology{Name: "ec2.1", Nodes: 2, CoresPerNode: 8, RAMPerNodeGB: 122, ClockGHz: 2.6, LLCMB: 20}
+	// EC22 is the paper's ec2.2 Amazon configuration.
+	EC22 = Topology{Name: "ec2.2", Nodes: 2, CoresPerNode: 8, RAMPerNodeGB: 30, ClockGHz: 2.6, LLCMB: 20}
+)
+
+// Machines returns the paper's five topologies in Figure 3 order.
+func Machines() []Topology {
+	return []Topology{Local2, Local4, Local8, EC21, EC22}
+}
+
+// ByName looks a predefined topology up by its paper name.
+func ByName(name string) (Topology, error) {
+	for _, t := range Machines() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Topology{}, fmt.Errorf("numa: unknown machine %q (want one of local2, local4, local8, ec2.1, ec2.2)", name)
+}

@@ -1,0 +1,287 @@
+// Package opt implements the remaining row-wise first-order methods
+// the paper names alongside SGD (Section 2.1: "gradient descent, and
+// higher-order methods (such as l-BFGS)" all use the row-wise access
+// method): full-batch gradient descent, L-BFGS with backtracking line
+// search, and mini-batch SGD (the MLlib execution model, exposed here
+// as a library method rather than a baseline emulation).
+//
+// All methods drive the same model specifications as the engine, so
+// they apply to any spec whose row step is linear in the step size
+// (SVM, LR, LS — the supervised models). Their per-epoch data traffic
+// is identical to an SGD epoch (one row-wise pass), so the engine's
+// hardware-efficiency analysis carries over unchanged; what differs is
+// statistical efficiency, which these implementations measure in
+// epochs.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/metrics"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/vec"
+)
+
+// gradientCapable lists the specs whose RowStep displacement equals
+// −step·∇loss on the example's support (linear in step, no
+// projection). LP/QP clamp their iterates, so the trick is invalid.
+func gradientCapable(spec model.Spec) error {
+	switch spec.Name() {
+	case "svm", "lr", "ls":
+		return nil
+	default:
+		return fmt.Errorf("opt: %s's row step is not linear in the step size", spec.Name())
+	}
+}
+
+// Gradient accumulates the batch gradient of the spec's loss at x over
+// the given rows into grad (which it zeroes first): grad = (1/|rows|)
+// Σ ∇loss_i(x). It extracts per-example gradients by applying one
+// unit-step row update to a scratch replica and reading the
+// displacement, then restoring the support.
+func Gradient(spec model.Spec, ds *data.Dataset, x []float64, rows []int, grad []float64) error {
+	if err := gradientCapable(spec); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("opt: empty row set")
+	}
+	for j := range grad {
+		grad[j] = 0
+	}
+	scratch := spec.NewReplica(ds)
+	copy(scratch.X, x)
+	saved := make([]float64, 0, 256)
+	for _, i := range rows {
+		idx, _ := ds.A.Row(i)
+		saved = saved[:0]
+		for _, j := range idx {
+			saved = append(saved, scratch.X[j])
+		}
+		spec.RowStep(ds, i, scratch, 1.0)
+		for k, j := range idx {
+			// displacement = -gradient component
+			grad[j] -= scratch.X[j] - saved[k]
+			scratch.X[j] = saved[k]
+		}
+	}
+	inv := 1 / float64(len(rows))
+	for j := range grad {
+		grad[j] *= inv
+	}
+	return nil
+}
+
+// allRows returns [0, n).
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// Result is the outcome of an optimizer run.
+type Result struct {
+	// X is the final model.
+	X []float64
+	// Curve is the loss trajectory (one point per epoch).
+	Curve *metrics.Curve
+}
+
+// GD is full-batch gradient descent with a fixed step size.
+type GD struct {
+	// Step is the step size; 0 means 1.0.
+	Step float64
+}
+
+// Run performs epochs full-gradient steps and returns the trajectory.
+func (g *GD) Run(spec model.Spec, ds *data.Dataset, epochs int) (*Result, error) {
+	if err := gradientCapable(spec); err != nil {
+		return nil, err
+	}
+	step := g.Step
+	if step == 0 {
+		step = 1.0
+	}
+	x := spec.NewReplica(ds).X
+	grad := make([]float64, len(x))
+	rows := allRows(ds.Rows())
+	curve := &metrics.Curve{Name: "gd"}
+	for e := 1; e <= epochs; e++ {
+		if err := Gradient(spec, ds, x, rows, grad); err != nil {
+			return nil, err
+		}
+		vec.AXPY(-step, grad, x)
+		if err := curve.Append(metrics.Point{Epoch: e, Time: time.Duration(e), Loss: spec.Loss(ds, x)}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{X: x, Curve: curve}, nil
+}
+
+// LBFGS is the limited-memory BFGS quasi-Newton method with an Armijo
+// backtracking line search. One iteration costs one full gradient pass
+// plus a handful of loss evaluations — all row-wise scans.
+type LBFGS struct {
+	// M is the history length; 0 means 5.
+	M int
+	// Step0 is the initial line-search step; 0 means 1.0.
+	Step0 float64
+}
+
+// Run performs epochs L-BFGS iterations and returns the trajectory.
+func (l *LBFGS) Run(spec model.Spec, ds *data.Dataset, epochs int) (*Result, error) {
+	if err := gradientCapable(spec); err != nil {
+		return nil, err
+	}
+	m := l.M
+	if m == 0 {
+		m = 5
+	}
+	step0 := l.Step0
+	if step0 == 0 {
+		step0 = 1.0
+	}
+	dim := ds.Cols()
+	x := spec.NewReplica(ds).X
+	grad := make([]float64, dim)
+	rows := allRows(ds.Rows())
+	if err := Gradient(spec, ds, x, rows, grad); err != nil {
+		return nil, err
+	}
+
+	var sHist, yHist [][]float64
+	var rhoHist []float64
+	dir := make([]float64, dim)
+	alpha := make([]float64, m)
+	curve := &metrics.Curve{Name: "lbfgs"}
+	loss := spec.Loss(ds, x)
+
+	for e := 1; e <= epochs; e++ {
+		// Two-loop recursion: dir = -H·grad.
+		copy(dir, grad)
+		for i := len(sHist) - 1; i >= 0; i-- {
+			alpha[i] = rhoHist[i] * vec.Dot(sHist[i], dir)
+			vec.AXPY(-alpha[i], yHist[i], dir)
+		}
+		if n := len(sHist); n > 0 {
+			gammaDen := vec.Dot(yHist[n-1], yHist[n-1])
+			if gammaDen > 0 {
+				vec.Scale(vec.Dot(sHist[n-1], yHist[n-1])/gammaDen, dir)
+			}
+		}
+		for i := 0; i < len(sHist); i++ {
+			beta := rhoHist[i] * vec.Dot(yHist[i], dir)
+			vec.AXPY(alpha[i]-beta, sHist[i], dir)
+		}
+		vec.Scale(-1, dir)
+
+		// Armijo backtracking.
+		descent := vec.Dot(grad, dir)
+		if descent >= 0 {
+			// Not a descent direction (can happen on nonsmooth hinge);
+			// fall back to steepest descent.
+			copy(dir, grad)
+			vec.Scale(-1, dir)
+			descent = -vec.Dot(grad, grad)
+		}
+		step := step0
+		var xNew []float64
+		var lossNew float64
+		for tries := 0; tries < 20; tries++ {
+			xNew = vec.Clone(x)
+			vec.AXPY(step, dir, xNew)
+			lossNew = spec.Loss(ds, xNew)
+			if lossNew <= loss+1e-4*step*descent {
+				break
+			}
+			step *= 0.5
+		}
+
+		gradNew := make([]float64, dim)
+		if err := Gradient(spec, ds, xNew, rows, gradNew); err != nil {
+			return nil, err
+		}
+		s := make([]float64, dim)
+		y := make([]float64, dim)
+		for j := range s {
+			s[j] = xNew[j] - x[j]
+			y[j] = gradNew[j] - grad[j]
+		}
+		if sy := vec.Dot(s, y); sy > 1e-12 {
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+			if len(sHist) > m {
+				sHist, yHist, rhoHist = sHist[1:], yHist[1:], rhoHist[1:]
+			}
+		}
+		x, grad, loss = xNew, gradNew, lossNew
+		if err := curve.Append(metrics.Point{Epoch: e, Time: time.Duration(e), Loss: loss}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{X: x, Curve: curve}, nil
+}
+
+// MiniBatch is mini-batch SGD: each update averages the gradient of a
+// sampled batch, the execution model of MLlib (Section 4.2).
+type MiniBatch struct {
+	// Fraction is the batch size as a fraction of the dataset; 0
+	// means 0.1.
+	Fraction float64
+	// Step is the initial step size; 0 means 1.0.
+	Step float64
+	// Decay multiplies Step per epoch; 0 means 0.95.
+	Decay float64
+	// Seed drives batch sampling.
+	Seed int64
+}
+
+// Run performs epochs passes (each pass applies ceil(1/Fraction)
+// batch updates) and returns the trajectory.
+func (mb *MiniBatch) Run(spec model.Spec, ds *data.Dataset, epochs int) (*Result, error) {
+	if err := gradientCapable(spec); err != nil {
+		return nil, err
+	}
+	frac := mb.Fraction
+	if frac == 0 {
+		frac = 0.1
+	}
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("opt: batch fraction %v outside (0,1]", frac)
+	}
+	step := mb.Step
+	if step == 0 {
+		step = 1.0
+	}
+	decay := mb.Decay
+	if decay == 0 {
+		decay = 0.95
+	}
+	rng := rand.New(rand.NewSource(mb.Seed))
+	x := spec.NewReplica(ds).X
+	grad := make([]float64, len(x))
+	batch := int(math.Ceil(frac * float64(ds.Rows())))
+	updates := int(math.Ceil(1 / frac))
+	curve := &metrics.Curve{Name: fmt.Sprintf("minibatch-%.2g", frac)}
+	for e := 1; e <= epochs; e++ {
+		for u := 0; u < updates; u++ {
+			rows := rng.Perm(ds.Rows())[:batch]
+			if err := Gradient(spec, ds, x, rows, grad); err != nil {
+				return nil, err
+			}
+			vec.AXPY(-step, grad, x)
+		}
+		step *= decay
+		if err := curve.Append(metrics.Point{Epoch: e, Time: time.Duration(e), Loss: spec.Loss(ds, x)}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{X: x, Curve: curve}, nil
+}

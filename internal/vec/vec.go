@@ -1,0 +1,156 @@
+// Package vec provides the vector primitives the engine is built on:
+// plain float64 slices with BLAS-level-1 helpers, and Atomic, a vector
+// whose components are individually atomic.
+//
+// Atomic implements the Hogwild! memory model the paper builds on
+// (Section 2.1): writes of individual model components are atomic, but
+// the vector as a whole is never locked, so concurrent readers may see
+// a mix of old and new components. This is exactly the incoherent-but-
+// component-atomic semantics that Niu et al. prove is sufficient for
+// SGD convergence, and it keeps the concurrent executor clean under the
+// Go race detector.
+package vec
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Atomic is a fixed-length vector of float64 values with component-wise
+// atomic loads, stores, and additions. The zero value is unusable; call
+// NewAtomic.
+type Atomic struct {
+	bits []uint64
+}
+
+// NewAtomic returns an all-zero atomic vector of length n.
+func NewAtomic(n int) *Atomic { return &Atomic{bits: make([]uint64, n)} }
+
+// Len returns the vector length.
+func (a *Atomic) Len() int { return len(a.bits) }
+
+// Load atomically reads component i.
+func (a *Atomic) Load(i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&a.bits[i]))
+}
+
+// Store atomically writes component i.
+func (a *Atomic) Store(i int, v float64) {
+	atomic.StoreUint64(&a.bits[i], math.Float64bits(v))
+}
+
+// Add atomically adds delta to component i using a compare-and-swap
+// loop, and returns the new value. Lost updates are impossible at the
+// component level (though the paper's methods tolerate them anyway).
+func (a *Atomic) Add(i int, delta float64) float64 {
+	for {
+		old := atomic.LoadUint64(&a.bits[i])
+		next := math.Float64frombits(old) + delta
+		if atomic.CompareAndSwapUint64(&a.bits[i], old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// Snapshot copies the current (possibly torn across components, never
+// within one) contents into dst, which must have length Len().
+func (a *Atomic) Snapshot(dst []float64) {
+	for i := range a.bits {
+		dst[i] = a.Load(i)
+	}
+}
+
+// CopyFrom atomically stores each component of src, which must have
+// length Len().
+func (a *Atomic) CopyFrom(src []float64) {
+	for i, v := range src {
+		a.Store(i, v)
+	}
+}
+
+// Dot returns the inner product of two equal-length dense vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// SparseDot returns the inner product of a sparse vector (vals at
+// positions idx) with a dense vector x.
+func SparseDot(vals []float64, idx []int32, x []float64) float64 {
+	var s float64
+	for k, j := range idx {
+		s += vals[k] * x[j]
+	}
+	return s
+}
+
+// AXPY performs y += alpha * x for equal-length dense vectors.
+func AXPY(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// SparseAXPY performs y[idx[k]] += alpha * vals[k] for every nonzero.
+func SparseAXPY(alpha float64, vals []float64, idx []int32, y []float64) {
+	for k, j := range idx {
+		y[j] += alpha * vals[k]
+	}
+}
+
+// Average overwrites dst with the element-wise mean of srcs. All
+// vectors must share dst's length; srcs must be non-empty.
+func Average(dst []float64, srcs ...[]float64) {
+	inv := 1 / float64(len(srcs))
+	for i := range dst {
+		var s float64
+		for _, src := range srcs {
+			s += src[i]
+		}
+		dst[i] = s * inv
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Scale multiplies every component of v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Fill sets every component of v to c.
+func Fill(v []float64, c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Clamp returns x restricted to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
