@@ -1,0 +1,53 @@
+// Command dwserve runs the DimmWitted training and serving daemon: a
+// JSON HTTP API that schedules training jobs onto a NUMA-sized worker
+// pool, caches optimizer plans, and serves batched predictions from
+// trained models.
+//
+//	dwserve                                 # listen on :8080, local2
+//	dwserve -addr :9000 -machine local8     # 8 sockets, 8 job slots
+//	dwserve -slots 4 -queue 1024
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/train -d '{"model":"svm","dataset":"reuters","target_loss":0.3}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/v1/predict -d '{"model":"job-1","examples":[{"indices":[3,17],"values":[1,0.5]}]}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/numa"
+	"dimmwitted/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	machine := flag.String("machine", "local2", "simulated machine (local2, local4, local8, ec2.1, ec2.2)")
+	slots := flag.Int("slots", 0, "concurrent training jobs (0 = one per NUMA node)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 256)")
+	flag.Parse()
+
+	top, err := numa.ByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	srv := serve.NewServer(serve.Options{
+		Machine:    top,
+		Slots:      *slots,
+		QueueDepth: *queue,
+	})
+	defer srv.Close()
+
+	log.Printf("dwserve: listening on %s, machine %s, %d training slots, datasets %v",
+		*addr, top.Name, srv.Scheduler().Slots(), data.Names())
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

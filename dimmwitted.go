@@ -31,6 +31,7 @@ import (
 	"dimmwitted/internal/data"
 	"dimmwitted/internal/model"
 	"dimmwitted/internal/numa"
+	"dimmwitted/internal/serve"
 )
 
 // Engine executes one analytics task under an execution plan.
@@ -155,3 +156,48 @@ func SubsampleSparsity(d *Dataset, keep float64, seed int64) *Dataset {
 func SubsampleRows(d *Dataset, frac float64, seed int64) *Dataset {
 	return data.SubsampleRows(d, frac, seed)
 }
+
+// DatasetByName returns the shared instance of a registered dataset
+// ("rcv1", "reuters", ...), the names the serving API accepts.
+func DatasetByName(name string) (*Dataset, error) { return data.ByName(name) }
+
+// DatasetNames lists the registered dataset names.
+func DatasetNames() []string { return data.Names() }
+
+// ---- Serving layer (internal/serve) ----
+
+// Snapshot is a frozen copy of an engine's trained model, the unit the
+// model registry stores and serves predictions from.
+type Snapshot = core.Snapshot
+
+// Example is one prediction input: a sparse feature vector.
+type Example = model.Example
+
+// Predict scores a batch of examples against a model vector, mapping
+// raw scores through the spec's prediction rule.
+func Predict(spec Spec, x []float64, examples []Example) ([]float64, error) {
+	return model.PredictBatch(spec, x, examples)
+}
+
+// Server is the HTTP serving front end: POST /v1/train, GET
+// /v1/jobs/{id}, POST /v1/predict, GET /v1/stats (see internal/serve).
+type Server = serve.Server
+
+// ServeOptions configures a server or scheduler.
+type ServeOptions = serve.Options
+
+// Scheduler runs training jobs asynchronously on a worker pool sized
+// from the NUMA topology.
+type Scheduler = serve.Scheduler
+
+// TrainRequest describes one training job for the scheduler.
+type TrainRequest = serve.TrainRequest
+
+// JobStatus is a point-in-time copy of a training job's state.
+type JobStatus = serve.JobStatus
+
+// NewServer builds an HTTP serving front end with its own scheduler.
+func NewServer(opts ServeOptions) *Server { return serve.NewServer(opts) }
+
+// NewScheduler builds a standalone training-job scheduler.
+func NewScheduler(opts ServeOptions) *Scheduler { return serve.NewScheduler(opts) }

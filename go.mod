@@ -1,0 +1,3 @@
+module dimmwitted
+
+go 1.22

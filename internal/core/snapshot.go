@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Snapshot is a frozen copy of an engine's trained state: the combined
+// model vector plus enough metadata to identify what produced it. It is
+// plain data — safe to hand to other goroutines, serialize, or park in
+// a model registry while the engine keeps training (or is discarded).
+type Snapshot struct {
+	// Spec is the model specification's short name ("svm", "lr", ...).
+	Spec string
+	// Dataset names the dataset the model was trained on.
+	Dataset string
+	// Epoch is the number of completed epochs at snapshot time.
+	Epoch int
+	// Loss is the combined-model objective at snapshot time.
+	Loss float64
+	// SimTime is the cumulative simulated training time.
+	SimTime time.Duration
+	// Step is the current (decayed) step size, so a restored engine
+	// continues with the schedule the source engine had reached.
+	Step float64
+	// Plan is the execution plan the engine ran.
+	Plan Plan
+	// X is a private copy of the combined model vector.
+	X []float64
+}
+
+// Snapshot captures the engine's current combined model and training
+// progress. The returned value shares no memory with the engine, so a
+// serving layer can keep it while the engine continues to run.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		Spec:    e.spec.Name(),
+		Dataset: e.ds.Name,
+		Epoch:   e.epoch,
+		Loss:    e.Loss(),
+		SimTime: e.cumTime,
+		Step:    e.step,
+		Plan:    e.plan,
+		X:       append([]float64(nil), e.global...),
+	}
+}
+
+// Restore loads a snapshot's model into the engine: the global model
+// and every replica are overwritten, auxiliary state is rebuilt, and
+// the epoch counter resumes from the snapshot. The snapshot must come
+// from the same spec and a dataset of the same dimension.
+func (e *Engine) Restore(s Snapshot) error {
+	if s.Spec != e.spec.Name() {
+		return fmt.Errorf("core: snapshot of %q cannot restore into %q engine", s.Spec, e.spec.Name())
+	}
+	if len(s.X) != len(e.global) {
+		return fmt.Errorf("core: snapshot dimension %d, engine dimension %d", len(s.X), len(e.global))
+	}
+	copy(e.global, s.X)
+	for _, r := range e.replicas {
+		copy(r.X, s.X)
+		if r.Aux != nil {
+			e.spec.RefreshAux(e.ds, r)
+		}
+	}
+	e.epoch = s.Epoch
+	e.cumTime = s.SimTime
+	if s.Step > 0 {
+		e.step = s.Step
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The named-dataset registry backs the serving layer: training requests
+// name their dataset ("reuters", "rcv1", ...) and the registry hands
+// back a shared, fully materialised instance. Generation is
+// deterministic but not free, so each dataset is built once and cached;
+// the CSC form is materialised eagerly so the shared instance is
+// immutable afterwards and safe for concurrent engines.
+
+var registry = map[string]func() *Dataset{
+	"rcv1":      RCV1,
+	"reuters":   Reuters,
+	"music":     Music,
+	"music-reg": MusicRegression,
+	"forest":    Forest,
+	"amazon-lp": AmazonLP,
+	"google-lp": GoogleLP,
+	"amazon-qp": AmazonQP,
+	"google-qp": GoogleQP,
+	"clueweb":   func() *Dataset { return ClueWeb(0.1) },
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Dataset{}
+)
+
+// Names returns the registered dataset names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the shared instance of a registered dataset,
+// generating and caching it on first use. The returned dataset is
+// immutable (CSC included) and safe to share across goroutines.
+func ByName(name string) (*Dataset, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if ds, ok := cache[name]; ok {
+		return ds, nil
+	}
+	gen, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("data: unknown dataset %q (want one of %v)", name, Names())
+	}
+	ds := gen()
+	ds.CSC() // materialise the lazy column form before sharing
+	cache[name] = ds
+	return ds, nil
+}

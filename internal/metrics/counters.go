@@ -1,0 +1,81 @@
+package metrics
+
+import "sync/atomic"
+
+// ServeCounters are the serving subsystem's monotonically increasing
+// operation counters. All methods are safe for concurrent use; the
+// zero value is ready.
+type ServeCounters struct {
+	trainRequests   atomic.Int64
+	predictRequests atomic.Int64
+	predictions     atomic.Int64
+	jobsEnqueued    atomic.Int64
+	jobsDone        atomic.Int64
+	jobsFailed      atomic.Int64
+	jobsCancelled   atomic.Int64
+	planCacheHits   atomic.Int64
+	planCacheMisses atomic.Int64
+	httpErrors      atomic.Int64
+}
+
+// TrainRequest records one accepted training request.
+func (c *ServeCounters) TrainRequest() { c.trainRequests.Add(1) }
+
+// PredictRequest records one prediction request serving n examples.
+func (c *ServeCounters) PredictRequest(n int) {
+	c.predictRequests.Add(1)
+	c.predictions.Add(int64(n))
+}
+
+// JobEnqueued records one job entering the queue.
+func (c *ServeCounters) JobEnqueued() { c.jobsEnqueued.Add(1) }
+
+// JobDone records one job finishing successfully.
+func (c *ServeCounters) JobDone() { c.jobsDone.Add(1) }
+
+// JobFailed records one job ending in an error.
+func (c *ServeCounters) JobFailed() { c.jobsFailed.Add(1) }
+
+// JobCancelled records one job cancelled before completion.
+func (c *ServeCounters) JobCancelled() { c.jobsCancelled.Add(1) }
+
+// PlanCacheHit records one optimizer invocation skipped.
+func (c *ServeCounters) PlanCacheHit() { c.planCacheHits.Add(1) }
+
+// PlanCacheMiss records one cost-based optimizer run.
+func (c *ServeCounters) PlanCacheMiss() { c.planCacheMisses.Add(1) }
+
+// HTTPError records one request answered with a non-2xx status.
+func (c *ServeCounters) HTTPError() { c.httpErrors.Add(1) }
+
+// ServeSnapshot is a point-in-time copy of the counters, shaped for
+// JSON export by the stats endpoint.
+type ServeSnapshot struct {
+	TrainRequests   int64 `json:"train_requests"`
+	PredictRequests int64 `json:"predict_requests"`
+	Predictions     int64 `json:"predictions"`
+	JobsEnqueued    int64 `json:"jobs_enqueued"`
+	JobsDone        int64 `json:"jobs_done"`
+	JobsFailed      int64 `json:"jobs_failed"`
+	JobsCancelled   int64 `json:"jobs_cancelled"`
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	HTTPErrors      int64 `json:"http_errors"`
+}
+
+// Snapshot returns a consistent-enough copy for reporting: each field
+// is read atomically, the set is not a single linearization point.
+func (c *ServeCounters) Snapshot() ServeSnapshot {
+	return ServeSnapshot{
+		TrainRequests:   c.trainRequests.Load(),
+		PredictRequests: c.predictRequests.Load(),
+		Predictions:     c.predictions.Load(),
+		JobsEnqueued:    c.jobsEnqueued.Load(),
+		JobsDone:        c.jobsDone.Load(),
+		JobsFailed:      c.jobsFailed.Load(),
+		JobsCancelled:   c.jobsCancelled.Load(),
+		PlanCacheHits:   c.planCacheHits.Load(),
+		PlanCacheMisses: c.planCacheMisses.Load(),
+		HTTPErrors:      c.httpErrors.Load(),
+	}
+}

@@ -176,5 +176,9 @@ func (*LP) Combine(replicas [][]float64, dst []float64) {
 	vec.Average(dst, replicas...)
 }
 
+// Predict implements Spec: the constraint value x_u + x_v for an edge
+// example — >= 1 means the edge is covered by the fractional solution.
+func (*LP) Predict(score float64) float64 { return score }
+
 // Aggregate implements Spec: iterative estimator, not an aggregate.
 func (*LP) Aggregate() bool { return false }

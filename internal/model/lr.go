@@ -129,5 +129,14 @@ func (*LR) Combine(replicas [][]float64, dst []float64) {
 	vec.Average(dst, replicas...)
 }
 
+// Predict implements Spec: the class whose posterior exceeds 1/2
+// (sigmoid(score) >= 1/2 exactly when score >= 0).
+func (*LR) Predict(score float64) float64 {
+	if score >= 0 {
+		return 1
+	}
+	return -1
+}
+
 // Aggregate implements Spec: iterative estimator, not an aggregate.
 func (*LR) Aggregate() bool { return false }

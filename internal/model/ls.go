@@ -105,5 +105,8 @@ func (*LS) Combine(replicas [][]float64, dst []float64) {
 	vec.Average(dst, replicas...)
 }
 
+// Predict implements Spec: the regressed value is the score itself.
+func (*LS) Predict(score float64) float64 { return score }
+
 // Aggregate implements Spec: iterative estimator, not an aggregate.
 func (*LS) Aggregate() bool { return false }

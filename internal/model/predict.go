@@ -1,0 +1,85 @@
+package model
+
+import (
+	"fmt"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/vec"
+)
+
+// Example is one prediction input: a sparse feature vector in the same
+// coordinate space as the model (indices < dimension). Dense inputs are
+// expressed with Idx = [0, 1, ..., d-1].
+type Example struct {
+	// Idx holds the nonzero coordinates, strictly increasing.
+	Idx []int32
+	// Vals holds the value at each coordinate in Idx.
+	Vals []float64
+}
+
+// Validate checks the example against a model dimension.
+func (ex Example) Validate(dim int) error {
+	if len(ex.Idx) != len(ex.Vals) {
+		return fmt.Errorf("model: example has %d indices but %d values", len(ex.Idx), len(ex.Vals))
+	}
+	for _, j := range ex.Idx {
+		if j < 0 || int(j) >= dim {
+			return fmt.Errorf("model: example index %d outside model dimension %d", j, dim)
+		}
+	}
+	return nil
+}
+
+// DenseExample builds an Example from a dense feature vector.
+func DenseExample(features []float64) Example {
+	ex := Example{Idx: make([]int32, 0, len(features)), Vals: make([]float64, 0, len(features))}
+	for j, v := range features {
+		if v != 0 {
+			ex.Idx = append(ex.Idx, int32(j))
+			ex.Vals = append(ex.Vals, v)
+		}
+	}
+	return ex
+}
+
+// DatasetExamples converts dataset rows into prediction inputs, the
+// train-then-predict round trip tests and demos use. The returned
+// examples alias the dataset's storage; treat them as read-only.
+func DatasetExamples(ds *data.Dataset, rows []int) []Example {
+	out := make([]Example, 0, len(rows))
+	for _, i := range rows {
+		idx, vals := ds.A.Row(i)
+		out = append(out, Example{Idx: idx, Vals: vals})
+	}
+	return out
+}
+
+// PredictBatch scores every example against the model vector x and maps
+// each raw score through spec.Predict. It is read-only with respect to
+// x and the examples, so many goroutines may serve predictions from one
+// shared snapshot concurrently.
+func PredictBatch(spec Spec, x []float64, examples []Example) ([]float64, error) {
+	out := make([]float64, len(examples))
+	for i, ex := range examples {
+		if err := ex.Validate(len(x)); err != nil {
+			return nil, fmt.Errorf("example %d: %w", i, err)
+		}
+		out[i] = spec.Predict(vec.SparseDot(ex.Vals, ex.Idx, x))
+	}
+	return out, nil
+}
+
+// Accuracy returns the fraction of predictions matching the ±1 labels,
+// a convenience for classification round-trip checks.
+func Accuracy(predictions, labels []float64) float64 {
+	if len(predictions) == 0 || len(predictions) != len(labels) {
+		return 0
+	}
+	hits := 0
+	for i, p := range predictions {
+		if (p >= 0) == (labels[i] >= 0) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(predictions))
+}

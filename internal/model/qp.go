@@ -113,5 +113,9 @@ func (*QP) Combine(replicas [][]float64, dst []float64) {
 	vec.Average(dst, replicas...)
 }
 
+// Predict implements Spec: the smoothed value interpolated from the
+// example's (weighted) neighbourhood.
+func (*QP) Predict(score float64) float64 { return score }
+
 // Aggregate implements Spec: iterative estimator, not an aggregate.
 func (*QP) Aggregate() bool { return false }

@@ -124,6 +124,11 @@ type Spec interface {
 	// convex models; summation for parallel sum). All slices share
 	// dst's length; replicas is non-empty.
 	Combine(replicas [][]float64, dst []float64)
+	// Predict maps the raw linear score ⟨x, a⟩ of one example to the
+	// model's prediction: the ±1 class label for classifiers (SVM,
+	// LR), the regressed/score value itself for the others. Batched
+	// serving goes through PredictBatch, which computes the scores.
+	Predict(score float64) float64
 	// Aggregate reports whether the model is a one-pass aggregate
 	// (parallel sum) rather than an iterative estimator: replicas are
 	// zeroed at the start of each epoch, combined once at the end, and

@@ -87,5 +87,8 @@ func (*ParallelSum) Combine(replicas [][]float64, dst []float64) {
 	}
 }
 
+// Predict implements Spec: the weighted total is the score itself.
+func (*ParallelSum) Predict(score float64) float64 { return score }
+
 // Aggregate implements Spec: parallel sum is a one-pass aggregate.
 func (*ParallelSum) Aggregate() bool { return true }

@@ -126,5 +126,13 @@ func (*SVM) Combine(replicas [][]float64, dst []float64) {
 	vec.Average(dst, replicas...)
 }
 
+// Predict implements Spec: the side of the separating hyperplane.
+func (*SVM) Predict(score float64) float64 {
+	if score >= 0 {
+		return 1
+	}
+	return -1
+}
+
 // Aggregate implements Spec: iterative estimator, not an aggregate.
 func (*SVM) Aggregate() bool { return false }

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/metrics"
+	"dimmwitted/internal/model"
+)
+
+// Server is the HTTP front end: a scheduler, its model registry and
+// plan cache, exposed as a JSON API (see the package comment for the
+// route table).
+type Server struct {
+	sched    *Scheduler
+	counters *metrics.ServeCounters
+	mux      *http.ServeMux
+	started  time.Time
+}
+
+// NewServer builds a server with its own scheduler.
+func NewServer(opts Options) *Server {
+	opts = opts.normalize()
+	s := &Server{
+		sched:    NewScheduler(opts),
+		counters: opts.Counters,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Scheduler returns the underlying scheduler.
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Close shuts the scheduler down (see Scheduler.Close).
+func (s *Server) Close() { s.sched.Close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes v as a JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error envelope and counts it.
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.counters.HTTPError()
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// trainResponse acknowledges a submitted job.
+type trainResponse struct {
+	JobID string `json:"job_id"`
+	// Status is the URL to poll for progress.
+	Status string `json:"status"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad train request: %w", err))
+		return
+	}
+	id, err := s.sched.Submit(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.counters.TrainRequest()
+	s.writeJSON(w, http.StatusAccepted, trainResponse{
+		JobID:  id,
+		Status: "/v1/jobs/" + id,
+	})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.sched.Status(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sched.Cancel(id); err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	st, _ := s.sched.Status(id)
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"models": s.sched.Models().List()})
+}
+
+// exampleJSON is one prediction input: either a sparse
+// (indices, values) pair or a dense feature vector.
+type exampleJSON struct {
+	Indices []int32   `json:"indices,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	Dense   []float64 `json:"dense,omitempty"`
+}
+
+// predictRequest asks for batched predictions from a trained model.
+type predictRequest struct {
+	// Model is the registry ID (the training job's ID).
+	Model    string        `json:"model"`
+	Examples []exampleJSON `json:"examples"`
+}
+
+// predictResponse carries one prediction per example, in order.
+type predictResponse struct {
+	Model       string    `json:"model"`
+	Predictions []float64 `json:"predictions"`
+	Count       int       `json:"count"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad predict request: %w", err))
+		return
+	}
+	if len(req.Examples) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("predict request has no examples"))
+		return
+	}
+	examples := make([]model.Example, 0, len(req.Examples))
+	for i, ex := range req.Examples {
+		switch {
+		case ex.Dense != nil && ex.Indices == nil && ex.Values == nil:
+			examples = append(examples, model.DenseExample(ex.Dense))
+		case ex.Dense == nil:
+			examples = append(examples, model.Example{Idx: ex.Indices, Vals: ex.Values})
+		default:
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("example %d mixes dense and sparse encodings", i))
+			return
+		}
+	}
+	preds, err := s.sched.Models().Predict(req.Model, examples)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownModel) {
+			code = http.StatusNotFound
+		}
+		s.writeError(w, code, err)
+		return
+	}
+	s.counters.PredictRequest(len(preds))
+	s.writeJSON(w, http.StatusOK, predictResponse{
+		Model:       req.Model,
+		Predictions: preds,
+		Count:       len(preds),
+	})
+}
+
+// statsResponse aggregates every subsystem's statistics.
+type statsResponse struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Machine       string                `json:"machine"`
+	Counters      metrics.ServeSnapshot `json:"counters"`
+	Queue         QueueStats            `json:"queue"`
+	PlanCache     PlanCacheStats        `json:"plan_cache"`
+	Models        int                   `json:"models"`
+	Datasets      []string              `json:"datasets"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Machine:       s.sched.opts.Machine.Name,
+		Counters:      s.counters.Snapshot(),
+		Queue:         s.sched.Stats(),
+		PlanCache:     s.sched.Plans().Stats(),
+		Models:        s.sched.Models().Len(),
+		Datasets:      data.Names(),
+	})
+}

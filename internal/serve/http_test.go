@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// newTestServer starts an httptest server over a fresh serve.Server.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// doJSON posts (or gets) JSON and decodes the response into out.
+func doJSON(t *testing.T, client *http.Client, method, url string, in, out any) int {
+	t.Helper()
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", in, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollJob polls the job endpoint until the job terminates.
+func pollJob(t *testing.T, client *http.Client, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(waitTimeout)
+	for {
+		var st JobStatus
+		code := doJSON(t, client, http.MethodGet, base+"/v1/jobs/"+id, nil, &st)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, st.State, waitTimeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// trainToCompletion submits a job over HTTP and polls it to done.
+func trainToCompletion(t *testing.T, client *http.Client, base string, req TrainRequest) (string, JobStatus) {
+	t.Helper()
+	var tr trainResponse
+	if code := doJSON(t, client, http.MethodPost, base+"/v1/train", req, &tr); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/train: status %d", code)
+	}
+	st := pollJob(t, client, base, tr.JobID)
+	if st.State != "done" {
+		t.Fatalf("job %s ended %s (err %q)", tr.JobID, st.State, st.Error)
+	}
+	return tr.JobID, st
+}
+
+func TestHTTPTrainPredictRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+
+	// Train SVM on reuters — the acceptance-criteria demo workload.
+	id, st := trainToCompletion(t, client, ts.URL, TrainRequest{
+		Model: "svm", Dataset: "reuters", TargetLoss: 0.3, MaxEpochs: 100,
+	})
+	if !st.Converged {
+		t.Fatalf("training did not reach 0.3 (loss %v after %d epochs)", st.Loss, st.Epoch)
+	}
+	if len(st.History) != st.Epoch {
+		t.Errorf("history has %d points for %d epochs", len(st.History), st.Epoch)
+	}
+
+	// Predict the training rows back; labels must mostly match.
+	ds, err := data.ByName("reuters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	preq := predictRequest{Model: id}
+	labels := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx, vals := ds.A.Row(i)
+		preq.Examples = append(preq.Examples, exampleJSON{Indices: idx, Values: vals})
+		labels = append(labels, ds.Labels[i])
+	}
+	var presp predictResponse
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/predict", preq, &presp); code != http.StatusOK {
+		t.Fatalf("POST /v1/predict: status %d", code)
+	}
+	if presp.Count != n || len(presp.Predictions) != n {
+		t.Fatalf("predicted %d/%d examples, want %d", presp.Count, len(presp.Predictions), n)
+	}
+	for i, p := range presp.Predictions {
+		if p != 1 && p != -1 {
+			t.Fatalf("prediction %d = %v, want ±1", i, p)
+		}
+	}
+	if acc := model.Accuracy(presp.Predictions, labels); acc < 0.8 {
+		t.Errorf("training-set accuracy %.2f, want >= 0.8", acc)
+	}
+
+	// Dense encoding works too and agrees with sparse.
+	dense := make([]float64, ds.Cols())
+	idx, vals := ds.A.Row(0)
+	for k, j := range idx {
+		dense[j] = vals[k]
+	}
+	var dresp predictResponse
+	dreq := predictRequest{Model: id, Examples: []exampleJSON{{Dense: dense}}}
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/predict", dreq, &dresp); code != http.StatusOK {
+		t.Fatalf("dense predict: status %d", code)
+	}
+	if dresp.Predictions[0] != presp.Predictions[0] {
+		t.Errorf("dense prediction %v != sparse %v", dresp.Predictions[0], presp.Predictions[0])
+	}
+
+	// The model listing shows the trained model.
+	var models struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if code := doJSON(t, client, http.MethodGet, ts.URL+"/v1/models", nil, &models); code != http.StatusOK {
+		t.Fatal("GET /v1/models failed")
+	}
+	if len(models.Models) != 1 || models.Models[0].ID != id || models.Models[0].Dim != ds.Cols() {
+		t.Errorf("model listing %+v", models.Models)
+	}
+
+	// Stats reflect the session.
+	var stats statsResponse
+	if code := doJSON(t, client, http.MethodGet, ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatal("GET /v1/stats failed")
+	}
+	c := stats.Counters
+	if c.TrainRequests != 1 || c.JobsDone != 1 || c.PredictRequests != 2 || c.Predictions != int64(n+1) {
+		t.Errorf("counters %+v", c)
+	}
+	if stats.Queue.Done != 1 || stats.Models != 1 {
+		t.Errorf("stats queue %+v models %d", stats.Queue, stats.Models)
+	}
+	if stats.PlanCache.Misses != 1 {
+		t.Errorf("plan cache %+v, want 1 miss", stats.PlanCache)
+	}
+	if len(stats.Datasets) == 0 {
+		t.Error("stats list no datasets")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+
+	var errResp map[string]string
+	if code := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/job-999", nil, &errResp); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/train",
+		TrainRequest{Model: "nope", Dataset: "reuters"}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("bad model: status %d, want 400", code)
+	}
+	if errResp["error"] == "" {
+		t.Error("error envelope missing message")
+	}
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/predict",
+		predictRequest{Model: "job-999", Examples: []exampleJSON{{Dense: []float64{1}}}}, &errResp); code != http.StatusNotFound {
+		t.Errorf("unknown model predict: status %d, want 404", code)
+	}
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/predict",
+		predictRequest{Model: "job-999"}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("empty predict: status %d, want 400", code)
+	}
+
+	// Out-of-range indices are rejected, not a panic.
+	id, _ := trainToCompletion(t, client, ts.URL, TrainRequest{Model: "svm", Dataset: "reuters", MaxEpochs: 1})
+	bad := predictRequest{Model: id, Examples: []exampleJSON{{Indices: []int32{1 << 30}, Values: []float64{1}}}}
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/predict", bad, &errResp); code != http.StatusBadRequest {
+		t.Errorf("out-of-range predict: status %d, want 400", code)
+	}
+
+	// Mixed encodings are rejected whichever sparse half is present.
+	for _, ex := range []exampleJSON{
+		{Indices: []int32{1}, Values: []float64{1}, Dense: []float64{1, 2}},
+		{Values: []float64{9, 9}, Dense: []float64{1, 2}},
+		{Indices: []int32{0, 1}, Dense: []float64{1, 2}},
+	} {
+		mixed := predictRequest{Model: id, Examples: []exampleJSON{ex}}
+		if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/predict", mixed, &errResp); code != http.StatusBadRequest {
+			t.Errorf("mixed encoding %+v: status %d, want 400", ex, code)
+		}
+	}
+
+	var stats statsResponse
+	doJSON(t, client, http.MethodGet, ts.URL+"/v1/stats", nil, &stats)
+	if stats.Counters.HTTPErrors < 4 {
+		t.Errorf("http errors counter %d, want >= 4", stats.Counters.HTTPErrors)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+
+	var tr trainResponse
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/train",
+		TrainRequest{Model: "svm", Dataset: "rcv1", MaxEpochs: 100000}, &tr); code != http.StatusAccepted {
+		t.Fatalf("train: status %d", code)
+	}
+	var st JobStatus
+	if code := doJSON(t, client, http.MethodDelete, ts.URL+"/v1/jobs/"+tr.JobID, nil, &st); code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	final := pollJob(t, client, ts.URL, tr.JobID)
+	if final.State != "cancelled" {
+		t.Fatalf("state %s, want cancelled", final.State)
+	}
+}
+
+func TestHTTPConcurrentClients(t *testing.T) {
+	// The acceptance-criteria scenario: >= 4 concurrent clients, each
+	// running a full train -> poll -> predict session against one
+	// server. Under -race this exercises the scheduler, plan cache,
+	// registry and counters from many goroutines at once.
+	_, ts := newTestServer(t, Options{Machine: numa.Local4})
+	const clients = 6
+
+	type result struct {
+		id  string
+		err error
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := ts.Client()
+			// Clients 0-2 share a workload (plan-cache hits); the
+			// rest spread over models and datasets.
+			reqs := []TrainRequest{
+				{Model: "svm", Dataset: "reuters", MaxEpochs: 5},
+				{Model: "svm", Dataset: "reuters", MaxEpochs: 5},
+				{Model: "svm", Dataset: "reuters", MaxEpochs: 5},
+				{Model: "lr", Dataset: "rcv1", MaxEpochs: 3},
+				{Model: "ls", Dataset: "music-reg", MaxEpochs: 4},
+				{Model: "lp", Dataset: "amazon-lp", MaxEpochs: 4},
+			}
+			req := reqs[c%len(reqs)]
+
+			var tr trainResponse
+			b, _ := json.Marshal(req)
+			resp, err := client.Post(ts.URL+"/v1/train", "application/json", bytes.NewReader(b))
+			if err != nil {
+				results[c] = result{err: err}
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				results[c] = result{err: fmt.Errorf("train status %d: %s", resp.StatusCode, raw)}
+				return
+			}
+			if err := json.Unmarshal(raw, &tr); err != nil {
+				results[c] = result{err: err}
+				return
+			}
+
+			deadline := time.Now().Add(waitTimeout)
+			for {
+				resp, err := client.Get(ts.URL + "/v1/jobs/" + tr.JobID)
+				if err != nil {
+					results[c] = result{err: err}
+					return
+				}
+				var st JobStatus
+				err = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err != nil {
+					results[c] = result{err: err}
+					return
+				}
+				if st.State == "done" {
+					break
+				}
+				if st.State == "failed" || st.State == "cancelled" {
+					results[c] = result{err: fmt.Errorf("job %s ended %s: %s", tr.JobID, st.State, st.Error)}
+					return
+				}
+				if time.Now().After(deadline) {
+					results[c] = result{err: fmt.Errorf("job %s timed out in %s", tr.JobID, st.State)}
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+
+			// Each client predicts one example from its dataset.
+			ds, err := data.ByName(req.Dataset)
+			if err != nil {
+				results[c] = result{err: err}
+				return
+			}
+			idx, vals := ds.A.Row(c % ds.Rows())
+			pb, _ := json.Marshal(predictRequest{
+				Model:    tr.JobID,
+				Examples: []exampleJSON{{Indices: idx, Values: vals}},
+			})
+			presp, err := client.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(pb))
+			if err != nil {
+				results[c] = result{err: err}
+				return
+			}
+			praw, _ := io.ReadAll(presp.Body)
+			presp.Body.Close()
+			if presp.StatusCode != http.StatusOK {
+				results[c] = result{err: fmt.Errorf("predict status %d: %s", presp.StatusCode, praw)}
+				return
+			}
+			var pr predictResponse
+			if err := json.Unmarshal(praw, &pr); err != nil {
+				results[c] = result{err: err}
+				return
+			}
+			if pr.Count != 1 {
+				results[c] = result{err: fmt.Errorf("predict count %d", pr.Count)}
+				return
+			}
+			results[c] = result{id: tr.JobID}
+		}(c)
+	}
+	wg.Wait()
+
+	ids := map[string]bool{}
+	for c, r := range results {
+		if r.err != nil {
+			t.Fatalf("client %d: %v", c, r.err)
+		}
+		if ids[r.id] {
+			t.Fatalf("clients shared job id %s", r.id)
+		}
+		ids[r.id] = true
+	}
+
+	var stats statsResponse
+	doJSON(t, ts.Client(), http.MethodGet, ts.URL+"/v1/stats", nil, &stats)
+	if stats.Counters.JobsDone != clients {
+		t.Errorf("jobs done %d, want %d", stats.Counters.JobsDone, clients)
+	}
+	// Hit counts depend on interleaving (identical concurrent jobs may
+	// all miss before the first Store), but every job consults the
+	// cache exactly once.
+	if total := stats.Counters.PlanCacheHits + stats.Counters.PlanCacheMisses; total != clients {
+		t.Errorf("plan cache lookups %d, want %d", total, clients)
+	}
+	if stats.Models != clients {
+		t.Errorf("models %d, want %d", stats.Models, clients)
+	}
+}

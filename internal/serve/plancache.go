@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sync"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// PlanKey identifies an optimizer decision. The cost formulas read
+// aggregate statistics (row/column counts, nonzero volume) *and* the
+// per-row nonzero distribution (Σnᵢ² in PaperCost), so aggregate
+// stats alone cannot key the cache: two datasets with equal shape but
+// different skew may deserve different plans. The dataset's registry
+// name pins the distribution (registered datasets are deterministic);
+// the aggregate stats guard against a name being re-registered with
+// different content.
+type PlanKey struct {
+	// Model is the spec's short name.
+	Model string
+	// Dataset is the registry name, which determines the full nonzero
+	// distribution the cost model reads.
+	Dataset string
+	// Rows, Cols and NNZ are the dataset statistics of Figure 6's
+	// cost model.
+	Rows, Cols int
+	NNZ        int64
+	// Task distinguishes datasets with equal shapes but different
+	// label semantics.
+	Task string
+	// Machine is the topology name (alpha and core counts).
+	Machine string
+}
+
+// KeyFor builds the cache key for a spec/dataset/topology triple.
+func KeyFor(spec model.Spec, ds *data.Dataset, top numa.Topology) PlanKey {
+	return PlanKey{
+		Model:   spec.Name(),
+		Dataset: ds.Name,
+		Rows:    ds.Rows(),
+		Cols:    ds.Cols(),
+		NNZ:     ds.NNZ(),
+		Task:    ds.Task.String(),
+		Machine: top.Name,
+	}
+}
+
+// PlanCacheStats is a point-in-time view of cache effectiveness.
+type PlanCacheStats struct {
+	// Size is the number of cached plans.
+	Size int `json:"size"`
+	// Hits and Misses count lookups since construction.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// PlanCache memoises cost-based optimizer output. It is safe for
+// concurrent use by every scheduler worker.
+type PlanCache struct {
+	mu     sync.Mutex
+	plans  map[PlanKey]core.Plan
+	hits   int64
+	misses int64
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: map[PlanKey]core.Plan{}}
+}
+
+// Lookup returns the cached plan for the key, counting a hit or miss.
+func (c *PlanCache) Lookup(key PlanKey) (core.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	plan, ok := c.plans[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return plan, ok
+}
+
+// Store records the optimizer's plan for the key.
+func (c *PlanCache) Store(key PlanKey, plan core.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans[key] = plan
+}
+
+// Stats returns current cache statistics.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Size: len(c.plans), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/model"
+)
+
+// ErrUnknownModel reports a registry miss; match it with errors.Is.
+var ErrUnknownModel = errors.New("serve: unknown model")
+
+// ModelInfo describes one registered model for listings.
+type ModelInfo struct {
+	// ID is the registry key (the training job's ID).
+	ID string `json:"id"`
+	// Spec and Dataset identify what was trained on what.
+	Spec    string `json:"spec"`
+	Dataset string `json:"dataset"`
+	// Dim is the model dimension (expected example coordinate space).
+	Dim int `json:"dim"`
+	// Epoch and Loss describe the training state at snapshot time.
+	Epoch int     `json:"epoch"`
+	Loss  float64 `json:"loss"`
+	// SimSeconds is the simulated training time in seconds.
+	SimSeconds float64 `json:"sim_seconds"`
+	// Plan renders the executed plan.
+	Plan string `json:"plan"`
+	// Created is when the snapshot entered the registry.
+	Created time.Time `json:"created"`
+}
+
+// Registry holds trained model snapshots and serves predictions from
+// them. Snapshots are immutable once registered, so the read path
+// (Predict) only holds the lock long enough to fetch the entry; the
+// actual scoring runs unlocked and concurrently.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*regEntry
+	order  []string
+}
+
+type regEntry struct {
+	spec    model.Spec
+	snap    core.Snapshot
+	created time.Time
+}
+
+// NewRegistry returns an empty model registry.
+func NewRegistry() *Registry {
+	return &Registry{models: map[string]*regEntry{}}
+}
+
+// Put registers a snapshot under the given ID, replacing any previous
+// entry with that ID.
+func (r *Registry) Put(id string, spec model.Spec, snap core.Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.models[id]; !exists {
+		r.order = append(r.order, id)
+	}
+	r.models[id] = &regEntry{spec: spec, snap: snap, created: time.Now()}
+}
+
+// Get returns the spec and snapshot registered under id. The snapshot's
+// model vector is shared — callers must treat it as read-only.
+func (r *Registry) Get(id string) (model.Spec, core.Snapshot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.models[id]
+	if !ok {
+		return nil, core.Snapshot{}, false
+	}
+	return e.spec, e.snap, true
+}
+
+// Predict scores a batch of examples against the model registered
+// under id.
+func (r *Registry) Predict(id string, examples []model.Example) ([]float64, error) {
+	spec, snap, ok := r.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownModel, id)
+	}
+	return model.PredictBatch(spec, snap.X, examples)
+}
+
+// List returns info for every registered model in registration order.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(r.order))
+	for _, id := range r.order {
+		e := r.models[id]
+		out = append(out, ModelInfo{
+			ID:         id,
+			Spec:       e.snap.Spec,
+			Dataset:    e.snap.Dataset,
+			Dim:        len(e.snap.X),
+			Epoch:      e.snap.Epoch,
+			Loss:       e.snap.Loss,
+			SimSeconds: e.snap.SimTime.Seconds(),
+			Plan:       e.snap.Plan.String(),
+			Created:    e.created,
+		})
+	}
+	return out
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}

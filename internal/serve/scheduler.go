@@ -1,0 +1,655 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/metrics"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// JobState is the lifecycle state of a training job.
+type JobState int
+
+const (
+	// JobQueued means the job waits for a scheduler slot.
+	JobQueued JobState = iota
+	// JobRunning means a worker is executing epochs.
+	JobRunning
+	// JobDone means training finished and the model is registered.
+	JobDone
+	// JobFailed means the job ended with an error.
+	JobFailed
+	// JobCancelled means the job was cancelled before completion.
+	JobCancelled
+)
+
+// maxHistoryPoints bounds a job's stored convergence curve; beyond it
+// the sampling stride doubles (see job.histEvery).
+const maxHistoryPoints = 1024
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// TrainRequest describes one training job. Zero-valued knobs take
+// scheduler defaults.
+type TrainRequest struct {
+	// Model is the spec's short name ("svm", "lr", ...). Required.
+	Model string `json:"model"`
+	// Dataset is a registered dataset name ("reuters", ...). Required.
+	Dataset string `json:"dataset"`
+	// Machine overrides the scheduler's topology ("local2", ...).
+	Machine string `json:"machine,omitempty"`
+	// Access forces an access method ("row", "col", "ctr") instead of
+	// the cost-based optimizer's choice. Forced plans bypass the plan
+	// cache; the engine rejects unsupported spec/access pairs.
+	Access string `json:"access,omitempty"`
+	// TargetLoss stops training early once reached; 0 runs MaxEpochs.
+	TargetLoss float64 `json:"target_loss,omitempty"`
+	// MaxEpochs bounds the run; 0 means 50.
+	MaxEpochs int `json:"max_epochs,omitempty"`
+	// Workers overrides the plan's worker count; 0 means all cores.
+	Workers int `json:"workers,omitempty"`
+	// Step overrides the initial step size; 0 means the model default.
+	Step float64 `json:"step,omitempty"`
+	// Seed drives traversal randomness; 0 means the engine default.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ProgressPoint is one epoch of a job's convergence curve.
+type ProgressPoint struct {
+	// Epoch is the 1-based epoch number.
+	Epoch int `json:"epoch"`
+	// Loss is the combined-model objective after the epoch.
+	Loss float64 `json:"loss"`
+	// SimSeconds is cumulative simulated time in seconds.
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// JobStatus is a point-in-time copy of a job's externally visible
+// state.
+type JobStatus struct {
+	// ID is the job identifier ("job-1", ...).
+	ID string `json:"id"`
+	// State is the lifecycle state ("queued", "running", ...).
+	State string `json:"state"`
+	// Request echoes the submitted request.
+	Request TrainRequest `json:"request"`
+	// Plan renders the executed plan once the job starts.
+	Plan string `json:"plan,omitempty"`
+	// Epoch and Loss are the latest progress from the engine.
+	Epoch int     `json:"epoch"`
+	Loss  float64 `json:"loss"`
+	// Converged reports whether TargetLoss was reached.
+	Converged bool `json:"converged"`
+	// Error carries the failure message for failed jobs.
+	Error string `json:"error,omitempty"`
+	// SimSeconds is the cumulative simulated training time.
+	SimSeconds float64 `json:"sim_seconds"`
+	// History is the per-epoch convergence curve.
+	History []ProgressPoint `json:"history,omitempty"`
+	// Enqueued, Started and Finished are wall-clock timestamps;
+	// Started/Finished are zero until reached.
+	Enqueued time.Time `json:"enqueued"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// job is the scheduler's internal record. All mutable fields are
+// guarded by the owning scheduler's mutex.
+type job struct {
+	id      string
+	req     TrainRequest
+	spec    model.Spec
+	ds      *data.Dataset
+	top     numa.Topology
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	state   JobState
+	plan    core.Plan
+	planned bool
+	epoch   int
+	loss    float64
+	conv    bool
+	err     string
+	simTime time.Duration
+	curve   metrics.Curve
+	// histEvery is the progress-curve sampling stride; it doubles
+	// whenever the curve reaches maxHistoryPoints so very long jobs
+	// keep a bounded, evenly thinned history.
+	histEvery int
+	enqueued  time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Options configures a scheduler (and, through it, a server).
+type Options struct {
+	// Machine is the default simulated topology; zero means local2.
+	Machine numa.Topology
+	// Slots is the worker-pool size — how many training jobs run
+	// concurrently. 0 derives it from the topology: one slot per
+	// simulated NUMA socket, the same locality-group granularity the
+	// engine uses for PerNode replication.
+	Slots int
+	// QueueDepth bounds the number of waiting jobs; 0 means 256.
+	QueueDepth int
+	// MaxJobHistory bounds how many *terminal* job records are
+	// retained; the oldest are evicted first (their registered models
+	// stay). 0 means 1000; negative disables eviction.
+	MaxJobHistory int
+	// Counters receives serving metrics; nil allocates a private set.
+	Counters *metrics.ServeCounters
+}
+
+// normalize fills defaults.
+func (o Options) normalize() Options {
+	if o.Machine.Nodes == 0 {
+		o.Machine = numa.Local2
+	}
+	if o.Slots == 0 {
+		o.Slots = o.Machine.Nodes
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 256
+	}
+	if o.MaxJobHistory == 0 {
+		o.MaxJobHistory = 1000
+	}
+	if o.Counters == nil {
+		o.Counters = &metrics.ServeCounters{}
+	}
+	return o
+}
+
+// Scheduler runs training jobs asynchronously on a fixed worker pool
+// and feeds completed models into a Registry. All methods are safe for
+// concurrent use.
+type Scheduler struct {
+	opts     Options
+	counters *metrics.ServeCounters
+	plans    *PlanCache
+	models   *Registry
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
+}
+
+// NewScheduler builds a scheduler and starts its worker pool.
+func NewScheduler(opts Options) *Scheduler {
+	opts = opts.normalize()
+	s := &Scheduler{
+		opts:     opts,
+		counters: opts.Counters,
+		plans:    NewPlanCache(),
+		models:   NewRegistry(),
+		queue:    make(chan *job, opts.QueueDepth),
+		jobs:     map[string]*job{},
+	}
+	for i := 0; i < opts.Slots; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.run(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Models returns the registry completed jobs publish into.
+func (s *Scheduler) Models() *Registry { return s.models }
+
+// Plans returns the shared plan cache.
+func (s *Scheduler) Plans() *PlanCache { return s.plans }
+
+// Counters returns the scheduler's serving counters.
+func (s *Scheduler) Counters() *metrics.ServeCounters { return s.counters }
+
+// Slots returns the worker-pool size.
+func (s *Scheduler) Slots() int { return s.opts.Slots }
+
+// Submit validates a request, enqueues a job and returns its ID. The
+// request fails fast on unknown models, datasets, machines or access
+// methods and on a full queue; execution errors surface as a Failed
+// job instead.
+func (s *Scheduler) Submit(req TrainRequest) (string, error) {
+	spec, err := model.ByName(req.Model)
+	if err != nil {
+		return "", err
+	}
+	ds, err := data.ByName(req.Dataset)
+	if err != nil {
+		return "", err
+	}
+	top := s.opts.Machine
+	if req.Machine != "" {
+		if top, err = numa.ByName(req.Machine); err != nil {
+			return "", err
+		}
+	}
+	if req.Access != "" {
+		if _, err := parseAccess(req.Access); err != nil {
+			return "", err
+		}
+	}
+	if req.MaxEpochs < 0 {
+		return "", fmt.Errorf("serve: negative max_epochs %d", req.MaxEpochs)
+	}
+	if req.MaxEpochs == 0 {
+		req.MaxEpochs = 50
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		req:      req,
+		spec:     spec,
+		ds:       ds,
+		top:      top,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    JobQueued,
+		enqueued: time.Now(),
+	}
+
+	// The enqueue happens under the same lock as the closed check so a
+	// concurrent Close (which closes the channel) cannot race the send.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return "", fmt.Errorf("serve: scheduler is closed")
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		return "", fmt.Errorf("serve: job queue full (depth %d)", s.opts.QueueDepth)
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	s.counters.JobEnqueued()
+	return j.id, nil
+}
+
+// evictLocked drops the oldest terminal job records once more than
+// MaxJobHistory of them exist, so a long-running daemon's job table
+// stays bounded. Live (queued/running) jobs are never evicted; the
+// models they registered outlive the job record. Callers hold s.mu.
+func (s *Scheduler) evictLocked() {
+	limit := s.opts.MaxJobHistory
+	if limit < 0 {
+		return
+	}
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].state.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= limit {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if terminal > limit && s.jobs[id].state.Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// parseAccess maps the request's short access names.
+func parseAccess(name string) (model.Access, error) {
+	switch name {
+	case "row":
+		return model.RowWise, nil
+	case "col":
+		return model.ColWise, nil
+	case "ctr":
+		return model.ColToRow, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown access %q (want row, col, or ctr)", name)
+	}
+}
+
+// planFor resolves the job's execution plan, consulting the plan cache
+// when the optimizer would decide (no access override).
+func (s *Scheduler) planFor(j *job) core.Plan {
+	if j.req.Access != "" {
+		access, _ := parseAccess(j.req.Access)
+		return core.Plan{Access: access, Machine: j.top, DataRep: core.FullReplication}
+	}
+	key := KeyFor(j.spec, j.ds, j.top)
+	if plan, ok := s.plans.Lookup(key); ok {
+		s.counters.PlanCacheHit()
+		return plan
+	}
+	s.counters.PlanCacheMiss()
+	plan, err := core.Choose(j.spec, j.ds, j.top)
+	if err != nil {
+		// Leave the choice to the engine's own validation; an
+		// unusable plan fails the job with the engine's error.
+		return core.Plan{Machine: j.top}
+	}
+	s.plans.Store(key, plan)
+	return plan
+}
+
+// run executes one job on the calling worker goroutine.
+func (s *Scheduler) run(j *job) {
+	s.mu.Lock()
+	if j.state != JobQueued {
+		s.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	plan := s.planFor(j)
+	if j.req.Workers > 0 {
+		plan.Workers = j.req.Workers
+	}
+	if j.req.Step > 0 {
+		plan.Step = j.req.Step
+	}
+	if j.req.Seed != 0 {
+		plan.Seed = j.req.Seed
+	}
+
+	eng, err := core.New(j.spec, j.ds, plan)
+	if err != nil {
+		s.finish(j, JobFailed, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	j.plan = eng.Plan()
+	j.planned = true
+	s.mu.Unlock()
+
+	for ep := 0; ep < j.req.MaxEpochs; ep++ {
+		select {
+		case <-j.ctx.Done():
+			s.finish(j, JobCancelled, "")
+			return
+		default:
+		}
+		er := eng.RunEpoch()
+
+		s.mu.Lock()
+		j.epoch = er.Epoch
+		j.loss = er.Loss
+		j.simTime = er.CumTime
+		if j.histEvery == 0 {
+			j.histEvery = 1
+		}
+		if er.Epoch%j.histEvery == 0 {
+			_ = j.curve.Append(metrics.Point{Epoch: er.Epoch, Time: er.CumTime, Loss: er.Loss})
+			if len(j.curve.Points) >= maxHistoryPoints {
+				j.histEvery *= 2
+				kept := j.curve.Points[:0]
+				for _, p := range j.curve.Points {
+					if p.Epoch%j.histEvery == 0 {
+						kept = append(kept, p)
+					}
+				}
+				j.curve.Points = kept
+			}
+		}
+		s.mu.Unlock()
+
+		if j.req.TargetLoss > 0 && er.Loss <= j.req.TargetLoss {
+			s.mu.Lock()
+			j.conv = true
+			s.mu.Unlock()
+			break
+		}
+	}
+
+	// One final cancellation check so a cancel that raced the last
+	// epoch wins over publication.
+	select {
+	case <-j.ctx.Done():
+		s.finish(j, JobCancelled, "")
+		return
+	default:
+	}
+
+	s.models.Put(j.id, j.spec, eng.Snapshot())
+	s.finish(j, JobDone, "")
+}
+
+// finish moves a job to a terminal state exactly once.
+func (s *Scheduler) finish(j *job, state JobState, errMsg string) {
+	s.mu.Lock()
+	if j.state.Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.finished = time.Now()
+	s.mu.Unlock()
+	j.cancel()
+	close(j.done)
+	switch state {
+	case JobDone:
+		s.counters.JobDone()
+	case JobFailed:
+		s.counters.JobFailed()
+	case JobCancelled:
+		s.counters.JobCancelled()
+	}
+}
+
+// Cancel cancels a queued or running job. Cancelling a terminal job is
+// a no-op; unknown IDs are an error.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: unknown job %q", id)
+	}
+	if j.state.Terminal() {
+		s.mu.Unlock()
+		return nil
+	}
+	queued := j.state == JobQueued
+	s.mu.Unlock()
+
+	if queued {
+		// A queued job never reaches a worker's cancellation checks if
+		// the pool is saturated; finish it directly. run() skips jobs
+		// that are no longer Queued.
+		s.finish(j, JobCancelled, "")
+		return nil
+	}
+	j.cancel()
+	return nil
+}
+
+// Status returns a copy of the job's current state.
+func (s *Scheduler) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.statusLocked(j), true
+}
+
+// Jobs returns every job's status in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// statusLocked snapshots one job; callers hold s.mu.
+func (s *Scheduler) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:         j.id,
+		State:      j.state.String(),
+		Request:    j.req,
+		Epoch:      j.epoch,
+		Loss:       j.loss,
+		Converged:  j.conv,
+		Error:      j.err,
+		SimSeconds: j.simTime.Seconds(),
+		Enqueued:   j.enqueued,
+		Started:    j.started,
+		Finished:   j.finished,
+	}
+	if j.planned {
+		st.Plan = j.plan.String()
+	}
+	for _, p := range j.curve.Points {
+		st.History = append(st.History, ProgressPoint{
+			Epoch: p.Epoch, Loss: p.Loss, SimSeconds: p.Time.Seconds(),
+		})
+	}
+	return st
+}
+
+// QueueStats summarises the scheduler's job population by state.
+type QueueStats struct {
+	Slots     int `json:"slots"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Stats returns current queue statistics.
+func (s *Scheduler) Stats() QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := QueueStats{Slots: s.opts.Slots}
+	for _, j := range s.jobs {
+		switch j.state {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		case JobCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (s *Scheduler) Done(id string) (<-chan struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.done, true
+}
+
+// Wait blocks until the job terminates or the timeout elapses and
+// returns its final (or latest) status.
+func (s *Scheduler) Wait(id string, timeout time.Duration) (JobStatus, error) {
+	done, ok := s.Done(id)
+	if !ok {
+		return JobStatus{}, fmt.Errorf("serve: unknown job %q", id)
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		st, _ := s.Status(id)
+		return st, fmt.Errorf("serve: job %s still %s after %v", id, st.State, timeout)
+	}
+	st, _ := s.Status(id)
+	return st, nil
+}
+
+// Close stops the scheduler: new submissions are rejected, queued and
+// running jobs are cancelled, and the worker pool drains. Close blocks
+// until every worker exits.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	pending := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; !j.state.Terminal() {
+			pending = append(pending, j)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, j := range pending {
+		j.cancel()
+		s.mu.Lock()
+		queued := j.state == JobQueued
+		s.mu.Unlock()
+		if queued {
+			s.finish(j, JobCancelled, "")
+		}
+	}
+	close(s.queue)
+	s.wg.Wait()
+}

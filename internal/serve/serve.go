@@ -1,0 +1,28 @@
+// Package serve turns the batch DimmWitted engine into a long-running
+// service: a concurrent training-job scheduler, a plan cache that
+// amortises the cost-based optimizer across repeated jobs, a model
+// registry serving batched predictions from trained snapshots, and a
+// stdlib net/http JSON API on top.
+//
+// The architecture mirrors the paper's separation of statistical and
+// hardware efficiency one level up. Each training job is one engine —
+// one point in the tradeoff space — and jobs are scheduled onto a
+// worker pool sized from the simulated NUMA topology (one training
+// slot per socket), so the service exercises many engines concurrently
+// the way the engine exercises many cores. The plan cache plays the
+// role of the optimizer's install-time benchmark: plans are keyed by
+// (model, dataset statistics, topology), so a repeated workload skips
+// straight to execution. Trained models leave the engine as immutable
+// core.Snapshot values and are served lock-free-read from the
+// registry; prediction is the read path, training the write path.
+//
+// The HTTP surface:
+//
+//	POST   /v1/train     submit a training job            -> {job_id}
+//	GET    /v1/jobs      list jobs
+//	GET    /v1/jobs/{id} job state and progress curve
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /v1/models    list trained models
+//	POST   /v1/predict   batched predictions from a model
+//	GET    /v1/stats     serving counters, cache and queue stats
+package serve
