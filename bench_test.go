@@ -11,6 +11,8 @@ package dimmwitted
 // or print the full paper-style tables with cmd/dwbench.
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -43,6 +45,28 @@ func benchDriver(b *testing.B, name string, metrics ...string) {
 
 func BenchmarkFig6CostModel(b *testing.B) {
 	benchDriver(b, "fig6", "sumN/rcv1", "sumN2/rcv1")
+}
+
+// BenchmarkFig6Executors measures real wall-clock epoch times of the
+// simulated and parallel executors on identical plans and writes the
+// measurements to BENCH_parallel.json — the CI bench smoke step
+// (-bench=BenchmarkFig6 -benchtime=1x) seeds the wall-clock benchmark
+// trajectory from it.
+func BenchmarkFig6Executors(b *testing.B) {
+	var entries []experiments.ExecWallEntry
+	for i := 0; i < b.N; i++ {
+		entries = experiments.ExecWallEntries(true)
+	}
+	for _, e := range entries {
+		b.ReportMetric(e.WallSecondsPerEpoch*1e3, e.Model+"_"+e.Executor+"_ms/epoch")
+	}
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", buf, 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func BenchmarkFig7aEpochs(b *testing.B) {

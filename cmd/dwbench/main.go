@@ -6,9 +6,12 @@
 //	dwbench -fig 8b     # just Figure 8(b)
 //	dwbench -quick      # everything, reduced grids
 //	dwbench -list       # available figure ids
+//	dwbench -executors  # wall-clock simulated-vs-parallel comparison
+//	dwbench -executors -out BENCH_parallel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +23,30 @@ func main() {
 	fig := flag.String("fig", "", "figure id to run (e.g. 7a, 11, appA); empty = all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	list := flag.Bool("list", false, "list available figure ids")
+	executors := flag.Bool("executors", false, "compare wall-clock epoch times of the simulated and parallel executors")
+	out := flag.String("out", "", "with -executors, also write the measurements as JSON to this file")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Println(e.Name)
+		}
+		return
+	}
+
+	if *executors {
+		entries := experiments.ExecWallEntries(*quick)
+		experiments.ExecWallResult(entries).Table.Fprint(os.Stdout)
+		if *out != "" {
+			buf, err := json.MarshalIndent(entries, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*out, buf, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dwbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
 		}
 		return
 	}

@@ -50,6 +50,7 @@ func datasetByName(name string) (*data.Dataset, error) {
 func main() {
 	modelName := flag.String("model", "svm", "model: svm, lr, ls, lp, qp, sum")
 	dsName := flag.String("dataset", "reuters", "dataset name")
+	executor := flag.String("executor", "simulated", "execution backend: simulated, parallel")
 	machine := flag.String("machine", "local2", "machine: local2, local4, local8, ec2.1, ec2.2")
 	access := flag.String("access", "", "force access method: row, col (empty = optimizer)")
 	rep := flag.String("rep", "", "force model replication: percore, pernode, permachine")
@@ -78,7 +79,11 @@ func main() {
 		die(err)
 	}
 
-	plan, err := core.Choose(spec, ds, top)
+	exec, err := core.ExecutorByName(*executor)
+	if err != nil {
+		die(err)
+	}
+	plan, err := core.ChooseExecutor(spec, ds, top, exec)
 	if err != nil {
 		die(err)
 	}
@@ -131,12 +136,18 @@ func main() {
 	fmt.Printf("%-7s %-14s %-14s %s\n", "epoch", "loss", "epoch time", "total time")
 	for i := 0; i < *epochs; i++ {
 		er := eng.RunEpoch()
-		fmt.Printf("%-7d %-14.6g %-14v %v\n", er.Epoch, er.Loss, er.SimTime, er.CumTime)
-		if err := curve.Append(metrics.Point{Epoch: er.Epoch, Time: er.CumTime, Loss: er.Loss}); err != nil {
+		// The simulated backend's time axis is simulated cycles; the
+		// parallel backend's is measured wall clock.
+		epochT, totalT := er.SimTime, er.CumTime
+		if exec == core.ExecParallel {
+			epochT, totalT = er.WallTime, eng.WallTime()
+		}
+		fmt.Printf("%-7d %-14.6g %-14v %v\n", er.Epoch, er.Loss, epochT, totalT)
+		if err := curve.Append(metrics.Point{Epoch: er.Epoch, Time: er.CumTime, Wall: eng.WallTime(), Loss: er.Loss}); err != nil {
 			die(err)
 		}
 		if *target > 0 && er.Loss <= *target {
-			fmt.Printf("\nreached target %g at epoch %d (%v simulated)\n", *target, er.Epoch, er.CumTime)
+			fmt.Printf("\nreached target %g at epoch %d (%v)\n", *target, er.Epoch, totalT)
 			break
 		}
 		if curve.Plateaued(10, 1e-4) {
@@ -156,6 +167,10 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("\nloss curve written to %s\n", *csvPath)
+	}
+	if exec == core.ExecParallel {
+		fmt.Printf("\nwall-clock training time: %v\n", eng.WallTime())
+		return
 	}
 	ctr := eng.Counters()
 	fmt.Printf("\ncounters: %v\n", ctr)

@@ -9,6 +9,11 @@
 //   - model replication: PerCore, PerNode, PerMachine,
 //   - data replication: Sharding, FullReplication, Importance sampling.
 //
+// Execution is pluggable (Plan.Executor): the simulated backend runs
+// the deterministic interleaver over the NUMA cost simulator, while
+// ExecParallel runs the same plan with real goroutine Hogwild workers
+// measured in wall-clock time.
+//
 // Quick start:
 //
 //	ds := dimmwitted.Reuters()                   // synthetic RCV1-style corpus
@@ -92,6 +97,21 @@ const (
 	PlacementOS   = core.PlacementOS
 )
 
+// ExecutorKind selects the execution backend for a plan.
+type ExecutorKind = core.ExecutorKind
+
+// Execution backends: the deterministic simulated-NUMA interleaver
+// (the figure-reproduction default) and real goroutine Hogwild workers
+// measured in wall-clock time.
+const (
+	ExecSimulated = core.ExecSimulated
+	ExecParallel  = core.ExecParallel
+)
+
+// ExecutorByName maps executor names ("simulated", "parallel"; ""
+// means simulated).
+func ExecutorByName(name string) (ExecutorKind, error) { return core.ExecutorByName(name) }
+
 // The paper's five machine configurations (Figure 3).
 var (
 	Local2 = numa.Local2
@@ -104,18 +124,20 @@ var (
 // New builds an engine for a spec, dataset and plan.
 func New(spec Spec, ds *Dataset, plan Plan) (*Engine, error) { return core.New(spec, ds, plan) }
 
-// Choose runs the cost-based optimizer and returns a complete plan.
+// Choose runs the cost-based optimizer and returns a complete plan
+// for the simulated backend.
 func Choose(spec Spec, ds *Dataset, top Topology) (Plan, error) { return core.Choose(spec, ds, top) }
+
+// ChooseExecutor runs the cost-based optimizer for a specific
+// execution backend; the parallel backend restricts the priced access
+// methods to row-wise.
+func ChooseExecutor(spec Spec, ds *Dataset, top Topology, exec ExecutorKind) (Plan, error) {
+	return core.ChooseExecutor(spec, ds, top, exec)
+}
 
 // Explain returns the optimizer's cost estimates per access method.
 func Explain(spec Spec, ds *Dataset, top Topology) []CostEstimate {
 	return core.Explain(spec, ds, top)
-}
-
-// RunConcurrent executes row-wise epochs with real goroutine workers
-// under the Hogwild! memory model (component-atomic shared vectors).
-func RunConcurrent(spec Spec, ds *Dataset, plan Plan, epochs, flushEvery int) ([]float64, error) {
-	return core.RunConcurrent(spec, ds, plan, epochs, flushEvery)
 }
 
 // MachineByName looks up one of the paper's topologies ("local2", ...).

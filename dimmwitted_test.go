@@ -52,16 +52,33 @@ func TestFacadeConstructors(t *testing.T) {
 	}
 }
 
-func TestFacadeExplainAndConcurrent(t *testing.T) {
+func TestFacadeExplainAndParallelExecutor(t *testing.T) {
 	ests := Explain(SVM(), Reuters(), Local2)
 	if len(ests) != 2 {
 		t.Fatalf("Explain returned %d estimates", len(ests))
 	}
-	x, err := RunConcurrent(SVM(), Reuters(), Plan{ModelRep: PerNode, Workers: 4}, 5, 8)
+	if _, err := ExecutorByName("bogus"); err == nil {
+		t.Error("bogus executor name accepted")
+	}
+	plan, err := ChooseExecutor(SVM(), Reuters(), Local2, ExecParallel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(x) != Reuters().Cols() {
-		t.Errorf("concurrent model dim %d", len(x))
+	if plan.Access != RowWise || plan.Executor != ExecParallel {
+		t.Errorf("parallel plan chose %v/%v", plan.Access, plan.Executor)
+	}
+	plan.Workers = 4
+	eng, err := New(SVM(), Reuters(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		eng.RunEpoch()
+	}
+	if x := eng.Model(); len(x) != Reuters().Cols() {
+		t.Errorf("parallel model dim %d", len(x))
+	}
+	if eng.WallTime() <= 0 {
+		t.Error("parallel engine reported no wall time")
 	}
 }

@@ -434,25 +434,32 @@ func TestParallelSumPerNodeFasterThanPerMachine(t *testing.T) {
 	}
 }
 
-func TestConcurrentExecutorConverges(t *testing.T) {
+func TestParallelExecutorConverges(t *testing.T) {
 	ds := data.Reuters()
 	spec := model.NewSVM()
 	init := spec.Loss(ds, spec.NewReplica(ds).X)
 	for _, rep := range []ModelReplication{PerMachine, PerNode, PerCore} {
-		x, err := RunConcurrent(spec, ds, Plan{ModelRep: rep, Workers: 4}, 8, 8)
-		if err != nil {
-			t.Fatalf("%v: %v", rep, err)
+		e := mustEngine(t, spec, ds, Plan{Executor: ExecParallel, ModelRep: rep, Workers: 4, ChunkSize: 8})
+		var er EpochResult
+		for i := 0; i < 8; i++ {
+			er = e.RunEpoch()
 		}
-		if loss := spec.Loss(ds, x); loss >= init/2 {
-			t.Errorf("%v: concurrent loss %v vs init %v", rep, loss, init)
+		if er.Loss >= init/2 {
+			t.Errorf("%v: parallel loss %v vs init %v", rep, er.Loss, init)
+		}
+		if er.SimTime != 0 {
+			t.Errorf("%v: parallel epoch reported simulated time %v", rep, er.SimTime)
+		}
+		if er.WallTime <= 0 {
+			t.Errorf("%v: parallel epoch reported no wall time", rep)
 		}
 	}
 }
 
-func TestConcurrentExecutorRejectsColumnAccess(t *testing.T) {
-	_, err := RunConcurrent(model.NewLP(), data.AmazonLP(), Plan{Access: model.ColWise}, 1, 8)
+func TestParallelExecutorRejectsColumnAccess(t *testing.T) {
+	_, err := New(model.NewLP(), data.AmazonLP(), Plan{Executor: ExecParallel, Access: model.ColWise})
 	if err == nil {
-		t.Error("concurrent column-wise accepted")
+		t.Error("parallel column-wise accepted")
 	}
 }
 

@@ -96,23 +96,32 @@ func TestCountersAccumulateAcrossEpochs(t *testing.T) {
 	}
 }
 
-func TestRunConcurrentFullReplication(t *testing.T) {
+func TestParallelExecutorDataReplication(t *testing.T) {
+	// The parallel executor reuses the engine's shared work partition,
+	// so every data-replication strategy runs under real goroutines.
 	ds := data.Reuters()
 	spec := model.NewSVM()
 	init := spec.Loss(ds, spec.NewReplica(ds).X)
-	x, err := RunConcurrent(spec, ds, Plan{ModelRep: PerNode, DataRep: FullReplication, Workers: 4}, 6, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if loss := spec.Loss(ds, x); loss >= init/2 {
-		t.Errorf("concurrent full-replication loss %v vs init %v", loss, init)
+	for _, dr := range []DataReplication{Sharding, FullReplication, Importance} {
+		e := mustEngine(t, spec, ds, Plan{
+			Executor: ExecParallel, ModelRep: PerNode, DataRep: dr,
+			Workers: 4, ChunkSize: 4, ImportanceFraction: 1,
+		})
+		var loss float64
+		for i := 0; i < 6; i++ {
+			loss = e.RunEpoch().Loss
+		}
+		if loss >= init/2 {
+			t.Errorf("%v: parallel loss %v vs init %v", dr, loss, init)
+		}
 	}
 }
 
-func TestRunConcurrentDefaultFlush(t *testing.T) {
-	// flushEvery < 1 falls back to a sane default.
-	if _, err := RunConcurrent(model.NewSVM(), data.Reuters(), Plan{Workers: 2}, 1, 0); err != nil {
-		t.Fatal(err)
+func TestParallelExecutorDefaultChunk(t *testing.T) {
+	// ChunkSize 0 normalizes to a sane flush granularity.
+	e := mustEngine(t, model.NewSVM(), data.Reuters(), Plan{Executor: ExecParallel, Workers: 2})
+	if e.RunEpoch().Steps != data.Reuters().Rows() {
+		t.Error("parallel sharding epoch did not cover every row")
 	}
 }
 

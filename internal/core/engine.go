@@ -35,10 +35,13 @@ type Engine struct {
 	auxReg   []*numa.Region
 	bg       *numa.Core
 
+	exec Executor
+
 	global   []float64
 	step     float64
 	epoch    int
 	cumTime  time.Duration
+	cumWall  time.Duration
 	cumStats model.Stats
 	cumCtr   numa.Counters
 	rng      *rand.Rand
@@ -186,6 +189,15 @@ func New(spec model.Spec, ds *data.Dataset, plan Plan) (*Engine, error) {
 		if err := e.initLeverage(); err != nil {
 			return nil, err
 		}
+	}
+
+	// The executor is the last piece wired up: it mirrors the replica
+	// layout built above, so both backends run the same locality
+	// groups, work partition and combine path.
+	if plan.Executor == ExecParallel {
+		e.exec = newParallelExecutor(e)
+	} else {
+		e.exec = &simExecutor{e: e}
 	}
 	return e, nil
 }
@@ -342,8 +354,16 @@ func (e *Engine) Loss() float64 { return e.spec.Loss(e.ds, e.global) }
 // Epoch returns the number of completed epochs.
 func (e *Engine) Epoch() int { return e.epoch }
 
-// SimTime returns the total simulated time of all epochs so far.
+// SimTime returns the total simulated time of all epochs so far
+// (zero under the parallel executor).
 func (e *Engine) SimTime() time.Duration { return e.cumTime }
+
+// WallTime returns the total measured wall-clock time of all epochs —
+// the parallel executor's primary time axis.
+func (e *Engine) WallTime() time.Duration { return e.cumWall }
+
+// ExecutorKind returns the backend the engine runs on.
+func (e *Engine) ExecutorKind() ExecutorKind { return e.exec.Kind() }
 
 // Counters returns the PMU-style counters accumulated over all epochs.
 func (e *Engine) Counters() numa.Counters { return e.cumCtr }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -14,25 +15,48 @@ type EpochResult struct {
 	Epoch int
 	// Loss is the combined-model objective after the epoch.
 	Loss float64
-	// SimTime is the simulated duration of this epoch alone.
+	// SimTime is the simulated duration of this epoch alone; zero
+	// under the parallel executor, which the simulator does not model.
 	SimTime time.Duration
 	// CumTime is the simulated duration of all epochs so far.
 	CumTime time.Duration
+	// WallTime is the measured wall-clock duration of this epoch —
+	// the primary time axis of the parallel executor, and incidental
+	// (engine overhead) for the simulated one.
+	WallTime time.Duration
 	// Steps is the number of row/column steps executed this epoch.
 	Steps int
-	// Counters holds this epoch's PMU-style counters.
+	// Counters holds this epoch's PMU-style counters; zero under the
+	// parallel executor.
 	Counters numa.Counters
 }
 
-// RunEpoch executes one full epoch — every worker consumes its work
-// list under the deterministic round-robin interleaver — and returns
-// the epoch's measurements. The interleaver reproduces the visibility
-// semantics of the plan's model replication: workers sharing a replica
-// observe each other's updates at chunk granularity; PerNode replicas
-// are additionally averaged by the asynchronous background worker every
-// SyncRounds rounds; PerCore replicas meet only at the end of the
-// epoch.
+// RunEpoch executes one full epoch under the plan's executor — every
+// worker consumes its assigned work list — and returns the epoch's
+// measurements. Under the simulated executor the deterministic
+// interleaver reproduces the visibility semantics of the plan's model
+// replication: workers sharing a replica observe each other's updates
+// at chunk granularity; PerNode replicas are additionally averaged by
+// the asynchronous background worker every SyncRounds rounds; PerCore
+// replicas meet only at the end of the epoch. Under the parallel
+// executor, workers are real goroutines flushing batched deltas to
+// shared atomic masters.
 func (e *Engine) RunEpoch() EpochResult {
+	er, err := e.RunEpochCtx(context.Background())
+	if err != nil {
+		// Unreachable: runEpoch errors only on ctx cancellation and
+		// the background context is never cancelled.
+		panic(err)
+	}
+	return er
+}
+
+// RunEpochCtx is RunEpoch with cooperative cancellation: the simulated
+// executor observes ctx between interleaver rounds, the parallel one
+// between worker flushes. On cancellation the partially executed epoch
+// is abandoned — no combine runs, the epoch counter does not advance,
+// and ctx's error is returned.
+func (e *Engine) RunEpochCtx(ctx context.Context) (EpochResult, error) {
 	e.mach.Reset()
 	e.assignWork()
 	if e.spec.Aggregate() {
@@ -44,49 +68,42 @@ func (e *Engine) RunEpoch() EpochResult {
 		}
 	}
 
-	steps := 0
-	round := 0
-	for {
-		active := false
-		for _, w := range e.workers {
-			n := e.plan.ChunkSize
-			for n > 0 && w.pos < len(w.items) {
-				e.executeStep(w, w.items[w.pos])
-				w.pos++
-				steps++
-				n--
-			}
-			if w.pos < len(w.items) {
-				active = true
-			}
-		}
-		if !active {
-			break
-		}
-		round++
-		if e.midEpochSyncDue(round) {
-			e.averageReplicas(true)
-		}
+	start := time.Now()
+	steps, st, err := e.exec.runEpoch(ctx)
+	if err != nil {
+		// The abandoned partial epoch counts nowhere: neither in the
+		// epoch/time counters nor in the traffic stats.
+		return EpochResult{}, err
 	}
+	e.cumStats.Add(st)
 
 	e.combine()
 	e.epoch++
 	e.step *= e.plan.StepDecay
+	wall := time.Since(start)
+	e.cumWall += wall
 
-	cycles := e.mach.MaxCycles()*e.plan.ComputeScale + e.plan.EpochOverheadCycles
-	simT := time.Duration(cycles / e.plan.Machine.ClockGHz)
+	// Simulated-cost accounting only makes sense for the backend that
+	// charged the simulated machine; parallel epochs report wall time.
+	var simT time.Duration
+	var ctr numa.Counters
+	if e.exec.Kind() == ExecSimulated {
+		cycles := e.mach.MaxCycles()*e.plan.ComputeScale + e.plan.EpochOverheadCycles
+		simT = time.Duration(cycles / e.plan.Machine.ClockGHz)
+		ctr = e.mach.Counters()
+		e.cumCtr.Add(ctr)
+	}
 	e.cumTime += simT
-	ctr := e.mach.Counters()
-	e.cumCtr.Add(ctr)
 
 	return EpochResult{
 		Epoch:    e.epoch,
 		Loss:     e.Loss(),
 		SimTime:  simT,
 		CumTime:  e.cumTime,
+		WallTime: wall,
 		Steps:    steps,
 		Counters: ctr,
-	}
+	}, nil
 }
 
 // midEpochSyncDue reports whether the asynchronous averaging worker
@@ -111,9 +128,9 @@ func (e *Engine) midEpochSyncDue(round int) bool {
 	return round%every == 0
 }
 
-// executeStep runs one row/column step for worker w and charges its
-// simulated cost.
-func (e *Engine) executeStep(w *worker, item int) {
+// executeStep runs one row/column step for worker w, charges its
+// simulated cost, and returns the step's traffic stats.
+func (e *Engine) executeStep(w *worker, item int) model.Stats {
 	var st model.Stats
 	rep := e.replicas[w.repIdx]
 	if e.plan.Access == model.RowWise {
@@ -121,8 +138,8 @@ func (e *Engine) executeStep(w *worker, item int) {
 	} else {
 		st = e.spec.ColStep(e.ds, item, rep, e.step)
 	}
-	e.cumStats.Add(st)
 	e.charge(w, st)
+	return st
 }
 
 // charge converts a step's traffic stats into simulated machine costs.
@@ -339,11 +356,22 @@ type RunResult struct {
 }
 
 // RunToLoss runs epochs until the combined-model loss drops to target
-// or maxEpochs is reached.
+// or maxEpochs is reached. It works identically on both executors.
 func (e *Engine) RunToLoss(target float64, maxEpochs int) RunResult {
+	res, _ := e.RunToLossCtx(context.Background(), target, maxEpochs)
+	return res
+}
+
+// RunToLossCtx is RunToLoss with cooperative cancellation; on
+// cancellation it returns the results accumulated so far plus ctx's
+// error.
+func (e *Engine) RunToLossCtx(ctx context.Context, target float64, maxEpochs int) (RunResult, error) {
 	var res RunResult
 	for i := 0; i < maxEpochs; i++ {
-		er := e.RunEpoch()
+		er, err := e.RunEpochCtx(ctx)
+		if err != nil {
+			return res, err
+		}
 		res.History = append(res.History, er)
 		res.Epochs = er.Epoch
 		res.Time = er.CumTime
@@ -353,7 +381,7 @@ func (e *Engine) RunToLoss(target float64, maxEpochs int) RunResult {
 			break
 		}
 	}
-	return res
+	return res, nil
 }
 
 // RunEpochs runs exactly n epochs and returns their results.

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/vec"
+)
+
+// Executor drives one epoch's worker step loops. Everything around the
+// loops — work partitioning (assignWork), replica grouping (worker →
+// locality group), end-of-epoch Combine, step decay and EpochResult
+// reporting — is shared engine code; an executor only decides how the
+// assigned items actually execute and therefore how time is accounted
+// (simulated cycles vs wall clock).
+type Executor interface {
+	// Kind identifies the backend.
+	Kind() ExecutorKind
+	// runEpoch consumes every worker's assigned item list at the
+	// engine's current step size, leaving the updated models in the
+	// engine's replicas for the shared combine. It returns the number
+	// of steps executed and their summed traffic stats. A non-nil
+	// error means ctx was cancelled mid-epoch: the replicas are
+	// partially updated and the epoch must not be counted.
+	runEpoch(ctx context.Context) (steps int, st model.Stats, err error)
+}
+
+// simExecutor is the deterministic simulated-NUMA backend: workers
+// take turns under a round-robin interleaver at ChunkSize granularity,
+// every access is charged to the cost simulator, and PerNode replicas
+// are averaged mid-epoch by the asynchronous background worker. Its
+// semantics are the figure-reproduction target and are unchanged by
+// the executor refactor.
+type simExecutor struct{ e *Engine }
+
+// Kind implements Executor.
+func (s *simExecutor) Kind() ExecutorKind { return ExecSimulated }
+
+// runEpoch implements Executor. Cancellation is observed between
+// interleaver rounds.
+func (s *simExecutor) runEpoch(ctx context.Context) (int, model.Stats, error) {
+	e := s.e
+	var st model.Stats
+	steps := 0
+	round := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return steps, st, err
+		}
+		active := false
+		for _, w := range e.workers {
+			n := e.plan.ChunkSize
+			for n > 0 && w.pos < len(w.items) {
+				st.Add(e.executeStep(w, w.items[w.pos]))
+				w.pos++
+				steps++
+				n--
+			}
+			if w.pos < len(w.items) {
+				active = true
+			}
+		}
+		if !active {
+			break
+		}
+		round++
+		if e.midEpochSyncDue(round) {
+			e.averageReplicas(true)
+		}
+	}
+	return steps, st, nil
+}
+
+// parallelExecutor is the real-concurrency backend: one goroutine per
+// worker under the Hogwild! memory model. Each locality group's
+// replica is mirrored by a vec.Atomic master; workers train on private
+// working copies and push accumulated deltas to their master every
+// ChunkSize steps (the paper's "batch writes across sockets"
+// technique, race-detector clean). Locality groups meet through the
+// engine's shared end-of-epoch combine, exactly like the simulator;
+// the simulated-cost machinery does not apply, so epochs are measured
+// in wall-clock time and the PMU-style counters stay zero.
+type parallelExecutor struct {
+	e       *Engine
+	masters []*vec.Atomic // one shared master per model replica
+	// Per-worker private working copies and flush baselines, allocated
+	// once and re-seeded from the masters every epoch: wall time is
+	// this backend's measurement, so the epoch loop must not pay
+	// per-epoch allocation and GC churn for worker state.
+	locals []*model.Replica
+	bases  [][]float64
+}
+
+// newParallelExecutor mirrors the engine's replica layout with atomic
+// masters.
+func newParallelExecutor(e *Engine) *parallelExecutor {
+	p := &parallelExecutor{e: e}
+	dim := len(e.global)
+	for range e.replicas {
+		p.masters = append(p.masters, vec.NewAtomic(dim))
+	}
+	for range e.workers {
+		p.locals = append(p.locals, e.spec.NewReplica(e.ds))
+		p.bases = append(p.bases, make([]float64, dim))
+	}
+	return p
+}
+
+// Kind implements Executor.
+func (p *parallelExecutor) Kind() ExecutorKind { return ExecParallel }
+
+// runEpoch implements Executor. Cancellation is observed between
+// flushes, so an aborted worker leaves no unflushed local work behind.
+func (p *parallelExecutor) runEpoch(ctx context.Context) (int, model.Stats, error) {
+	e := p.e
+	// Seed each master with its replica's current state (the combined
+	// model of the previous epoch, or the spec's initial model).
+	for i, r := range e.replicas {
+		p.masters[i].CopyFrom(r.X)
+	}
+	flushEvery := e.plan.ChunkSize
+	step := e.step
+
+	perSteps := make([]int, len(e.workers))
+	perStats := make([]model.Stats, len(e.workers))
+	perErr := make([]error, len(e.workers))
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			master := p.masters[w.repIdx]
+			local, base := p.locals[w.id], p.bases[w.id]
+			master.Snapshot(local.X)
+			copy(base, local.X)
+			since := 0
+			flush := func() {
+				master.AddDelta(local.X, base)
+				master.Snapshot(local.X)
+				copy(base, local.X)
+				since = 0
+			}
+			// Steps and stats accumulate in goroutine-locals and are
+			// stored into the shared slices once at exit — per-step
+			// writes to adjacent slice elements would false-share cache
+			// lines across cores in the measured hot loop.
+			var st model.Stats
+			steps := 0
+			defer func() {
+				perSteps[w.id] = steps
+				perStats[w.id] = st
+			}()
+			for _, item := range w.items {
+				st.Add(e.spec.RowStep(e.ds, item, local, step))
+				steps++
+				since++
+				if since >= flushEvery {
+					flush()
+					if err := ctx.Err(); err != nil {
+						perErr[w.id] = err
+						return
+					}
+				}
+			}
+			flush()
+		}(w)
+	}
+	wg.Wait()
+
+	var st model.Stats
+	steps := 0
+	var err error
+	for i := range e.workers {
+		steps += perSteps[i]
+		st.Add(perStats[i])
+		if perErr[i] != nil {
+			err = perErr[i]
+		}
+	}
+	// Pull the masters back into the replicas so the shared combine
+	// path sees what the goroutines produced.
+	for i, r := range e.replicas {
+		p.masters[i].Snapshot(r.X)
+	}
+	return steps, st, err
+}

@@ -102,9 +102,32 @@ func PaperCost(spec model.Spec, ds *data.Dataset, access model.Access, top numa.
 //   - data replication: FullReplication ("if there is available
 //     memory, FullReplication seems preferable", Section 3.4).
 func Choose(spec model.Spec, ds *data.Dataset, top numa.Topology) (Plan, error) {
+	return ChooseExecutor(spec, ds, top, ExecSimulated)
+}
+
+// ChooseExecutor runs the optimizer for a specific execution backend.
+// The executor narrows the plan space the cost model prices: the
+// parallel backend implements only row-wise methods (column-wise
+// auxiliary state is inconsistent under unsynchronized flushes), so
+// its candidate set is restricted to row-wise — or the choice fails
+// loudly for specs with no row-wise method (LP/QP's coordinate
+// descent) rather than silently falling back to the simulator.
+func ChooseExecutor(spec model.Spec, ds *data.Dataset, top numa.Topology, exec ExecutorKind) (Plan, error) {
 	supported := spec.Supports()
 	if len(supported) == 0 {
 		return Plan{}, fmt.Errorf("core: %s supports no access methods", spec.Name())
+	}
+	if exec == ExecParallel {
+		rowOK := false
+		for _, a := range supported {
+			if a == model.RowWise {
+				rowOK = true
+			}
+		}
+		if !rowOK {
+			return Plan{}, fmt.Errorf("core: %s has no row-wise method; the parallel executor cannot run it", spec.Name())
+		}
+		supported = []model.Access{model.RowWise}
 	}
 	best := supported[0]
 	bestCost := PaperCost(spec, ds, best, top)
@@ -114,9 +137,10 @@ func Choose(spec model.Spec, ds *data.Dataset, top numa.Topology) (Plan, error) 
 		}
 	}
 	plan := Plan{
-		Access:  best,
-		Machine: top,
-		DataRep: FullReplication,
+		Access:   best,
+		Machine:  top,
+		DataRep:  FullReplication,
+		Executor: exec,
 	}
 	if best == model.RowWise {
 		plan.ModelRep = PerNode

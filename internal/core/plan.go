@@ -11,6 +11,12 @@
 // (Figure 14). Statistical efficiency is real — the algorithms
 // actually run and converge — while hardware efficiency is accounted
 // on the internal/numa cost simulator (see DESIGN.md for why).
+//
+// Execution is pluggable (Plan.Executor): the simulated backend runs
+// the deterministic interleaver over the cost simulator, while the
+// parallel backend runs the same plan with real goroutine workers
+// under the Hogwild! memory model, measured in wall-clock time. Both
+// share one partitioning/replication/combine code path (executor.go).
 package core
 
 import (
@@ -81,6 +87,48 @@ func (d DataReplication) String() string {
 	}
 }
 
+// ExecutorKind selects the execution backend that drives an epoch's
+// worker loops. Both backends share the same partitioning, replica
+// grouping, end-of-epoch combine and step-decay code; they differ only
+// in how worker steps actually run and how time is accounted.
+type ExecutorKind int
+
+const (
+	// ExecSimulated runs the deterministic round-robin interleaver over
+	// the simulated NUMA machine; epoch time is simulated cycles. This
+	// is the figure-reproduction backend and the zero-value default.
+	ExecSimulated ExecutorKind = iota
+	// ExecParallel runs real goroutine workers under the Hogwild!
+	// memory model (component-atomic shared masters, batched flushes);
+	// epoch time is wall-clock. Row-wise access only.
+	ExecParallel
+)
+
+// String implements fmt.Stringer.
+func (k ExecutorKind) String() string {
+	switch k {
+	case ExecSimulated:
+		return "simulated"
+	case ExecParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("ExecutorKind(%d)", int(k))
+	}
+}
+
+// ExecutorByName maps the serving API's and CLIs' executor names. The
+// empty string means the simulated default.
+func ExecutorByName(name string) (ExecutorKind, error) {
+	switch name {
+	case "", "sim", "simulated":
+		return ExecSimulated, nil
+	case "parallel":
+		return ExecParallel, nil
+	default:
+		return 0, fmt.Errorf("core: unknown executor %q (want simulated or parallel)", name)
+	}
+}
+
 // Placement selects where data replicas live (Appendix A): the OS
 // default (interleaved/arbitrary) or explicit NUMA-local placement.
 type Placement int
@@ -111,6 +159,9 @@ type Plan struct {
 	ModelRep ModelReplication
 	// DataRep is the data-replication strategy.
 	DataRep DataReplication
+	// Executor selects the execution backend: the deterministic
+	// simulated-NUMA interleaver (default) or real goroutine workers.
+	Executor ExecutorKind
 	// Machine is the simulated machine to run on.
 	Machine numa.Topology
 	// Workers is the number of logical workers; 0 means all cores.
@@ -119,9 +170,12 @@ type Plan struct {
 	Step float64
 	// StepDecay multiplies Step after every epoch; 0 means a default.
 	StepDecay float64
-	// ChunkSize is the number of consecutive steps a worker executes
-	// before the deterministic interleaver moves to the next worker —
-	// the staleness granularity of shared replicas. 0 means a default.
+	// ChunkSize is the staleness granularity of shared replicas: under
+	// the simulated executor, the number of consecutive steps a worker
+	// executes before the deterministic interleaver moves to the next
+	// worker; under the parallel executor, the number of steps between
+	// a worker's batched flushes to its shared master. 0 means a
+	// default.
 	ChunkSize int
 	// SyncRounds is how many interleaver rounds pass between
 	// asynchronous model-averaging events for PerNode replication.
@@ -241,6 +295,27 @@ func (p Plan) Validate(spec model.Spec) error {
 	if !supported {
 		return fmt.Errorf("core: %s does not support %s access", spec.Name(), p.Access)
 	}
+	switch p.ModelRep {
+	case PerCore, PerNode, PerMachine:
+	default:
+		return fmt.Errorf("core: unknown model replication %v", p.ModelRep)
+	}
+	switch p.DataRep {
+	case Sharding, FullReplication, Importance:
+	default:
+		return fmt.Errorf("core: unknown data replication %v", p.DataRep)
+	}
+	switch p.Executor {
+	case ExecSimulated, ExecParallel:
+	default:
+		return fmt.Errorf("core: unknown executor %v", p.Executor)
+	}
+	if p.Executor == ExecParallel && p.Access != model.RowWise {
+		// Column-wise auxiliary state cannot be kept consistent under
+		// unsynchronized concurrent flushes; the simulator stays the
+		// only backend for coordinate methods.
+		return fmt.Errorf("core: parallel executor supports row-wise access only, got %s", p.Access)
+	}
 	if p.DataRep == Importance && (p.ImportanceFraction <= 0 || p.ImportanceFraction > 1) {
 		return fmt.Errorf("core: importance fraction %v outside (0,1]", p.ImportanceFraction)
 	}
@@ -249,6 +324,10 @@ func (p Plan) Validate(spec model.Spec) error {
 
 // String renders the plan as the paper's Figure 14 would.
 func (p Plan) String() string {
-	return fmt.Sprintf("%s/%s/%s on %s (%d workers)",
-		p.Access, p.ModelRep, p.DataRep, p.Machine.Name, p.Workers)
+	exec := ""
+	if p.Executor != ExecSimulated {
+		exec = ", " + p.Executor.String()
+	}
+	return fmt.Sprintf("%s/%s/%s on %s (%d workers%s)",
+		p.Access, p.ModelRep, p.DataRep, p.Machine.Name, p.Workers, exec)
 }

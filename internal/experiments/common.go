@@ -118,6 +118,7 @@ func Registry() []struct {
 		{"fig21", Fig21},
 		{"fig22", Fig22},
 		{"appA", AppA},
+		{"execwall", ExecWall},
 	}
 }
 

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// ExecWallEntry is one executor-comparison measurement, JSON-shaped
+// for the benchmark smoke artifact (BENCH_parallel.json, written by
+// the BenchmarkFig6Executors smoke step in CI).
+type ExecWallEntry struct {
+	Model               string  `json:"model"`
+	Dataset             string  `json:"dataset"`
+	Executor            string  `json:"executor"`
+	Plan                string  `json:"plan"`
+	Epochs              int     `json:"epochs"`
+	WallSecondsPerEpoch float64 `json:"wall_seconds_per_epoch"`
+	FinalLoss           float64 `json:"final_loss"`
+	// Error records a task/backend combination that failed to plan or
+	// build, so the artifact never silently omits coverage.
+	Error string `json:"error,omitempty"`
+}
+
+// ExecWallEntries runs the same optimizer-chosen row-wise plans on
+// both execution backends and measures real wall-clock epoch times.
+// Unlike every other experiment in this package, the object of study
+// is not the simulated clock: this is the one place the repository
+// measures how long an epoch of the engine actually takes, seeding the
+// wall-clock benchmark trajectory.
+func ExecWallEntries(quick bool) []ExecWallEntry {
+	epochs := 8
+	if quick {
+		epochs = 2
+	}
+	tasks := []struct {
+		spec model.Spec
+		ds   *data.Dataset
+	}{
+		{model.NewSVM(), data.Reuters()},
+		{model.NewLR(), data.Reuters()},
+		{model.NewLS(), data.MusicRegression()},
+	}
+	var out []ExecWallEntry
+	for _, task := range tasks {
+		for _, exec := range []core.ExecutorKind{core.ExecSimulated, core.ExecParallel} {
+			entry := ExecWallEntry{
+				Model:    task.spec.Name(),
+				Dataset:  task.ds.Name,
+				Executor: exec.String(),
+			}
+			plan, err := core.ChooseExecutor(task.spec, task.ds, numa.Local2, exec)
+			var eng *core.Engine
+			if err == nil {
+				eng, err = core.New(task.spec, task.ds, plan)
+			}
+			if err != nil {
+				entry.Error = err.Error()
+				out = append(out, entry)
+				continue
+			}
+			start := time.Now()
+			res := eng.RunToLoss(0, epochs)
+			wall := time.Since(start)
+			entry.Plan = plan.String()
+			entry.Epochs = res.Epochs
+			entry.WallSecondsPerEpoch = wall.Seconds() / float64(res.Epochs)
+			entry.FinalLoss = res.FinalLoss
+			out = append(out, entry)
+		}
+	}
+	return out
+}
+
+// ExecWall renders the executor comparison as a paper-style table.
+// Metrics report each task's final losses per backend so the harness
+// can assert simulated/parallel statistical parity.
+func ExecWall(quick bool) *Result {
+	return ExecWallResult(ExecWallEntries(quick))
+}
+
+// ExecWallResult builds the table/metrics view of measurements taken
+// by ExecWallEntries, so callers that also persist the raw entries
+// (dwbench -executors -out) measure exactly once and report one
+// consistent set of numbers.
+func ExecWallResult(entries []ExecWallEntry) *Result {
+	t := &Table{
+		Name:   "execwall",
+		Title:  "simulated vs parallel executor: wall-clock epoch time, identical plans",
+		Header: []string{"model", "dataset", "executor", "plan", "epochs", "wall s/epoch", "final loss"},
+		Notes:  "both backends share the engine's partition/replication/combine path; losses should agree, wall time is what the parallel backend buys",
+	}
+	metrics := map[string]float64{}
+	for _, e := range entries {
+		if e.Error != "" {
+			t.Rows = append(t.Rows, []string{e.Model, e.Dataset, e.Executor, "ERROR: " + e.Error, "-", "-", "-"})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Model, e.Dataset, e.Executor, e.Plan,
+			fmt.Sprintf("%d", e.Epochs),
+			fmt.Sprintf("%.4f", e.WallSecondsPerEpoch),
+			fmt.Sprintf("%.6g", e.FinalLoss),
+		})
+		metrics[fmt.Sprintf("%s_%s_loss", e.Model, e.Executor)] = e.FinalLoss
+		metrics[fmt.Sprintf("%s_%s_wall_s", e.Model, e.Executor)] = e.WallSecondsPerEpoch
+	}
+	return &Result{Table: t, Metrics: metrics}
+}

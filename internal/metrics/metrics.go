@@ -17,8 +17,13 @@ import (
 type Point struct {
 	// Epoch is the 1-based epoch number.
 	Epoch int
-	// Time is the cumulative simulated time at the end of the epoch.
+	// Time is the cumulative simulated time at the end of the epoch
+	// (zero for parallel-executor runs, which the simulator does not
+	// model).
 	Time time.Duration
+	// Wall is the cumulative measured wall-clock time at the end of
+	// the epoch — the parallel executor's time axis.
+	Wall time.Duration
 	// Loss is the objective value after the epoch.
 	Loss float64
 }
@@ -112,15 +117,18 @@ func (c *Curve) Speedup(other *Curve, target float64) (float64, bool) {
 	return theirs.Seconds() / mine.Seconds(), true
 }
 
-// WriteCSV emits "name,epoch,seconds,loss" rows for every curve, with
-// a header, suitable for external plotting.
+// WriteCSV emits "name,epoch,seconds,wall_seconds,loss" rows for every
+// curve, with a header, suitable for external plotting. seconds is the
+// simulated clock (zero for parallel-executor runs), wall_seconds the
+// measured one (the parallel backend's time axis).
 func WriteCSV(w io.Writer, curves ...*Curve) error {
-	if _, err := fmt.Fprintln(w, "name,epoch,seconds,loss"); err != nil {
+	if _, err := fmt.Fprintln(w, "name,epoch,seconds,wall_seconds,loss"); err != nil {
 		return err
 	}
 	for _, c := range curves {
 		for _, p := range c.Points {
-			if _, err := fmt.Fprintf(w, "%s,%d,%.9g,%.9g\n", c.Name, p.Epoch, p.Time.Seconds(), p.Loss); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.9g,%.9g,%.9g\n",
+				c.Name, p.Epoch, p.Time.Seconds(), p.Wall.Seconds(), p.Loss); err != nil {
 				return err
 			}
 		}

@@ -106,13 +106,13 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.HasPrefix(out, "name,epoch,seconds,loss\n") {
+	if !strings.HasPrefix(out, "name,epoch,seconds,wall_seconds,loss\n") {
 		t.Error("missing header")
 	}
 	if strings.Count(out, "\n") != 6 {
 		t.Errorf("want 6 lines, got %d:\n%s", strings.Count(out, "\n"), out)
 	}
-	if !strings.Contains(out, "run,3,0.003,0.3") {
+	if !strings.Contains(out, "run,3,0.003,") || !strings.Contains(out, ",0.3\n") {
 		t.Errorf("missing row: %s", out)
 	}
 }

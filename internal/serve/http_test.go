@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -392,4 +393,102 @@ func TestHTTPConcurrentClients(t *testing.T) {
 	if stats.Models != clients {
 		t.Errorf("models %d, want %d", stats.Models, clients)
 	}
+}
+
+// TestHTTPParallelTrainPredictRoundTrip is the acceptance-criteria
+// demo: train a model with "executor": "parallel" over the HTTP API,
+// then serve predictions from it.
+func TestHTTPParallelTrainPredictRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+
+	id, st := trainToCompletion(t, client, ts.URL, TrainRequest{
+		Model: "svm", Dataset: "reuters", Executor: "parallel", TargetLoss: 0.3, MaxEpochs: 100,
+	})
+	if !st.Converged {
+		t.Fatalf("parallel training did not reach 0.3 (loss %v after %d epochs)", st.Loss, st.Epoch)
+	}
+	if st.SimSeconds != 0 || st.WallSeconds <= 0 {
+		t.Errorf("parallel job times sim=%v wall=%v, want 0 and > 0", st.SimSeconds, st.WallSeconds)
+	}
+
+	ds, err := data.ByName("reuters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	preq := predictRequest{Model: id}
+	labels := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx, vals := ds.A.Row(i)
+		preq.Examples = append(preq.Examples, exampleJSON{Indices: idx, Values: vals})
+		labels = append(labels, ds.Labels[i])
+	}
+	var presp predictResponse
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/predict", preq, &presp); code != http.StatusOK {
+		t.Fatalf("POST /v1/predict: status %d", code)
+	}
+	if acc := model.Accuracy(presp.Predictions, labels); acc < 0.8 {
+		t.Errorf("parallel-trained accuracy %.2f, want >= 0.8", acc)
+	}
+}
+
+// TestHTTPDeleteStopsParallelJob proves DELETE /v1/jobs/{id} stops a
+// running parallel job promptly and leaks no goroutines: the worker
+// goroutine count returns to the pre-server baseline once the job is
+// cancelled and the server shut down.
+func TestHTTPDeleteStopsParallelJob(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	client := ts.Client()
+
+	var tr trainResponse
+	code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/train", TrainRequest{
+		Model: "svm", Dataset: "rcv1", Executor: "parallel", Workers: 4, MaxEpochs: 1 << 20,
+	}, &tr)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/train: status %d", code)
+	}
+
+	// Wait until the job is genuinely executing parallel epochs.
+	deadline := time.Now().Add(waitTimeout)
+	for {
+		var st JobStatus
+		doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/"+tr.JobID, nil, &st)
+		if st.State == "running" && st.Epoch >= 1 {
+			break
+		}
+		if st.State != "queued" && st.State != "running" {
+			t.Fatalf("job reached %s before cancellation", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var st JobStatus
+	if code := doJSON(t, client, http.MethodDelete, ts.URL+"/v1/jobs/"+tr.JobID, nil, &st); code != http.StatusOK {
+		t.Fatalf("DELETE: status %d", code)
+	}
+	if st = pollJob(t, client, ts.URL, tr.JobID); st.State != "cancelled" {
+		t.Fatalf("job ended %s, want cancelled", st.State)
+	}
+
+	// A 2^20-epoch job only terminates this fast because cancellation
+	// interrupts the engine; with the job gone and the server closed,
+	// every goroutine it spawned must exit.
+	client.CloseIdleConnections()
+	ts.Close()
+	srv.Close()
+	leakDeadline := time.Now().Add(waitTimeout)
+	for time.Now().Before(leakDeadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after cancel+close", before, runtime.NumGoroutine())
 }

@@ -32,18 +32,24 @@ type PlanKey struct {
 	Task string
 	// Machine is the topology name (alpha and core counts).
 	Machine string
+	// Executor is the requested execution backend: it narrows the
+	// access methods the optimizer may price (parallel is row-wise
+	// only), so the same task can cache different plans per backend.
+	Executor core.ExecutorKind
 }
 
-// KeyFor builds the cache key for a spec/dataset/topology triple.
-func KeyFor(spec model.Spec, ds *data.Dataset, top numa.Topology) PlanKey {
+// KeyFor builds the cache key for a spec/dataset/topology/executor
+// quadruple.
+func KeyFor(spec model.Spec, ds *data.Dataset, top numa.Topology, exec core.ExecutorKind) PlanKey {
 	return PlanKey{
-		Model:   spec.Name(),
-		Dataset: ds.Name,
-		Rows:    ds.Rows(),
-		Cols:    ds.Cols(),
-		NNZ:     ds.NNZ(),
-		Task:    ds.Task.String(),
-		Machine: top.Name,
+		Model:    spec.Name(),
+		Dataset:  ds.Name,
+		Rows:     ds.Rows(),
+		Cols:     ds.Cols(),
+		NNZ:      ds.NNZ(),
+		Task:     ds.Task.String(),
+		Machine:  top.Name,
+		Executor: exec,
 	}
 }
 

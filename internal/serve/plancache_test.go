@@ -16,7 +16,7 @@ func TestPlanCacheHitMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := KeyFor(spec, ds, numa.Local2)
+	key := KeyFor(spec, ds, numa.Local2, core.ExecSimulated)
 
 	if _, ok := c.Lookup(key); ok {
 		t.Fatal("empty cache reported a hit")
@@ -40,17 +40,22 @@ func TestPlanCacheHitMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Lookup(KeyFor(spec, other, numa.Local2)); ok {
+	if _, ok := c.Lookup(KeyFor(spec, other, numa.Local2, core.ExecSimulated)); ok {
 		t.Error("different dataset hit the cache")
 	}
 	// A different topology must miss too.
-	if _, ok := c.Lookup(KeyFor(spec, ds, numa.Local8)); ok {
+	if _, ok := c.Lookup(KeyFor(spec, ds, numa.Local8, core.ExecSimulated)); ok {
 		t.Error("different machine hit the cache")
+	}
+	// A different executor must miss: parallel restricts the plan
+	// space the optimizer prices.
+	if _, ok := c.Lookup(KeyFor(spec, ds, numa.Local2, core.ExecParallel)); ok {
+		t.Error("different executor hit the cache")
 	}
 
 	st := c.Stats()
-	if st.Size != 1 || st.Hits != 1 || st.Misses != 3 {
-		t.Errorf("stats = %+v, want size 1, hits 1, misses 3", st)
+	if st.Size != 1 || st.Hits != 1 || st.Misses != 4 {
+		t.Errorf("stats = %+v, want size 1, hits 1, misses 4", st)
 	}
 }
 

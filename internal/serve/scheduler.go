@@ -69,6 +69,11 @@ type TrainRequest struct {
 	// the cost-based optimizer's choice. Forced plans bypass the plan
 	// cache; the engine rejects unsupported spec/access pairs.
 	Access string `json:"access,omitempty"`
+	// Executor selects the execution backend: "simulated" (default;
+	// deterministic interleaver on the NUMA cost simulator) or
+	// "parallel" (real goroutine Hogwild workers, wall-clock epochs,
+	// cancellable mid-epoch).
+	Executor string `json:"executor,omitempty"`
 	// TargetLoss stops training early once reached; 0 runs MaxEpochs.
 	TargetLoss float64 `json:"target_loss,omitempty"`
 	// MaxEpochs bounds the run; 0 means 50.
@@ -87,8 +92,12 @@ type ProgressPoint struct {
 	Epoch int `json:"epoch"`
 	// Loss is the combined-model objective after the epoch.
 	Loss float64 `json:"loss"`
-	// SimSeconds is cumulative simulated time in seconds.
+	// SimSeconds is cumulative simulated time in seconds (zero for
+	// parallel-executor jobs).
 	SimSeconds float64 `json:"sim_seconds"`
+	// WallSeconds is cumulative measured wall-clock training time in
+	// seconds — the parallel executor's time axis.
+	WallSeconds float64 `json:"wall_seconds"`
 }
 
 // JobStatus is a point-in-time copy of a job's externally visible
@@ -109,8 +118,11 @@ type JobStatus struct {
 	Converged bool `json:"converged"`
 	// Error carries the failure message for failed jobs.
 	Error string `json:"error,omitempty"`
-	// SimSeconds is the cumulative simulated training time.
+	// SimSeconds is the cumulative simulated training time (zero for
+	// parallel-executor jobs).
 	SimSeconds float64 `json:"sim_seconds"`
+	// WallSeconds is the cumulative measured wall-clock training time.
+	WallSeconds float64 `json:"wall_seconds"`
 	// History is the per-epoch convergence curve.
 	History []ProgressPoint `json:"history,omitempty"`
 	// Enqueued, Started and Finished are wall-clock timestamps;
@@ -123,23 +135,24 @@ type JobStatus struct {
 // job is the scheduler's internal record. All mutable fields are
 // guarded by the owning scheduler's mutex.
 type job struct {
-	id      string
-	req     TrainRequest
-	spec    model.Spec
-	ds      *data.Dataset
-	top     numa.Topology
-	ctx     context.Context
-	cancel  context.CancelFunc
-	done    chan struct{}
-	state   JobState
-	plan    core.Plan
-	planned bool
-	epoch   int
-	loss    float64
-	conv    bool
-	err     string
-	simTime time.Duration
-	curve   metrics.Curve
+	id       string
+	req      TrainRequest
+	spec     model.Spec
+	ds       *data.Dataset
+	top      numa.Topology
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+	state    JobState
+	plan     core.Plan
+	planned  bool
+	epoch    int
+	loss     float64
+	conv     bool
+	err      string
+	simTime  time.Duration
+	wallTime time.Duration
+	curve    metrics.Curve
 	// histEvery is the progress-curve sampling stride; it doubles
 	// whenever the curve reaches maxHistoryPoints so very long jobs
 	// keep a bounded, evenly thinned history.
@@ -266,6 +279,9 @@ func (s *Scheduler) Submit(req TrainRequest) (string, error) {
 			return "", err
 		}
 	}
+	if _, err := core.ExecutorByName(req.Executor); err != nil {
+		return "", err
+	}
 	if req.MaxEpochs < 0 {
 		return "", fmt.Errorf("serve: negative max_epochs %d", req.MaxEpochs)
 	}
@@ -357,26 +373,36 @@ func parseAccess(name string) (model.Access, error) {
 }
 
 // planFor resolves the job's execution plan, consulting the plan cache
-// when the optimizer would decide (no access override).
-func (s *Scheduler) planFor(j *job) core.Plan {
+// when the optimizer would decide (no access override). The requested
+// executor is part of the cache key: it narrows the access methods the
+// optimizer may price, so simulated and parallel jobs for the same
+// task can legitimately cache different plans.
+func (s *Scheduler) planFor(j *job) (core.Plan, error) {
+	exec, _ := core.ExecutorByName(j.req.Executor) // validated at Submit
 	if j.req.Access != "" {
 		access, _ := parseAccess(j.req.Access)
-		return core.Plan{Access: access, Machine: j.top, DataRep: core.FullReplication}
+		return core.Plan{Access: access, Machine: j.top, DataRep: core.FullReplication, Executor: exec}, nil
 	}
-	key := KeyFor(j.spec, j.ds, j.top)
+	key := KeyFor(j.spec, j.ds, j.top, exec)
 	if plan, ok := s.plans.Lookup(key); ok {
 		s.counters.PlanCacheHit()
-		return plan
+		return plan, nil
 	}
 	s.counters.PlanCacheMiss()
-	plan, err := core.Choose(j.spec, j.ds, j.top)
+	plan, err := core.ChooseExecutor(j.spec, j.ds, j.top, exec)
 	if err != nil {
+		if exec == core.ExecParallel {
+			// No row-wise method: the parallel backend genuinely
+			// cannot run this spec; fail the job loudly instead of
+			// silently training on the simulator.
+			return core.Plan{}, err
+		}
 		// Leave the choice to the engine's own validation; an
 		// unusable plan fails the job with the engine's error.
-		return core.Plan{Machine: j.top}
+		return core.Plan{Machine: j.top, Executor: exec}, nil
 	}
 	s.plans.Store(key, plan)
-	return plan
+	return plan, nil
 }
 
 // run executes one job on the calling worker goroutine.
@@ -390,7 +416,11 @@ func (s *Scheduler) run(j *job) {
 	j.started = time.Now()
 	s.mu.Unlock()
 
-	plan := s.planFor(j)
+	plan, err := s.planFor(j)
+	if err != nil {
+		s.finish(j, JobFailed, err.Error())
+		return
+	}
 	if j.req.Workers > 0 {
 		plan.Workers = j.req.Workers
 	}
@@ -419,17 +449,25 @@ func (s *Scheduler) run(j *job) {
 			return
 		default:
 		}
-		er := eng.RunEpoch()
+		// The engine observes j.ctx inside the epoch too, so DELETE on
+		// a parallel job aborts between worker flushes rather than
+		// waiting out the epoch.
+		er, err := eng.RunEpochCtx(j.ctx)
+		if err != nil {
+			s.finish(j, JobCancelled, "")
+			return
+		}
 
 		s.mu.Lock()
 		j.epoch = er.Epoch
 		j.loss = er.Loss
 		j.simTime = er.CumTime
+		j.wallTime += er.WallTime
 		if j.histEvery == 0 {
 			j.histEvery = 1
 		}
 		if er.Epoch%j.histEvery == 0 {
-			_ = j.curve.Append(metrics.Point{Epoch: er.Epoch, Time: er.CumTime, Loss: er.Loss})
+			_ = j.curve.Append(metrics.Point{Epoch: er.Epoch, Time: er.CumTime, Wall: j.wallTime, Loss: er.Loss})
 			if len(j.curve.Points) >= maxHistoryPoints {
 				j.histEvery *= 2
 				kept := j.curve.Points[:0]
@@ -539,24 +577,25 @@ func (s *Scheduler) Jobs() []JobStatus {
 // statusLocked snapshots one job; callers hold s.mu.
 func (s *Scheduler) statusLocked(j *job) JobStatus {
 	st := JobStatus{
-		ID:         j.id,
-		State:      j.state.String(),
-		Request:    j.req,
-		Epoch:      j.epoch,
-		Loss:       j.loss,
-		Converged:  j.conv,
-		Error:      j.err,
-		SimSeconds: j.simTime.Seconds(),
-		Enqueued:   j.enqueued,
-		Started:    j.started,
-		Finished:   j.finished,
+		ID:          j.id,
+		State:       j.state.String(),
+		Request:     j.req,
+		Epoch:       j.epoch,
+		Loss:        j.loss,
+		Converged:   j.conv,
+		Error:       j.err,
+		SimSeconds:  j.simTime.Seconds(),
+		WallSeconds: j.wallTime.Seconds(),
+		Enqueued:    j.enqueued,
+		Started:     j.started,
+		Finished:    j.finished,
 	}
 	if j.planned {
 		st.Plan = j.plan.String()
 	}
 	for _, p := range j.curve.Points {
 		st.History = append(st.History, ProgressPoint{
-			Epoch: p.Epoch, Loss: p.Loss, SimSeconds: p.Time.Seconds(),
+			Epoch: p.Epoch, Loss: p.Loss, SimSeconds: p.Time.Seconds(), WallSeconds: p.Wall.Seconds(),
 		})
 	}
 	return st

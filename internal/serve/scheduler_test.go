@@ -338,3 +338,44 @@ func TestSchedulerClosedRejectsSubmit(t *testing.T) {
 		t.Fatal("closed scheduler accepted a job")
 	}
 }
+
+func TestSchedulerParallelExecutorJob(t *testing.T) {
+	s := newTestScheduler(t, Options{})
+	id, err := s.Submit(TrainRequest{Model: "svm", Dataset: "reuters", Executor: "parallel", MaxEpochs: 5})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := s.Wait(id, waitTimeout)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != "done" {
+		t.Fatalf("state = %s (err %q), want done", st.State, st.Error)
+	}
+	if !strings.Contains(st.Plan, "parallel") {
+		t.Errorf("plan %q does not name the parallel executor", st.Plan)
+	}
+	// Parallel epochs are wall-clock, not simulated.
+	if st.SimSeconds != 0 {
+		t.Errorf("parallel job reported %v simulated seconds", st.SimSeconds)
+	}
+	if st.WallSeconds <= 0 {
+		t.Error("parallel job reported no wall-clock time")
+	}
+	for _, p := range st.History {
+		if p.WallSeconds <= 0 {
+			t.Fatalf("history point %d has no wall time", p.Epoch)
+		}
+	}
+	// The trained model is registered and servable like any other.
+	if _, _, ok := s.Models().Get(id); !ok {
+		t.Error("parallel job did not register its model")
+	}
+}
+
+func TestSchedulerRejectsUnknownExecutor(t *testing.T) {
+	s := newTestScheduler(t, Options{})
+	if _, err := s.Submit(TrainRequest{Model: "svm", Dataset: "reuters", Executor: "threads"}); err == nil {
+		t.Fatal("unknown executor accepted")
+	}
+}

@@ -60,6 +60,18 @@ func (a *Atomic) Snapshot(dst []float64) {
 	}
 }
 
+// AddDelta atomically adds cur[i]-base[i] to every component whose
+// delta is nonzero — one worker's batched flush of locally accumulated
+// updates to a shared master (the paper's "batch writes across
+// sockets" technique). cur and base must have length Len().
+func (a *Atomic) AddDelta(cur, base []float64) {
+	for i := range a.bits {
+		if d := cur[i] - base[i]; d != 0 {
+			a.Add(i, d)
+		}
+	}
+}
+
 // CopyFrom atomically stores each component of src, which must have
 // length Len().
 func (a *Atomic) CopyFrom(src []float64) {

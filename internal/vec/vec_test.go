@@ -193,3 +193,19 @@ func anyNaN(v []float64) bool {
 	}
 	return false
 }
+
+func TestAtomicAddDelta(t *testing.T) {
+	a := NewAtomic(4)
+	a.CopyFrom([]float64{1, 2, 3, 4})
+	base := []float64{1, 2, 3, 4}
+	cur := []float64{1, 2.5, 3, 3}
+	a.AddDelta(cur, base)
+	got := make([]float64, 4)
+	a.Snapshot(got)
+	want := []float64{1, 2.5, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("component %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
