@@ -366,17 +366,54 @@ func BenchmarkOptMethods(b *testing.B) {
 }
 
 // BenchmarkGibbsThroughput measures the sampler's variables/second
-// under both chain strategies (Figure 17b's raw metric).
+// under both chain placements (Figure 17b's raw metric), through the
+// workload engine.
 func BenchmarkGibbsThroughput(b *testing.B) {
 	g := factor.Paleo()
-	for _, strat := range []factor.ChainStrategy{factor.SingleChain, factor.ChainPerNode} {
-		b.Run(strat.String(), func(b *testing.B) {
+	plans := []struct {
+		name string
+		plan core.Plan
+	}{
+		{"PerMachine", core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 1}},
+		{"PerNode", core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 1}},
+	}
+	for _, c := range plans {
+		b.Run(c.name, func(b *testing.B) {
 			var tp float64
 			for i := 0; i < b.N; i++ {
-				s := factor.NewSampler(g, numa.Local2, strat, 1)
-				tp = s.RunSweeps(2).Throughput
+				eng, err := core.NewWorkload(factor.NewWorkload(g), c.plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps := 0
+				for _, er := range eng.RunEpochs(2) {
+					steps += er.Steps
+				}
+				tp = float64(steps) / eng.SimTime().Seconds()
 			}
 			b.ReportMetric(tp/1e6, "Msamples/s")
 		})
+	}
+}
+
+// BenchmarkGibbsExecutors measures real wall-clock sweep times of the
+// simulated and parallel executors on identical Gibbs plans and writes
+// the measurements to BENCH_gibbs.json — the CI bench smoke step
+// (-bench='BenchmarkFig6Executors|BenchmarkGibbsExecutors'
+// -benchtime=1x) seeds the sampling wall-clock trajectory from it.
+func BenchmarkGibbsExecutors(b *testing.B) {
+	var entries []experiments.GibbsWallEntry
+	for i := 0; i < b.N; i++ {
+		entries = experiments.GibbsWallEntries(true)
+	}
+	for _, e := range entries {
+		b.ReportMetric(e.SamplesPerSec/1e6, e.ModelRep+"_"+e.Executor+"_Msamples/s")
+	}
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_gibbs.json", buf, 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

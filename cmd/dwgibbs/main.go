@@ -1,10 +1,12 @@
 // Command dwgibbs runs Gibbs sampling over a factor graph supplied in
-// the text format of internal/factor (vars/factor directives), using
-// either the single Hogwild!-style chain or DimmWitted's chain-per-
-// node strategy, and prints the estimated marginals.
+// the text format of internal/factor (vars/factor directives), through
+// the workload engine: chains map onto the chosen model replication
+// (permachine — one Hogwild! chain; pernode — DimmWitted's chain per
+// socket; percore — a chain per worker) and run on either the
+// simulated-NUMA executor or real concurrent goroutine samplers.
 //
-//	dwgibbs -graph model.fg -sweeps 2000 -burnin 200 -strategy pernode
-//	dwgibbs -demo            # run the built-in Paleo-scale demo graph
+//	dwgibbs -graph model.fg -sweeps 2000 -burnin 200 -modelrep pernode
+//	dwgibbs -demo -executor parallel      # Hogwild!-Gibbs on real goroutines
 package main
 
 import (
@@ -12,7 +14,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
+	"dimmwitted/internal/core"
 	"dimmwitted/internal/factor"
 	"dimmwitted/internal/numa"
 )
@@ -22,7 +27,8 @@ func main() {
 	demo := flag.Bool("demo", false, "use the built-in Paleo-scale graph")
 	sweeps := flag.Int("sweeps", 1000, "sampling sweeps after burn-in")
 	burnin := flag.Int("burnin", 100, "burn-in sweeps to discard")
-	strategy := flag.String("strategy", "pernode", "chain strategy: pernode or single")
+	modelRep := flag.String("modelrep", "pernode", "chain placement: permachine, pernode, percore")
+	executor := flag.String("executor", "simulated", "execution backend: simulated, parallel")
 	machine := flag.String("machine", "local2", "simulated machine")
 	seed := flag.Int64("seed", 1, "random seed")
 	top := flag.Int("top", 20, "print only the top-N most polarised variables (0 = all)")
@@ -55,29 +61,53 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	var strat factor.ChainStrategy
-	switch *strategy {
+	exec, err := core.ExecutorByName(*executor)
+	if err != nil {
+		die(err)
+	}
+	plan := core.Plan{Machine: topo, Executor: exec, Seed: *seed}
+	switch strings.ToLower(*modelRep) {
+	case "permachine", "single":
+		plan.ModelRep, plan.DataRep = core.PerMachine, core.Sharding
 	case "pernode":
-		strat = factor.ChainPerNode
-	case "single":
-		strat = factor.SingleChain
+		plan.ModelRep, plan.DataRep = core.PerNode, core.FullReplication
+	case "percore":
+		plan.ModelRep, plan.DataRep = core.PerCore, core.FullReplication
 	default:
-		die(fmt.Errorf("unknown strategy %q (pernode, single)", *strategy))
+		die(fmt.Errorf("unknown model replication %q (permachine, pernode, percore)", *modelRep))
+	}
+
+	wl := factor.NewWorkload(g)
+	eng, err := core.NewWorkload(wl, plan)
+	if err != nil {
+		die(err)
 	}
 
 	fmt.Printf("graph: %d variables, %d factors, %d incidences\n", g.NumVars, len(g.Factors), g.NNZ())
-	fmt.Printf("strategy: %s on %s\n\n", strat, topo)
+	fmt.Printf("plan: %s (%d chains)\n\n", eng.Plan(), eng.Replicas())
 
-	s := factor.NewSampler(g, topo, strat, *seed)
 	if *burnin > 0 {
-		s.RunSweeps(*burnin)
-		s.DiscardBurnIn()
+		eng.RunEpochs(*burnin)
+		wl.DiscardBurnIn()
 	}
-	res := s.RunSweeps(*sweeps)
-	fmt.Printf("%d sweeps, %d samples, %v simulated, %.3gM samples/s\n\n",
-		res.Sweeps, res.Samples, res.SimTime, res.Throughput/1e6)
+	// Throughput covers the measurement sweeps only — the cumulative
+	// engine clocks would fold the burn-in in.
+	samples := 0
+	var simT, wallT time.Duration
+	for _, er := range eng.RunEpochs(*sweeps) {
+		samples += er.Steps
+		simT += er.SimTime
+		wallT += er.WallTime
+	}
+	if exec == core.ExecParallel {
+		fmt.Printf("%d sweeps/chain, %d samples, %v wall clock, %.3gM samples/s\n\n",
+			*sweeps, samples, wallT, float64(samples)/wallT.Seconds()/1e6)
+	} else {
+		fmt.Printf("%d sweeps/chain, %d samples, %v simulated, %.3gM samples/s\n\n",
+			*sweeps, samples, simT, float64(samples)/simT.Seconds()/1e6)
+	}
 
-	marg := s.Marginals()
+	marg := eng.Model()
 	type vm struct {
 		v int
 		p float64

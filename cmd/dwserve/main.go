@@ -7,9 +7,13 @@
 //	dwserve -addr :9000 -machine local8     # 8 sockets, 8 job slots
 //	dwserve -slots 4 -queue 1024
 //
-// Example session:
+// Example session (the "workload" knob selects GLM training — the
+// default — Gibbs sampling over a registered factor graph, or neural-
+// network training over a registered image corpus):
 //
 //	curl -s localhost:8080/v1/train -d '{"model":"svm","dataset":"reuters","target_loss":0.3}'
+//	curl -s localhost:8080/v1/train -d '{"workload":"gibbs","dataset":"paleo","executor":"parallel"}'
+//	curl -s localhost:8080/v1/train -d '{"workload":"nn","dataset":"mnist","max_epochs":20}'
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -s localhost:8080/v1/predict -d '{"model":"job-1","examples":[{"indices":[3,17],"values":[1,0.5]}]}'
 //	curl -s localhost:8080/v1/stats
@@ -23,6 +27,8 @@ import (
 	"os"
 
 	"dimmwitted/internal/data"
+	"dimmwitted/internal/factor"
+	"dimmwitted/internal/nn"
 	"dimmwitted/internal/numa"
 	"dimmwitted/internal/serve"
 )
@@ -47,7 +53,7 @@ func main() {
 	})
 	defer srv.Close()
 
-	log.Printf("dwserve: listening on %s, machine %s, %d training slots, datasets %v",
-		*addr, top.Name, srv.Scheduler().Slots(), data.Names())
+	log.Printf("dwserve: listening on %s, machine %s, %d training slots, datasets %v, graphs %v, nn datasets %v",
+		*addr, top.Name, srv.Scheduler().Slots(), data.Names(), factor.GraphNames(), nn.DatasetNames())
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

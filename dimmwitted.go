@@ -34,7 +34,9 @@ package dimmwitted
 import (
 	"dimmwitted/internal/core"
 	"dimmwitted/internal/data"
+	"dimmwitted/internal/factor"
 	"dimmwitted/internal/model"
+	"dimmwitted/internal/nn"
 	"dimmwitted/internal/numa"
 	"dimmwitted/internal/serve"
 )
@@ -111,6 +113,74 @@ const (
 // ExecutorByName maps executor names ("simulated", "parallel"; ""
 // means simulated).
 func ExecutorByName(name string) (ExecutorKind, error) { return core.ExecutorByName(name) }
+
+// Workload is one analytics task the engine can execute: partitionable
+// units, per-replica state, an update step, a combine and a quality
+// metric. GLM training, Gibbs sampling and NN training all run through
+// it.
+type Workload = core.Workload
+
+// WorkloadKind identifies a workload family for plans, snapshots and
+// the serving API.
+type WorkloadKind = core.WorkloadKind
+
+// Workload families.
+const (
+	WorkloadGLM   = core.WorkloadGLM
+	WorkloadGibbs = core.WorkloadGibbs
+	WorkloadNN    = core.WorkloadNN
+)
+
+// WorkloadByName maps workload names ("glm", "gibbs", "nn"; "" means
+// glm).
+func WorkloadByName(name string) (WorkloadKind, error) { return core.WorkloadByName(name) }
+
+// NewWorkloadEngine builds an engine for any workload (GLMWorkload,
+// GibbsWorkload, NNWorkload). A workload instance binds to one engine.
+func NewWorkloadEngine(wl Workload, plan Plan) (*Engine, error) { return core.NewWorkload(wl, plan) }
+
+// GLMWorkload wraps a model spec and dataset as an engine workload —
+// what New uses internally.
+func GLMWorkload(spec Spec, ds *Dataset) Workload { return core.NewGLM(spec, ds) }
+
+// FactorGraph is a factor graph over boolean variables, the Gibbs
+// workload's data.
+type FactorGraph = factor.Graph
+
+// GibbsWorkload wraps a factor graph as an engine workload: chains map
+// onto the plan's model replicas, variables onto work units.
+func GibbsWorkload(g *FactorGraph) *factor.Workload { return factor.NewWorkload(g) }
+
+// GraphByName returns a registered factor graph ("paleo", "cycle5",
+// ...), the names the serving API's gibbs jobs accept.
+func GraphByName(name string) (*FactorGraph, error) { return factor.GraphByName(name) }
+
+// GraphNames lists the registered factor graph names.
+func GraphNames() []string { return factor.GraphNames() }
+
+// NNDataset is a labelled image dataset for the NN workload.
+type NNDataset = nn.Dataset
+
+// NNWorkload wraps an image dataset as an engine workload: network
+// replicas map onto the plan's model replicas, examples onto work
+// units. Sizes nil means the scaled LeCun architecture.
+func NNWorkload(ds *NNDataset, sizes []int, seed int64) (*nn.Workload, error) {
+	return nn.NewWorkload(ds, nn.WorkloadConfig{Sizes: sizes, Seed: seed})
+}
+
+// NNDatasetByName returns a registered image dataset and its network
+// architecture ("mnist", ...), the names the serving API's nn jobs
+// accept.
+func NNDatasetByName(name string) (*NNDataset, []int, error) { return nn.DatasetByName(name) }
+
+// NNDatasetNames lists the registered NN dataset names.
+func NNDatasetNames() []string { return nn.DatasetNames() }
+
+// ChooseWorkload runs a workload's cost-based optimizer for a topology
+// and execution backend.
+func ChooseWorkload(wl Workload, top Topology, exec ExecutorKind) (Plan, error) {
+	return core.ChooseWorkload(wl, top, exec)
+}
 
 // The paper's five machine configurations (Figure 3).
 var (

@@ -1,36 +1,33 @@
 // Gibbs sampling on factor graphs: the paper's first extension
-// (Section 5.1). Validates the sampler against exact inference on a
-// small graph, then reproduces the PerNode-chains-vs-single-chain
-// throughput comparison on the Paleo-scale graph.
+// (Section 5.1), run through the workload engine. Validates the
+// sampler against exact inference on a small graph, then reproduces
+// the PerNode-chains-vs-single-chain throughput comparison on the
+// Paleo-scale graph — and shows the same plan running with real
+// concurrent goroutine samplers (Hogwild!-Gibbs).
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"dimmwitted/internal/core"
 	"dimmwitted/internal/factor"
-	"dimmwitted/internal/numa"
 )
 
 func main() {
 	// A small loopy graph where exact marginals are tractable.
-	small, err := factor.NewGraph(5, []factor.Factor{
-		{Vars: []int32{0, 1}, Weight: 1.2},
-		{Vars: []int32{1, 2}, Weight: -0.8},
-		{Vars: []int32{2, 3}, Weight: 0.5},
-		{Vars: []int32{3, 4}, Weight: 1.5},
-		{Vars: []int32{0, 4}, Weight: 0.3},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	small := factor.Cycle5()
 	exact, err := factor.ExactMarginals(small)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := factor.NewSampler(small, numa.Local2, factor.ChainPerNode, 7)
-	s.RunSweeps(3000)
-	got := s.Marginals()
+	eng, err := core.NewWorkload(factor.NewWorkload(small),
+		core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.RunEpochs(3000)
+	got := eng.Model()
 	fmt.Println("variable  exact P(x=1)  Gibbs estimate")
 	for v := range exact {
 		fmt.Printf("%-9d %-13.3f %.3f\n", v, exact[v], got[v])
@@ -41,9 +38,35 @@ func main() {
 	g := factor.Paleo()
 	fmt.Printf("\npaleo-scale graph: %d variables, %d factors, %d incidences\n",
 		g.NumVars, len(g.Factors), g.NNZ())
-	single := factor.NewSampler(g, numa.Local2, factor.SingleChain, 1).RunSweeps(3)
-	perNode := factor.NewSampler(g, numa.Local2, factor.ChainPerNode, 1).RunSweeps(3)
-	fmt.Printf("single chain (PerMachine): %.2fM samples/s\n", single.Throughput/1e6)
-	fmt.Printf("chain per node (PerNode):  %.2fM samples/s\n", perNode.Throughput/1e6)
-	fmt.Printf("speedup: %.1fx (paper Figure 17b: ~4x)\n", perNode.Throughput/single.Throughput)
+	simThroughput := func(plan core.Plan) float64 {
+		eng, err := core.NewWorkload(factor.NewWorkload(g), plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		steps := 0
+		for _, er := range eng.RunEpochs(3) {
+			steps += er.Steps
+		}
+		return float64(steps) / eng.SimTime().Seconds()
+	}
+	// The classic baseline is NUMA-oblivious: OS-interleaved storage.
+	single := simThroughput(core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Placement: core.PlacementOS, Seed: 1})
+	perNode := simThroughput(core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 1})
+	fmt.Printf("single chain (PerMachine): %.2fM samples/s\n", single/1e6)
+	fmt.Printf("chain per node (PerNode):  %.2fM samples/s\n", perNode/1e6)
+	fmt.Printf("speedup: %.1fx (paper Figure 17b: ~4x)\n", perNode/single)
+
+	// The same chain-per-node plan on the parallel executor: real
+	// goroutines sampling concurrently, measured in wall-clock time.
+	par, err := core.NewWorkload(factor.NewWorkload(g),
+		core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Executor: core.ExecParallel, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := 0
+	for _, er := range par.RunEpochs(3) {
+		steps += er.Steps
+	}
+	fmt.Printf("\nparallel executor (goroutine Hogwild!-Gibbs): %d samples in %v wall clock\n",
+		steps, par.WallTime())
 }

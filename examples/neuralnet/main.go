@@ -1,14 +1,16 @@
 // Deep neural network training: the paper's second extension
-// (Section 5.2). Trains the scaled seven-layer network on a synthetic
-// MNIST-like dataset and compares LeCun's classical layout (one
-// machine-shared network, sharded data) against DimmWitted's (one
-// network per NUMA node, fully replicated data).
+// (Section 5.2), run through the workload engine. Trains the scaled
+// seven-layer network on a synthetic MNIST-like dataset and compares
+// LeCun's classical layout (one machine-shared network, sharded data)
+// against DimmWitted's (one network per NUMA node, fully replicated
+// data) — both as ordinary engine plans.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"dimmwitted/internal/core"
 	"dimmwitted/internal/nn"
 )
 
@@ -18,27 +20,34 @@ func main() {
 	fmt.Printf("dataset: %d examples, %d classes; network %v (%d parameters)\n\n",
 		len(ds.Images), ds.Classes, sizes, nn.NewNetwork(sizes, 1).NumParams())
 
-	dw, err := nn.NewTrainer(ds, nn.TrainerConfig{Strategy: nn.DimmWitted(), Seed: 2})
-	if err != nil {
-		log.Fatal(err)
+	build := func(plan core.Plan) (*nn.Workload, *core.Engine) {
+		wl, err := nn.NewWorkload(ds, nn.WorkloadConfig{Seed: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := core.NewWorkload(wl, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return wl, eng
 	}
-	classic, err := nn.NewTrainer(ds, nn.TrainerConfig{Strategy: nn.Classic(), Seed: 2})
-	if err != nil {
-		log.Fatal(err)
-	}
+	dwWl, dw := build(core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 2})
+	_, classic := build(core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 2})
 
-	fmt.Printf("training with %s vs %s\n\n", nn.DimmWitted(), nn.Classic())
+	fmt.Println("training with PerNode/FullReplication vs PerMachine/Sharding")
 	fmt.Println("epoch  DW loss   DW acc   classic loss  classic acc")
 	for i := 0; i < 6; i++ {
 		d := dw.RunEpoch()
 		c := classic.RunEpoch()
 		fmt.Printf("%-6d %-9.4f %-8.3f %-13.4f %.3f\n",
-			d.Epoch, d.Loss, dw.Net.Accuracy(ds), c.Loss, classic.Net.Accuracy(ds))
+			d.Epoch, d.Loss, dw.Metrics()["accuracy"], c.Loss, classic.Metrics()["accuracy"])
 	}
 
 	dLast := dw.RunEpoch()
 	cLast := classic.RunEpoch()
+	neurons := float64(dwWl.NumNeurons())
+	dTP := float64(dLast.Steps) * neurons / dLast.SimTime.Seconds()
+	cTP := float64(cLast.Steps) * neurons / cLast.SimTime.Seconds()
 	fmt.Printf("\nneuron throughput: DW %.2fM/s vs classic %.2fM/s — %.1fx (paper Figure 17b: >10x)\n",
-		dLast.NeuronThroughput/1e6, cLast.NeuronThroughput/1e6,
-		dLast.NeuronThroughput/cLast.NeuronThroughput)
+		dTP/1e6, cTP/1e6, dTP/cTP)
 }

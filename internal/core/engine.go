@@ -18,19 +18,19 @@ const flopCycles = 0.5
 // (4-byte column index per 8-byte value: 1.5 words per nonzero).
 const csrOverhead = 1.5
 
-// Engine executes one analytics task — a model specification bound to
-// a dataset — under an execution plan, on a simulated NUMA machine.
-// Create one with New, then drive it with RunEpoch or RunToLoss.
+// Engine executes one analytics workload under an execution plan, on a
+// simulated NUMA machine or with real goroutine workers. Create one
+// with New (GLM tasks) or NewWorkload (any workload), then drive it
+// with RunEpoch or RunToLoss.
 //
 // An Engine is not safe for concurrent use.
 type Engine struct {
-	spec model.Spec
-	ds   *data.Dataset
+	wl   Workload
 	plan Plan
 	mach *numa.Machine
 
 	workers  []*worker
-	replicas []*model.Replica
+	replicas []*WorkState
 	modelReg []*numa.Region
 	auxReg   []*numa.Region
 	bg       *numa.Core
@@ -45,10 +45,6 @@ type Engine struct {
 	cumStats model.Stats
 	cumCtr   numa.Counters
 	rng      *rand.Rand
-
-	// probe holds averaged per-step traffic, measured once at startup
-	// and reused by contention estimation and the optimizer.
-	probe model.Stats
 
 	// leverage sampling state for Importance data replication.
 	levCum []float64
@@ -65,31 +61,46 @@ type worker struct {
 	pos     int
 }
 
-// New builds an engine. The plan is normalized (defaults filled) and
-// validated against the spec; the locality groups — model replicas,
-// their simulated memory regions, and per-worker data regions — are
-// laid out according to the plan's replication and placement choices.
+// New builds an engine for the classic GLM task: a model specification
+// bound to a dataset. It is a thin wrapper over NewWorkload with the
+// behavior-preserving GLM adapter.
 func New(spec model.Spec, ds *data.Dataset, plan Plan) (*Engine, error) {
-	plan = plan.Normalize(spec)
-	if err := plan.Validate(spec); err != nil {
+	return NewWorkload(NewGLM(spec, ds), plan)
+}
+
+// NewWorkload builds an engine for any workload. The plan is
+// normalized (generic defaults, then the workload's) and validated;
+// the locality groups — replicas, their simulated memory regions, and
+// per-worker data regions — are laid out according to the plan's
+// replication and placement choices. The workload binds to this engine
+// (Bind, NewReplica) and must not be reused for another.
+func NewWorkload(wl Workload, plan Plan) (*Engine, error) {
+	plan = plan.normalizeCommon()
+	plan = wl.NormalizePlan(plan)
+	if err := plan.validateCommon(); err != nil {
 		return nil, err
 	}
-	if err := ds.Validate(); err != nil {
+	supported := false
+	for _, a := range wl.Supports() {
+		if a == plan.Access {
+			supported = true
+		}
+	}
+	if !supported {
+		return nil, fmt.Errorf("core: %s does not support %s access", wl.Name(), plan.Access)
+	}
+	if err := wl.ValidatePlan(plan); err != nil {
 		return nil, err
 	}
-	if plan.DataRep == Importance && plan.Access != model.RowWise {
-		return nil, fmt.Errorf("core: Importance data replication requires row-wise access")
-	}
+	wl.Bind(plan)
 
 	e := &Engine{
-		spec: spec,
-		ds:   ds,
+		wl:   wl,
 		plan: plan,
 		mach: numa.New(plan.Machine),
 		step: plan.Step,
 		rng:  rand.New(rand.NewSource(plan.Seed)),
 	}
-	e.probe = ProbeStats(spec, ds, plan.Access, 64)
 
 	// Workers spread evenly across nodes (the appendix's NUMA thread
 	// protocol), node-minor so worker i sits on node i mod Nodes.
@@ -104,23 +115,21 @@ func New(spec model.Spec, ds *data.Dataset, plan Plan) (*Engine, error) {
 		e.workers = append(e.workers, &worker{id: i, core: e.mach.Core(node*per + slot)})
 	}
 
-	// Model replicas: one per locality group.
-	proto := spec.NewReplica(ds)
-	dim := len(proto.X)
-	modelBytes := int64(dim) * numa.WordBytes
-	auxBytes := int64(len(proto.Aux)) * numa.WordBytes
+	// Model replicas: one per locality group, sized and contention-
+	// estimated by the workload's layout.
+	layout := wl.Layout()
 	switch plan.ModelRep {
 	case PerMachine:
-		e.replicas = []*model.Replica{proto}
-		reg := e.mach.NewInterleavedRegion("model", modelBytes, numa.MachineShared)
-		reg.WriteCollisionProb = e.collisionProb(e.probe.ModelWrites, effectiveModelWords(ds, plan.Access, dim))
+		e.replicas = []*WorkState{wl.NewReplica(0, plan.Seed)}
+		reg := e.mach.NewInterleavedRegion("model", layout.ModelBytes, numa.MachineShared)
+		reg.WriteCollisionProb = layout.ModelCollisionProb
 		e.modelReg = []*numa.Region{reg}
-		if proto.Aux != nil {
+		if layout.AuxBytes > 0 {
 			// The auxiliary residual cache is data-adjacent per-row
 			// state with single-writer ownership per column step (the
 			// role GraphLab's edge data plays); it lives with the data
 			// and never pays the machine-shared contention factor.
-			areg := e.mach.NewInterleavedRegion("aux", auxBytes, numa.NodeShared)
+			areg := e.mach.NewInterleavedRegion("aux", layout.AuxBytes, numa.NodeShared)
 			e.auxReg = []*numa.Region{areg}
 		}
 		for _, w := range e.workers {
@@ -132,16 +141,12 @@ func New(spec model.Spec, ds *data.Dataset, plan Plan) (*Engine, error) {
 			usedNodes = plan.Workers
 		}
 		for n := 0; n < usedNodes; n++ {
-			rep := proto
-			if n > 0 {
-				rep = spec.NewReplica(ds)
-			}
-			e.replicas = append(e.replicas, rep)
+			e.replicas = append(e.replicas, wl.NewReplica(n, plan.Seed))
 			e.modelReg = append(e.modelReg,
-				e.mach.NewRegion(fmt.Sprintf("model-n%d", n), modelBytes, n, numa.NodeShared))
-			if rep.Aux != nil {
+				e.mach.NewRegion(fmt.Sprintf("model-n%d", n), layout.ModelBytes, n, numa.NodeShared))
+			if layout.AuxBytes > 0 {
 				e.auxReg = append(e.auxReg,
-					e.mach.NewRegion(fmt.Sprintf("aux-n%d", n), auxBytes, n, numa.NodeShared))
+					e.mach.NewRegion(fmt.Sprintf("aux-n%d", n), layout.AuxBytes, n, numa.NodeShared))
 			}
 		}
 		for _, w := range e.workers {
@@ -149,33 +154,26 @@ func New(spec model.Spec, ds *data.Dataset, plan Plan) (*Engine, error) {
 		}
 	case PerCore:
 		for i, w := range e.workers {
-			rep := proto
-			if i > 0 {
-				rep = spec.NewReplica(ds)
-			}
-			e.replicas = append(e.replicas, rep)
+			e.replicas = append(e.replicas, wl.NewReplica(i, plan.Seed))
 			e.modelReg = append(e.modelReg,
-				e.mach.NewRegion(fmt.Sprintf("model-c%d", i), modelBytes, w.core.Node, numa.Private))
-			if rep.Aux != nil {
+				e.mach.NewRegion(fmt.Sprintf("model-c%d", i), layout.ModelBytes, w.core.Node, numa.Private))
+			if layout.AuxBytes > 0 {
 				e.auxReg = append(e.auxReg,
-					e.mach.NewRegion(fmt.Sprintf("aux-c%d", i), auxBytes, w.core.Node, numa.Private))
+					e.mach.NewRegion(fmt.Sprintf("aux-c%d", i), layout.AuxBytes, w.core.Node, numa.Private))
 			}
 			w.repIdx = i
 		}
-	default:
-		return nil, fmt.Errorf("core: unknown model replication %v", plan.ModelRep)
 	}
 
 	// Data replicas: one region per worker. Under NUMA placement each
 	// worker's data lives on its own node (Sharding places the shard
 	// there; FullReplication places the node's full copy there); under
 	// OS placement everything is interleaved.
-	dataBytes := ds.A.Bytes()
 	for _, w := range e.workers {
 		if plan.Placement == PlacementOS {
-			w.dataReg = e.mach.NewInterleavedRegion(fmt.Sprintf("data-w%d", w.id), dataBytes, numa.Private)
+			w.dataReg = e.mach.NewInterleavedRegion(fmt.Sprintf("data-w%d", w.id), layout.DataBytes, numa.Private)
 		} else {
-			w.dataReg = e.mach.NewRegion(fmt.Sprintf("data-w%d", w.id), dataBytes, w.core.Node, numa.Private)
+			w.dataReg = e.mach.NewRegion(fmt.Sprintf("data-w%d", w.id), layout.DataBytes, w.core.Node, numa.Private)
 		}
 	}
 
@@ -183,7 +181,7 @@ func New(spec model.Spec, ds *data.Dataset, plan Plan) (*Engine, error) {
 	// worker (PerNode) and end-of-epoch combination.
 	e.bg = e.mach.NewBackgroundCore(0)
 
-	e.global = append([]float64(nil), proto.X...)
+	e.global = append([]float64(nil), e.replicas[0].X...)
 
 	if plan.DataRep == Importance {
 		if err := e.initLeverage(); err != nil {
@@ -202,83 +200,10 @@ func New(spec model.Spec, ds *data.Dataset, plan Plan) (*Engine, error) {
 	return e, nil
 }
 
-// collisionProb estimates the probability that a write to a machine-
-// shared region collides with a concurrent writer on another socket.
-// It is proportional to the number of concurrent writers and to the
-// update footprint relative to the *effective* region size — the
-// inverse Herfindahl index of the write-frequency distribution, so a
-// Zipf-skewed text model (everyone hammering the same hot columns)
-// contends as if the model were a few dozen words wide, while a
-// uniform graph model contends on its full width. Sub-cacheline
-// footprints are discounted (single-word updates rarely collide, the
-// mechanism behind Figure 16(b)), and the estimate is capped at 0.5 —
-// even a fully contended workload overlaps writes only part of the
-// time.
-func (e *Engine) collisionProb(writesPerStep int, effWords float64) float64 {
-	if effWords <= 0 || writesPerStep <= 0 || len(e.workers) <= 1 {
-		return 0
-	}
-	w := float64(writesPerStep)
-	x := float64(len(e.workers)-1) * w / effWords
-	if lineFrac := w / 8; lineFrac < 1 {
-		x *= lineFrac
-	}
-	// Saturating curve: p rises smoothly with contention pressure and
-	// approaches 0.5 ("at most half of writes stall") — two workers on
-	// a hot model contend noticeably, twelve contend almost maximally,
-	// but the jump from one worker (p = 0) stays finite.
-	return 0.5 * x / (1 + x)
-}
-
-// effectiveModelWords returns the effective number of uniformly hot
-// model words under row-wise access: 1/Σ_j q_j² with q_j proportional
-// to column j's nonzero count (model word j is written once per row
-// containing j). Under column access every component is written once
-// per epoch, so the distribution is uniform and the effective size is
-// the dimension itself.
-func effectiveModelWords(ds *data.Dataset, access model.Access, dim int) float64 {
-	if access != model.RowWise {
-		return float64(dim)
-	}
-	csc := ds.CSC()
-	total := float64(ds.NNZ())
-	if total == 0 {
-		return float64(dim)
-	}
-	var s float64
-	for j := 0; j < ds.Cols(); j++ {
-		q := float64(csc.ColNNZ(j)) / total
-		s += q * q
-	}
-	if s <= 0 {
-		return float64(dim)
-	}
-	return 1 / s
-}
-
-// effectiveAuxWords is the analog for per-row auxiliary state under
-// column access: aux word i is written once per column row i touches,
-// so q_i is proportional to the row's nonzero count.
-func effectiveAuxWords(ds *data.Dataset, auxLen int) float64 {
-	total := float64(ds.NNZ())
-	if total == 0 || auxLen == 0 {
-		return float64(auxLen)
-	}
-	var s float64
-	for i := 0; i < ds.Rows(); i++ {
-		q := float64(ds.A.RowNNZ(i)) / total
-		s += q * q
-	}
-	if s <= 0 {
-		return float64(auxLen)
-	}
-	return 1 / s
-}
-
 // ProbeStats runs up to n steps of the given access method on a
 // scratch replica and returns the average per-step traffic. Both the
-// engine's contention estimate and the cost-based optimizer use it;
-// it mirrors the paper's install-time micro-benchmark.
+// GLM workload's contention estimate and the cost-based optimizer use
+// it; it mirrors the paper's install-time micro-benchmark.
 func ProbeStats(spec model.Spec, ds *data.Dataset, access model.Access, n int) model.Stats {
 	r := spec.NewReplica(ds)
 	var total model.Stats
@@ -323,12 +248,18 @@ func ProbeStats(spec model.Spec, ds *data.Dataset, access model.Access, n int) m
 }
 
 // initLeverage computes leverage scores for Importance sampling and
-// their cumulative distribution.
+// their cumulative distribution. Leverage is defined on data matrices,
+// so Importance remains a GLM-only data-replication strategy.
 func (e *Engine) initLeverage() error {
-	if e.ds.Cols() > 2000 {
-		return fmt.Errorf("core: leverage scores need a dense %dx%d Gram inverse; dimension too large", e.ds.Cols(), e.ds.Cols())
+	glm, ok := e.wl.(*glmWorkload)
+	if !ok {
+		return fmt.Errorf("core: Importance data replication requires a GLM workload, not %s", e.wl.Kind())
 	}
-	scores, err := mat.LeverageScores(e.ds.A, 1e-6)
+	ds := glm.ds
+	if ds.Cols() > 2000 {
+		return fmt.Errorf("core: leverage scores need a dense %dx%d Gram inverse; dimension too large", ds.Cols(), ds.Cols())
+	}
+	scores, err := mat.LeverageScores(ds.A, 1e-6)
 	if err != nil {
 		return err
 	}
@@ -345,11 +276,24 @@ func (e *Engine) initLeverage() error {
 // Plan returns the normalized plan the engine runs.
 func (e *Engine) Plan() Plan { return e.plan }
 
-// Model returns the current combined model (valid after each epoch).
+// Model returns the current combined state vector (valid after each
+// epoch): the model for GLM/NN, the pooled marginal estimate for
+// Gibbs.
 func (e *Engine) Model() []float64 { return e.global }
 
-// Loss evaluates the objective of the current combined model.
-func (e *Engine) Loss() float64 { return e.spec.Loss(e.ds, e.global) }
+// Loss evaluates the workload's objective on the current combined
+// state.
+func (e *Engine) Loss() float64 { return e.wl.Loss(e.global) }
+
+// Metrics returns the workload's extra quality metrics on the current
+// combined state (nil for GLM).
+func (e *Engine) Metrics() map[string]float64 { return e.wl.Metrics(e.global) }
+
+// Workload returns the workload kind the engine runs.
+func (e *Engine) Workload() WorkloadKind { return e.wl.Kind() }
+
+// Replicas returns the number of model replicas (locality groups).
+func (e *Engine) Replicas() int { return len(e.replicas) }
 
 // Epoch returns the number of completed epochs.
 func (e *Engine) Epoch() int { return e.epoch }

@@ -13,7 +13,7 @@ import (
 type EpochResult struct {
 	// Epoch is the 1-based epoch number.
 	Epoch int
-	// Loss is the combined-model objective after the epoch.
+	// Loss is the combined-state objective after the epoch.
 	Loss float64
 	// SimTime is the simulated duration of this epoch alone; zero
 	// under the parallel executor, which the simulator does not model.
@@ -24,7 +24,7 @@ type EpochResult struct {
 	// the primary time axis of the parallel executor, and incidental
 	// (engine overhead) for the simulated one.
 	WallTime time.Duration
-	// Steps is the number of row/column steps executed this epoch.
+	// Steps is the number of work-unit steps executed this epoch.
 	Steps int
 	// Counters holds this epoch's PMU-style counters; zero under the
 	// parallel executor.
@@ -39,8 +39,9 @@ type EpochResult struct {
 // at chunk granularity; PerNode replicas are additionally averaged by
 // the asynchronous background worker every SyncRounds rounds; PerCore
 // replicas meet only at the end of the epoch. Under the parallel
-// executor, workers are real goroutines flushing batched deltas to
-// shared atomic masters.
+// executor, workers are real goroutines — flushing batched deltas to
+// shared atomic masters for vector workloads, or sampling directly on
+// race-safe shared state for Gibbs chains.
 func (e *Engine) RunEpoch() EpochResult {
 	er, err := e.RunEpochCtx(context.Background())
 	if err != nil {
@@ -59,7 +60,7 @@ func (e *Engine) RunEpoch() EpochResult {
 func (e *Engine) RunEpochCtx(ctx context.Context) (EpochResult, error) {
 	e.mach.Reset()
 	e.assignWork()
-	if e.spec.Aggregate() {
+	if e.wl.Sync() == SyncAggregate {
 		// One-pass aggregates restart from zero partials every epoch.
 		for _, r := range e.replicas {
 			for j := range r.X {
@@ -77,6 +78,7 @@ func (e *Engine) RunEpochCtx(ctx context.Context) (EpochResult, error) {
 	}
 	e.cumStats.Add(st)
 
+	e.wl.EndEpoch(e.replicas)
 	e.combine()
 	e.epoch++
 	e.step *= e.plan.StepDecay
@@ -112,7 +114,7 @@ func (e *Engine) midEpochSyncDue(round int) bool {
 	if e.plan.ModelRep != PerNode || len(e.replicas) < 2 {
 		return false
 	}
-	if e.plan.SyncRounds < 0 || e.spec.Aggregate() {
+	if e.plan.SyncRounds < 0 || e.wl.Sync() != SyncAverage {
 		return false
 	}
 	// Column access keeps per-row auxiliary state that would need an
@@ -128,44 +130,19 @@ func (e *Engine) midEpochSyncDue(round int) bool {
 	return round%every == 0
 }
 
-// executeStep runs one row/column step for worker w, charges its
-// simulated cost, and returns the step's traffic stats.
+// executeStep runs one work-unit step for worker w under the simulated
+// executor: the workload executes the unit and charges its simulated
+// cost through the worker's cost handles.
 func (e *Engine) executeStep(w *worker, item int) model.Stats {
-	var st model.Stats
-	rep := e.replicas[w.repIdx]
-	if e.plan.Access == model.RowWise {
-		st = e.spec.RowStep(e.ds, item, rep, e.step)
-	} else {
-		st = e.spec.ColStep(e.ds, item, rep, e.step)
+	cost := &StepCost{
+		Core:     w.core,
+		DataReg:  w.dataReg,
+		ModelReg: e.modelReg[w.repIdx],
 	}
-	e.charge(w, st)
-	return st
-}
-
-// charge converts a step's traffic stats into simulated machine costs.
-func (e *Engine) charge(w *worker, st model.Stats) {
-	dataWords := int64(float64(st.DataWords) * csrOverhead)
-	if e.plan.DenseStorage {
-		// Dense storage streams the full row/column width regardless
-		// of sparsity, with no index overhead (Appendix A).
-		if e.plan.Access == model.RowWise {
-			dataWords = int64(e.ds.Cols())
-		} else {
-			dataWords = int64(e.ds.Rows())
-		}
+	if e.auxReg != nil {
+		cost.AuxReg = e.auxReg[w.repIdx]
 	}
-	w.core.ReadStream(w.dataReg, dataWords)
-
-	mreg := e.modelReg[w.repIdx]
-	w.core.ReadCached(mreg, int64(st.ModelReads))
-	w.core.Write(mreg, int64(st.ModelWrites))
-	if st.AuxReads > 0 || st.AuxWrites > 0 {
-		areg := e.auxReg[w.repIdx]
-		w.core.ReadCached(areg, int64(st.AuxReads))
-		w.core.Write(areg, int64(st.AuxWrites))
-	}
-	w.core.Compute(float64(st.Flops)*flopCycles + e.plan.StepOverheadCycles +
-		float64(st.DataWords)*e.plan.ElementOverheadCycles)
+	return e.wl.Step(item, e.replicas[w.repIdx], e.step, nil, cost)
 }
 
 // averageReplicas is the asynchronous model-averaging worker
@@ -184,7 +161,7 @@ func (e *Engine) averageReplicas(midEpoch bool) {
 		xs[i] = r.X
 	}
 	avg := make([]float64, len(e.replicas[0].X))
-	e.spec.Combine(xs, avg)
+	e.wl.Combine(xs, avg)
 	d := int64(len(avg))
 	for i, r := range e.replicas {
 		e.bg.ReadCached(e.modelReg[i], d)
@@ -203,9 +180,11 @@ func (e *Engine) averageReplicas(midEpoch bool) {
 // and charges the rebuild (a full data scan plus an aux rewrite).
 func (e *Engine) refreshAux() {
 	for i, r := range e.replicas {
-		e.spec.RefreshAux(e.ds, r)
+		if !e.wl.AuxRefresh(r, false) {
+			continue
+		}
 		owner := e.ownerCore(i)
-		owner.ReadStream(e.workerForReplica(i).dataReg, int64(float64(e.ds.NNZ())*csrOverhead))
+		owner.ReadStream(e.workerForReplica(i).dataReg, int64(float64(e.wl.DataNNZ())*csrOverhead))
 		owner.Write(e.auxReg[i], int64(len(r.Aux)))
 	}
 }
@@ -225,9 +204,11 @@ func (e *Engine) workerForReplica(repIdx int) *worker {
 	return e.workers[0]
 }
 
-// combine ends an epoch: replicas are merged into the global model
-// and (for PerCore/PerNode) synchronized back, the Bismarck-style
-// end-of-epoch averaging.
+// combine ends an epoch: replicas are merged into the global state
+// and — for workloads that synchronize by averaging — written back,
+// the Bismarck-style end-of-epoch averaging. Aggregates fold their
+// partials once; pooled estimates (Gibbs) are read-only combines that
+// leave the replicas (chains) independent.
 func (e *Engine) combine() {
 	if len(e.replicas) == 1 {
 		copy(e.global, e.replicas[0].X)
@@ -237,16 +218,17 @@ func (e *Engine) combine() {
 	for i, r := range e.replicas {
 		xs[i] = r.X
 	}
-	e.spec.Combine(xs, e.global)
-	if e.spec.Aggregate() {
-		// Partial sums are folded into the global result once; writing
-		// the total back into the partials would double-count it.
+	e.wl.Combine(xs, e.global)
+	d := int64(len(e.global))
+	if e.wl.Sync() != SyncAverage {
+		// Partial sums are folded into the global result once (writing
+		// the total back into the partials would double-count it);
+		// pooled estimates never write back by definition.
 		for i := range e.replicas {
-			e.bg.ReadCached(e.modelReg[i], int64(len(e.global)))
+			e.bg.ReadCached(e.modelReg[i], d)
 		}
 		return
 	}
-	d := int64(len(e.global))
 	for i, r := range e.replicas {
 		e.bg.ReadCached(e.modelReg[i], d)
 		copy(r.X, e.global)
@@ -260,25 +242,47 @@ func (e *Engine) combine() {
 }
 
 // assignWork builds each worker's item list for the coming epoch
-// according to the data-replication strategy.
+// according to the data-replication strategy. Workloads implementing
+// EpochOrderer supply the traversal orders themselves (Gibbs chains);
+// everyone else draws from the engine's generator.
 func (e *Engine) assignWork() {
-	domain := e.ds.Rows()
-	if e.plan.Access != model.RowWise {
-		domain = e.ds.Cols()
-	}
+	domain := e.wl.Units()
 	for _, w := range e.workers {
 		w.items = w.items[:0]
 		w.pos = 0
 	}
+	orderer, hasOrder := e.wl.(EpochOrderer)
 	switch e.plan.DataRep {
 	case Sharding:
-		perm := e.rng.Perm(domain)
+		var perm []int
+		if hasOrder {
+			perm = orderer.EpochOrder(0)
+		} else {
+			perm = e.rng.Perm(domain)
+		}
 		n := len(e.workers)
 		for i, item := range perm {
 			w := e.workers[i%n]
 			w.items = append(w.items, item)
 		}
 	case FullReplication:
+		if hasOrder {
+			// Partition per locality group so every replica traverses
+			// its own full domain order — a PerCore Gibbs chain sweeps
+			// every variable, not a per-node share of them.
+			byRep := make([][]*worker, len(e.replicas))
+			for _, w := range e.workers {
+				byRep[w.repIdx] = append(byRep[w.repIdx], w)
+			}
+			for rep := range e.replicas {
+				ws := byRep[rep]
+				for i, item := range orderer.EpochOrder(rep) {
+					w := ws[i%len(ws)]
+					w.items = append(w.items, item)
+				}
+			}
+			return
+		}
 		// Each locality-group *node* processes the whole domain in its
 		// own order, split among that node's workers.
 		byNode := map[int][]*worker{}
@@ -355,7 +359,7 @@ type RunResult struct {
 	History []EpochResult
 }
 
-// RunToLoss runs epochs until the combined-model loss drops to target
+// RunToLoss runs epochs until the combined-state loss drops to target
 // or maxEpochs is reached. It works identically on both executors.
 func (e *Engine) RunToLoss(target float64, maxEpochs int) RunResult {
 	res, _ := e.RunToLossCtx(context.Background(), target, maxEpochs)

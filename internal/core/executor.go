@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 
 	"dimmwitted/internal/model"
@@ -18,7 +19,7 @@ type Executor interface {
 	// Kind identifies the backend.
 	Kind() ExecutorKind
 	// runEpoch consumes every worker's assigned item list at the
-	// engine's current step size, leaving the updated models in the
+	// engine's current step size, leaving the updated state in the
 	// engine's replicas for the shared combine. It returns the number
 	// of steps executed and their summed traffic stats. A non-nil
 	// error means ctx was cancelled mid-epoch: the replicas are
@@ -31,7 +32,7 @@ type Executor interface {
 // every access is charged to the cost simulator, and PerNode replicas
 // are averaged mid-epoch by the asynchronous background worker. Its
 // semantics are the figure-reproduction target and are unchanged by
-// the executor refactor.
+// the workload refactor.
 type simExecutor struct{ e *Engine }
 
 // Kind implements Executor.
@@ -73,35 +74,49 @@ func (s *simExecutor) runEpoch(ctx context.Context) (int, model.Stats, error) {
 }
 
 // parallelExecutor is the real-concurrency backend: one goroutine per
-// worker under the Hogwild! memory model. Each locality group's
-// replica is mirrored by a vec.Atomic master; workers train on private
-// working copies and push accumulated deltas to their master every
-// ChunkSize steps (the paper's "batch writes across sockets"
-// technique, race-detector clean). Locality groups meet through the
-// engine's shared end-of-epoch combine, exactly like the simulator;
-// the simulated-cost machinery does not apply, so epochs are measured
-// in wall-clock time and the PMU-style counters stay zero.
+// worker. For ConcurrencyDelta workloads (GLM, NN) it runs the
+// Hogwild! memory model: each locality group's replica is mirrored by
+// a vec.Atomic master; workers train on private working copies and
+// push accumulated deltas to their master every ChunkSize steps (the
+// paper's "batch writes across sockets" technique, race-detector
+// clean). For ConcurrencyShared workloads (Gibbs) workers step
+// directly on the shared replica, whose Step is itself race-safe.
+// Locality groups meet through the engine's shared end-of-epoch
+// combine, exactly like the simulator; the simulated-cost machinery
+// does not apply, so epochs are measured in wall-clock time and the
+// PMU-style counters stay zero.
 type parallelExecutor struct {
 	e       *Engine
-	masters []*vec.Atomic // one shared master per model replica
+	masters []*vec.Atomic // one shared master per model replica (delta mode)
 	// Per-worker private working copies and flush baselines, allocated
 	// once and re-seeded from the masters every epoch: wall time is
 	// this backend's measurement, so the epoch loop must not pay
 	// per-epoch allocation and GC churn for worker state.
-	locals []*model.Replica
+	locals []*WorkState
 	bases  [][]float64
+	// Per-worker random sources for shared-mode steps (many goroutines
+	// sampling on one chain cannot share the chain's generator).
+	rngs []*rand.Rand
 }
 
 // newParallelExecutor mirrors the engine's replica layout with atomic
-// masters.
+// masters (delta mode) or allocates per-worker generators (shared
+// mode).
 func newParallelExecutor(e *Engine) *parallelExecutor {
 	p := &parallelExecutor{e: e}
+	if e.wl.Concurrency() == ConcurrencyShared {
+		for _, w := range e.workers {
+			p.rngs = append(p.rngs, rand.New(rand.NewSource(e.plan.Seed+1_000_000_007+int64(w.id))))
+		}
+		return p
+	}
 	dim := len(e.global)
 	for range e.replicas {
 		p.masters = append(p.masters, vec.NewAtomic(dim))
 	}
-	for range e.workers {
-		p.locals = append(p.locals, e.spec.NewReplica(e.ds))
+	for i := range e.workers {
+		// Negative replica indices mark per-worker working copies.
+		p.locals = append(p.locals, e.wl.NewReplica(-1-i, e.plan.Seed))
 		p.bases = append(p.bases, make([]float64, dim))
 	}
 	return p
@@ -110,12 +125,21 @@ func newParallelExecutor(e *Engine) *parallelExecutor {
 // Kind implements Executor.
 func (p *parallelExecutor) Kind() ExecutorKind { return ExecParallel }
 
-// runEpoch implements Executor. Cancellation is observed between
-// flushes, so an aborted worker leaves no unflushed local work behind.
+// runEpoch implements Executor.
 func (p *parallelExecutor) runEpoch(ctx context.Context) (int, model.Stats, error) {
+	if p.e.wl.Concurrency() == ConcurrencyShared {
+		return p.runShared(ctx)
+	}
+	return p.runDelta(ctx)
+}
+
+// runDelta is the delta-flush epoch loop. Cancellation is observed
+// between flushes, so an aborted worker leaves no unflushed local work
+// behind.
+func (p *parallelExecutor) runDelta(ctx context.Context) (int, model.Stats, error) {
 	e := p.e
 	// Seed each master with its replica's current state (the combined
-	// model of the previous epoch, or the spec's initial model).
+	// state of the previous epoch, or the workload's initial state).
 	for i, r := range e.replicas {
 		p.masters[i].CopyFrom(r.X)
 	}
@@ -152,7 +176,7 @@ func (p *parallelExecutor) runEpoch(ctx context.Context) (int, model.Stats, erro
 				perStats[w.id] = st
 			}()
 			for _, item := range w.items {
-				st.Add(e.spec.RowStep(e.ds, item, local, step))
+				st.Add(e.wl.Step(item, local, step, nil, nil))
 				steps++
 				since++
 				if since >= flushEvery {
@@ -182,6 +206,62 @@ func (p *parallelExecutor) runEpoch(ctx context.Context) (int, model.Stats, erro
 	// path sees what the goroutines produced.
 	for i, r := range e.replicas {
 		p.masters[i].Snapshot(r.X)
+	}
+	return steps, st, err
+}
+
+// sharedCancelStride is how many shared-mode steps run between
+// cancellation checks — frequent enough to abort a parallel Gibbs
+// epoch promptly, rare enough to stay out of the sampling hot loop.
+const sharedCancelStride = 64
+
+// runShared is the shared-state epoch loop: every worker steps
+// directly on its locality group's replica with a private generator.
+// The workload's Step must be race-safe for concurrent same-replica
+// callers (Gibbs uses atomic assignment loads/stores, and each worker
+// owns a disjoint variable partition).
+func (p *parallelExecutor) runShared(ctx context.Context) (int, model.Stats, error) {
+	e := p.e
+	step := e.step
+	perSteps := make([]int, len(e.workers))
+	perStats := make([]model.Stats, len(e.workers))
+	perErr := make([]error, len(e.workers))
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			ws := e.replicas[w.repIdx]
+			rng := p.rngs[w.id]
+			var st model.Stats
+			steps := 0
+			defer func() {
+				perSteps[w.id] = steps
+				perStats[w.id] = st
+			}()
+			for _, item := range w.items {
+				st.Add(e.wl.Step(item, ws, step, rng, nil))
+				steps++
+				if steps%sharedCancelStride == 0 {
+					if err := ctx.Err(); err != nil {
+						perErr[w.id] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var st model.Stats
+	steps := 0
+	var err error
+	for i := range e.workers {
+		steps += perSteps[i]
+		st.Add(perStats[i])
+		if perErr[i] != nil {
+			err = perErr[i]
+		}
 	}
 	return steps, st, err
 }

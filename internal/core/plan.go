@@ -215,11 +215,10 @@ type Plan struct {
 	ComputeScale float64
 }
 
-// Normalize fills defaults for zero-valued fields and returns the
-// completed plan. The model spec is consulted for step-size defaults:
-// exact coordinate-descent steps want step 1 with no decay, SGD wants
-// a small decaying step.
-func (p Plan) Normalize(spec model.Spec) Plan {
+// normalizeCommon fills the workload-independent defaults (machine,
+// worker count, seed, scale factors); the workload's NormalizePlan
+// fills the rest (access, step sizes, chunk granularity).
+func (p Plan) normalizeCommon() Plan {
 	if p.Machine.Nodes == 0 {
 		p.Machine = numa.Local2
 	}
@@ -229,6 +228,54 @@ func (p Plan) Normalize(spec model.Spec) Plan {
 	if p.Workers > p.Machine.TotalCores() {
 		p.Workers = p.Machine.TotalCores()
 	}
+	if p.ImportanceFraction == 0 {
+		p.ImportanceFraction = 0.1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.ComputeScale == 0 {
+		p.ComputeScale = 1
+	}
+	return p
+}
+
+// validateCommon checks the workload-independent plan constraints; the
+// workload's ValidatePlan applies the rest.
+func (p Plan) validateCommon() error {
+	if err := p.Machine.Validate(); err != nil {
+		return err
+	}
+	if p.Workers <= 0 {
+		return fmt.Errorf("core: plan has %d workers", p.Workers)
+	}
+	switch p.ModelRep {
+	case PerCore, PerNode, PerMachine:
+	default:
+		return fmt.Errorf("core: unknown model replication %v", p.ModelRep)
+	}
+	switch p.DataRep {
+	case Sharding, FullReplication, Importance:
+	default:
+		return fmt.Errorf("core: unknown data replication %v", p.DataRep)
+	}
+	switch p.Executor {
+	case ExecSimulated, ExecParallel:
+	default:
+		return fmt.Errorf("core: unknown executor %v", p.Executor)
+	}
+	if p.DataRep == Importance && (p.ImportanceFraction <= 0 || p.ImportanceFraction > 1) {
+		return fmt.Errorf("core: importance fraction %v outside (0,1]", p.ImportanceFraction)
+	}
+	return nil
+}
+
+// Normalize fills defaults for zero-valued fields and returns the
+// completed plan. The model spec is consulted for step-size defaults:
+// exact coordinate-descent steps want step 1 with no decay, SGD wants
+// a small decaying step.
+func (p Plan) Normalize(spec model.Spec) Plan {
+	p = p.normalizeCommon()
 	if p.Step == 0 {
 		if p.Access == model.RowWise {
 			p.Step = defaultRowStep(spec)
@@ -245,15 +292,6 @@ func (p Plan) Normalize(spec model.Spec) Plan {
 	}
 	if p.ChunkSize == 0 {
 		p.ChunkSize = 16
-	}
-	if p.ImportanceFraction == 0 {
-		p.ImportanceFraction = 0.1
-	}
-	if p.Seed == 0 {
-		p.Seed = 1
-	}
-	if p.ComputeScale == 0 {
-		p.ComputeScale = 1
 	}
 	return p
 }

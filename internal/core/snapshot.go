@@ -10,7 +10,10 @@ import (
 // plain data — safe to hand to other goroutines, serialize, or park in
 // a model registry while the engine keeps training (or is discarded).
 type Snapshot struct {
-	// Spec is the model specification's short name ("svm", "lr", ...).
+	// Workload is the workload family that produced the state.
+	Workload WorkloadKind
+	// Spec is the task's short name: the model specification for GLM
+	// ("svm", "lr", ...), the workload name otherwise ("gibbs", "nn").
 	Spec string
 	// Dataset names the dataset the model was trained on.
 	Dataset string
@@ -29,39 +32,46 @@ type Snapshot struct {
 	X []float64
 }
 
-// Snapshot captures the engine's current combined model and training
+// Snapshot captures the engine's current combined state and training
 // progress. The returned value shares no memory with the engine, so a
 // serving layer can keep it while the engine continues to run.
 func (e *Engine) Snapshot() Snapshot {
 	return Snapshot{
-		Spec:    e.spec.Name(),
-		Dataset: e.ds.Name,
-		Epoch:   e.epoch,
-		Loss:    e.Loss(),
-		SimTime: e.cumTime,
-		Step:    e.step,
-		Plan:    e.plan,
-		X:       append([]float64(nil), e.global...),
+		Workload: e.wl.Kind(),
+		Spec:     e.wl.Name(),
+		Dataset:  e.wl.DatasetName(),
+		Epoch:    e.epoch,
+		Loss:     e.Loss(),
+		SimTime:  e.cumTime,
+		Step:     e.step,
+		Plan:     e.plan,
+		X:        append([]float64(nil), e.global...),
 	}
 }
 
-// Restore loads a snapshot's model into the engine: the global model
+// Restore loads a snapshot's state into the engine: the global state
 // and every replica are overwritten, auxiliary state is rebuilt, and
 // the epoch counter resumes from the snapshot. The snapshot must come
-// from the same spec and a dataset of the same dimension.
+// from the same workload and task with matching dimension. Pooled-
+// estimate workloads (Gibbs) cannot restore: the combined marginals do
+// not determine the chains' sampling state.
 func (e *Engine) Restore(s Snapshot) error {
-	if s.Spec != e.spec.Name() {
-		return fmt.Errorf("core: snapshot of %q cannot restore into %q engine", s.Spec, e.spec.Name())
+	if s.Workload != e.wl.Kind() {
+		return fmt.Errorf("core: %s snapshot cannot restore into %s engine", s.Workload, e.wl.Kind())
+	}
+	if s.Spec != e.wl.Name() {
+		return fmt.Errorf("core: snapshot of %q cannot restore into %q engine", s.Spec, e.wl.Name())
 	}
 	if len(s.X) != len(e.global) {
 		return fmt.Errorf("core: snapshot dimension %d, engine dimension %d", len(s.X), len(e.global))
 	}
+	if e.wl.Sync() == SyncPool {
+		return fmt.Errorf("core: %s snapshots are pooled estimates and cannot seed new chains", e.wl.Kind())
+	}
 	copy(e.global, s.X)
 	for _, r := range e.replicas {
 		copy(r.X, s.X)
-		if r.Aux != nil {
-			e.spec.RefreshAux(e.ds, r)
-		}
+		e.wl.AuxRefresh(r, true)
 	}
 	e.epoch = s.Epoch
 	e.cumTime = s.SimTime

@@ -6,6 +6,7 @@ import (
 
 	"dimmwitted/internal/core"
 	"dimmwitted/internal/data"
+	"dimmwitted/internal/factor"
 	"dimmwitted/internal/model"
 	"dimmwitted/internal/numa"
 )
@@ -70,6 +71,85 @@ func ExecWallEntries(quick bool) []ExecWallEntry {
 			entry.Epochs = res.Epochs
 			entry.WallSecondsPerEpoch = wall.Seconds() / float64(res.Epochs)
 			entry.FinalLoss = res.FinalLoss
+			out = append(out, entry)
+		}
+	}
+	return out
+}
+
+// GibbsWallEntry is one Gibbs executor-comparison measurement,
+// JSON-shaped for the benchmark smoke artifact (BENCH_gibbs.json,
+// written by the BenchmarkGibbsExecutors smoke step in CI).
+type GibbsWallEntry struct {
+	Graph         string  `json:"graph"`
+	ModelRep      string  `json:"model_rep"`
+	Executor      string  `json:"executor"`
+	Plan          string  `json:"plan"`
+	Sweeps        int     `json:"sweeps"`
+	Samples       int     `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// MaxAbsError is the largest deviation of the pooled marginals
+	// from the exact ones on the validation graph, so the artifact
+	// carries statistical quality next to speed.
+	MaxAbsError float64 `json:"max_abs_error,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// GibbsWallEntries runs the same Gibbs chain placements on both
+// execution backends and measures real wall-clock sampling throughput,
+// plus marginal quality against exact inference on the small
+// validation graph.
+func GibbsWallEntries(quick bool) []GibbsWallEntry {
+	sweeps := 400
+	if quick {
+		sweeps = 150
+	}
+	g, err := factor.GraphByName("cycle5")
+	if err != nil {
+		return []GibbsWallEntry{{Graph: "cycle5", Error: err.Error()}}
+	}
+	exact, err := factor.ExactMarginals(g)
+	if err != nil {
+		return []GibbsWallEntry{{Graph: g.Name, Error: err.Error()}}
+	}
+	placements := []struct {
+		name string
+		plan core.Plan
+	}{
+		{"PerMachine", core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 1}},
+		{"PerNode", core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 1}},
+	}
+	var out []GibbsWallEntry
+	for _, pl := range placements {
+		for _, exec := range []core.ExecutorKind{core.ExecSimulated, core.ExecParallel} {
+			entry := GibbsWallEntry{Graph: g.Name, ModelRep: pl.name, Executor: exec.String()}
+			plan := pl.plan
+			plan.Executor = exec
+			eng, err := core.NewWorkload(factor.NewWorkload(g), plan)
+			if err != nil {
+				entry.Error = err.Error()
+				out = append(out, entry)
+				continue
+			}
+			start := time.Now()
+			samples := 0
+			for _, er := range eng.RunEpochs(sweeps) {
+				samples += er.Steps
+			}
+			wall := time.Since(start)
+			var maxErr float64
+			for v, p := range eng.Model() {
+				if d := p - exact[v]; d > maxErr {
+					maxErr = d
+				} else if -d > maxErr {
+					maxErr = -d
+				}
+			}
+			entry.Plan = eng.Plan().String()
+			entry.Sweeps = sweeps
+			entry.Samples = samples
+			entry.SamplesPerSec = float64(samples) / wall.Seconds()
+			entry.MaxAbsError = maxErr
 			out = append(out, entry)
 		}
 	}

@@ -185,44 +185,66 @@ func Fig17b(quick bool) *Result {
 	}
 	metrics := map[string]float64{}
 
-	// Gibbs: single PerMachine chain vs chain-per-node.
+	// Gibbs: single PerMachine chain vs chain-per-node, both run
+	// through the workload engine (the classic choice is PerMachine +
+	// Sharding, DimmWitted's is PerNode + FullReplication).
 	g := factor.Paleo()
 	sweeps := 3
 	if quick {
 		sweeps = 1
 	}
-	single := factor.NewSampler(g, numa.Local2, factor.SingleChain, 1).RunSweeps(sweeps)
-	perNode := factor.NewSampler(g, numa.Local2, factor.ChainPerNode, 1).RunSweeps(sweeps)
-	gibbsSpeedup := perNode.Throughput / single.Throughput
+	gibbsThroughput := func(plan core.Plan) float64 {
+		eng, err := core.NewWorkload(factor.NewWorkload(g), plan)
+		if err != nil {
+			panic(err)
+		}
+		steps := 0
+		var cum float64
+		for _, er := range eng.RunEpochs(sweeps) {
+			steps += er.Steps
+			cum = er.CumTime.Seconds()
+		}
+		return float64(steps) / cum
+	}
+	// The classic Hogwild!-Gibbs baseline is NUMA-oblivious: one
+	// machine-shared chain over OS-interleaved factor storage.
+	single := gibbsThroughput(core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Placement: core.PlacementOS, Seed: 1})
+	perNode := gibbsThroughput(core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 1})
+	gibbsSpeedup := perNode / single
 	t.Rows = append(t.Rows, []string{
 		"Gibbs (paleo)",
-		fmt.Sprintf("%.3g", single.Throughput/1e6),
-		fmt.Sprintf("%.3g", perNode.Throughput/1e6),
+		fmt.Sprintf("%.3g", single/1e6),
+		fmt.Sprintf("%.3g", perNode/1e6),
 		fmt.Sprintf("%.1fx", gibbsSpeedup),
 	})
 	metrics["gibbsSpeedup"] = gibbsSpeedup
 
-	// Neural network: PerMachine+Sharding (LeCun) vs PerNode+FullRepl.
+	// Neural network: PerMachine+Sharding (LeCun) vs PerNode+FullRepl,
+	// also through the workload engine.
 	examples := 400
 	if quick {
 		examples = 150
 	}
 	ds := nn.SyntheticMNIST(examples, 256, 10, 0.08, 3)
-	classic, err := nn.NewTrainer(ds, nn.TrainerConfig{Strategy: nn.Classic(), Seed: 3})
-	if err != nil {
-		panic(err)
+	nnThroughput := func(plan core.Plan) float64 {
+		wl, err := nn.NewWorkload(ds, nn.WorkloadConfig{Seed: 3})
+		if err != nil {
+			panic(err)
+		}
+		eng, err := core.NewWorkload(wl, plan)
+		if err != nil {
+			panic(err)
+		}
+		er := eng.RunEpoch()
+		return float64(er.Steps*wl.NumNeurons()) / er.SimTime.Seconds()
 	}
-	dw, err := nn.NewTrainer(ds, nn.TrainerConfig{Strategy: nn.DimmWitted(), Seed: 3})
-	if err != nil {
-		panic(err)
-	}
-	c := classic.RunEpoch()
-	d := dw.RunEpoch()
-	nnSpeedup := d.NeuronThroughput / c.NeuronThroughput
+	c := nnThroughput(core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 3})
+	d := nnThroughput(core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 3})
+	nnSpeedup := d / c
 	t.Rows = append(t.Rows, []string{
 		"NN (mnist)",
-		fmt.Sprintf("%.3g", c.NeuronThroughput/1e6),
-		fmt.Sprintf("%.3g", d.NeuronThroughput/1e6),
+		fmt.Sprintf("%.3g", c/1e6),
+		fmt.Sprintf("%.3g", d/1e6),
 		fmt.Sprintf("%.1fx", nnSpeedup),
 	})
 	metrics["nnSpeedup"] = nnSpeedup

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dimmwitted/internal/core"
 	"dimmwitted/internal/numa"
 )
 
@@ -39,6 +40,28 @@ func TestConditionalLogOdds(t *testing.T) {
 	}
 	if got := g.ConditionalLogOdds(0, []int8{0, 0}); got != -2 {
 		t.Errorf("log-odds with neighbour=0: %v, want -2", got)
+	}
+}
+
+// The atomic-assignment evaluation must agree with the classic probe-
+// and-restore one on every kind and assignment.
+func TestAtomicLogOddsMatchesClassic(t *testing.T) {
+	g := Generate(GenerateConfig{Vars: 16, Factors: 40, MaxArity: 3, WeightStd: 1, Seed: 5})
+	for mask := 0; mask < 1<<8; mask++ {
+		classic := make([]int8, g.NumVars)
+		at := make([]int32, g.NumVars)
+		for v := range classic {
+			bit := int8((mask >> (uint(v) % 8)) & 1)
+			classic[v] = bit
+			at[v] = int32(bit)
+		}
+		for v := 0; v < g.NumVars; v++ {
+			want := g.ConditionalLogOdds(v, classic)
+			got := g.conditionalLogOddsAtomic(v, at)
+			if math.Abs(want-got) > 1e-12 {
+				t.Fatalf("var %d mask %d: atomic %v, classic %v", v, mask, got, want)
+			}
+		}
 	}
 }
 
@@ -81,26 +104,61 @@ func TestPaleoAnalog(t *testing.T) {
 	}
 }
 
-func TestGibbsMatchesExactMarginals(t *testing.T) {
-	// A small chain graph where exact inference is tractable: Gibbs
-	// marginals must approach the exact ones.
-	g, err := NewGraph(5, []Factor{
-		{Vars: []int32{0, 1}, Weight: 1.2},
-		{Vars: []int32{1, 2}, Weight: -0.8},
-		{Vars: []int32{2, 3}, Weight: 0.5},
-		{Vars: []int32{3, 4}, Weight: 1.5},
-		{Vars: []int32{0, 4}, Weight: 0.3},
-	})
+// runGibbs builds a workload engine for the graph, runs it for the
+// given number of epochs (sweeps), and returns the pooled marginals.
+func runGibbs(t *testing.T, g *Graph, plan core.Plan, epochs int) ([]float64, []core.EpochResult) {
+	t.Helper()
+	eng, err := core.NewWorkload(NewWorkload(g), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
+	hist := eng.RunEpochs(epochs)
+	return append([]float64(nil), eng.Model()...), hist
+}
+
+// The engine-run sampler must reproduce the pre-refactor RunSweeps
+// marginals exactly: chain n seeds from seed+1+n, draws its sweep
+// permutation then one flip per variable from its own generator, and
+// (at chunk size 1) the simulated interleaver executes each chain's
+// permutation in order. The golden values below were produced by the
+// classic factor.Sampler at the commit before the workload refactor.
+func TestSimulatedMatchesClassicSamplerGolden(t *testing.T) {
+	g := Cycle5()
+	cases := []struct {
+		name   string
+		plan   core.Plan
+		epochs int
+		want   []float64
+	}{
+		// factor.NewSampler(g, local2, SingleChain, 7).RunSweeps(40)
+		{"single-chain/seed7", core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 7}, 40,
+			[]float64{0.45, 0.5, 0.45, 0.575, 0.5}},
+		// factor.NewSampler(g, local2, ChainPerNode, 7).RunSweeps(40)
+		{"chain-per-node/seed7", core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 7}, 40,
+			[]float64{0.4875, 0.55, 0.425, 0.4375, 0.4}},
+		// factor.NewSampler(g, local2, SingleChain, 3).RunSweeps(25)
+		{"single-chain/seed3", core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 3}, 25,
+			[]float64{0.76, 0.68, 0.52, 0.64, 0.56}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, _ := runGibbs(t, g, c.plan, c.epochs)
+			for v := range c.want {
+				if got[v] != c.want[v] {
+					t.Errorf("marginal[%d] = %v, classic sampler %v", v, got[v], c.want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestGibbsMatchesExactMarginals(t *testing.T) {
+	g := Cycle5()
 	exact, err := ExactMarginals(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewSampler(g, numa.Local2, SingleChain, 7)
-	s.RunSweeps(4000)
-	got := s.Marginals()
+	got, _ := runGibbs(t, g, core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 7}, 4000)
 	for v := range exact {
 		if math.Abs(got[v]-exact[v]) > 0.05 {
 			t.Errorf("marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])
@@ -108,24 +166,63 @@ func TestGibbsMatchesExactMarginals(t *testing.T) {
 	}
 }
 
-func TestPerNodeChainsPoolSamples(t *testing.T) {
-	g, err := NewGraph(4, []Factor{
-		{Vars: []int32{0, 1}, Weight: 1},
-		{Vars: []int32{2, 3}, Weight: -1},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+func TestParallelGibbsMatchesExactMarginals(t *testing.T) {
+	g := Cycle5()
 	exact, err := ExactMarginals(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewSampler(g, numa.Local2, ChainPerNode, 11)
-	res := s.RunSweeps(3000)
-	if res.Samples != int64(3000*4*2) {
-		t.Errorf("samples = %d, want 24000 (2 chains)", res.Samples)
+	for _, c := range []struct {
+		name string
+		plan core.Plan
+	}{
+		{"hogwild-single-chain", core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Executor: core.ExecParallel, Seed: 7}},
+		{"chain-per-node", core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Executor: core.ExecParallel, Seed: 11}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			got, _ := runGibbs(t, g, c.plan, 4000)
+			for v := range exact {
+				if math.Abs(got[v]-exact[v]) > 0.05 {
+					t.Errorf("marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])
+				}
+			}
+		})
 	}
-	got := s.Marginals()
+}
+
+func TestPerCoreChainsSweepFullDomain(t *testing.T) {
+	g := Pairs4()
+	exact, err := ExactMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := core.Plan{ModelRep: core.PerCore, DataRep: core.FullReplication, Workers: 4, Seed: 13}
+	got, hist := runGibbs(t, g, plan, 1500)
+	// Every chain (one per worker) sweeps every variable once per epoch.
+	if want := g.NumVars * 4; hist[0].Steps != want {
+		t.Errorf("PerCore epoch ran %d samples, want %d (4 chains x %d vars)", hist[0].Steps, want, g.NumVars)
+	}
+	for v := range exact {
+		if math.Abs(got[v]-exact[v]) > 0.05 {
+			t.Errorf("pooled marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])
+		}
+	}
+}
+
+func TestPerNodeChainsPoolSamples(t *testing.T) {
+	g := Pairs4()
+	exact, err := ExactMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, hist := runGibbs(t, g, core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 11}, 3000)
+	var samples int
+	for _, er := range hist {
+		samples += er.Steps
+	}
+	if samples != 3000*4*2 {
+		t.Errorf("samples = %d, want 24000 (2 chains)", samples)
+	}
 	for v := range exact {
 		if math.Abs(got[v]-exact[v]) > 0.05 {
 			t.Errorf("pooled marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])
@@ -137,10 +234,18 @@ func TestPerNodeThroughputBeatsSingleChain(t *testing.T) {
 	// Figure 17(b): DimmWitted's chain-per-node achieves ~4x the
 	// sample throughput of the single PerMachine chain.
 	g := Paleo()
-	single := NewSampler(g, numa.Local2, SingleChain, 1).RunSweeps(2)
-	perNode := NewSampler(g, numa.Local2, ChainPerNode, 1).RunSweeps(2)
-	ratio := perNode.Throughput / single.Throughput
-	if ratio < 1.5 {
+	throughput := func(plan core.Plan) float64 {
+		_, hist := runGibbs(t, g, plan, 2)
+		var steps int
+		for _, er := range hist {
+			steps += er.Steps
+		}
+		return float64(steps) / hist[len(hist)-1].CumTime.Seconds()
+	}
+	// The classic baseline is NUMA-oblivious: OS-interleaved storage.
+	single := throughput(core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Placement: core.PlacementOS, Seed: 1})
+	perNode := throughput(core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 1})
+	if ratio := perNode / single; ratio < 1.5 {
 		t.Errorf("PerNode/PerMachine Gibbs throughput ratio = %.2f, want >= 1.5 (paper: ~4)", ratio)
 	}
 }
@@ -152,12 +257,11 @@ func TestExactMarginalsRejectsLargeGraphs(t *testing.T) {
 	}
 }
 
-func TestSamplerDeterministic(t *testing.T) {
+func TestGibbsDeterministic(t *testing.T) {
 	g := Generate(GenerateConfig{Vars: 50, Factors: 100, MaxArity: 2, WeightStd: 1, Seed: 3})
 	run := func() []float64 {
-		s := NewSampler(g, numa.Local2, SingleChain, 9)
-		s.RunSweeps(50)
-		return s.Marginals()
+		got, _ := runGibbs(t, g, core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 9}, 50)
+		return got
 	}
 	a, b := run(), run()
 	for v := range a {
@@ -175,20 +279,19 @@ func TestDiscardBurnIn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewSampler(g, numa.Local2, ChainPerNode, 4)
-	s.RunSweeps(50)
-	s.DiscardBurnIn()
-	for _, m := range s.Marginals() {
-		if m != 0 {
-			t.Fatalf("tallies not cleared: %v", m)
-		}
+	wl := NewWorkload(g)
+	eng, err := core.NewWorkload(wl, core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
 	}
-	s.RunSweeps(2000)
+	eng.RunEpochs(50)
+	wl.DiscardBurnIn()
+	eng.RunEpochs(2000)
 	exact, err := ExactMarginals(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := s.Marginals()
+	got := eng.Model()
 	for v := range exact {
 		if math.Abs(got[v]-exact[v]) > 0.06 {
 			t.Errorf("post-burn-in marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])
@@ -196,9 +299,55 @@ func TestDiscardBurnIn(t *testing.T) {
 	}
 }
 
-func TestChainStrategyString(t *testing.T) {
-	if SingleChain.String() != "PerMachine" || ChainPerNode.String() != "PerNode" {
-		t.Error("strategy stringers wrong")
+func TestWorkloadPlanValidation(t *testing.T) {
+	g := Pairs4()
+	if _, err := core.NewWorkload(NewWorkload(g), core.Plan{ModelRep: core.PerNode, DataRep: core.Sharding}); err == nil {
+		t.Error("multi-chain Sharding accepted (chains would never resample part of the domain)")
+	}
+	if _, err := core.NewWorkload(NewWorkload(g), core.Plan{DataRep: core.Importance}); err == nil {
+		t.Error("Importance data replication accepted for Gibbs")
+	}
+}
+
+func TestWorkloadOptimize(t *testing.T) {
+	wl := NewWorkload(Pairs4())
+	plan, err := wl.Optimize(numa.Local2, core.ExecSimulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ModelRep != core.PerNode || plan.DataRep != core.FullReplication {
+		t.Errorf("multi-socket optimizer chose %s/%s, want PerNode/FullReplication", plan.ModelRep, plan.DataRep)
+	}
+	one := numa.Local2
+	one.Nodes, one.Name = 1, "one-node"
+	plan, err = NewWorkload(Pairs4()).Optimize(one, core.ExecSimulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ModelRep != core.PerMachine {
+		t.Errorf("single-socket optimizer chose %s, want PerMachine", plan.ModelRep)
+	}
+}
+
+func TestGraphRegistry(t *testing.T) {
+	for _, name := range GraphNames() {
+		g, err := GraphByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name != name {
+			t.Errorf("graph %q carries name %q", name, g.Name)
+		}
+		again, err := GraphByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != again {
+			t.Errorf("graph %q not cached as a shared instance", name)
+		}
+	}
+	if _, err := GraphByName("no-such-graph"); err == nil {
+		t.Error("unknown graph accepted")
 	}
 }
 

@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"dimmwitted/internal/numa"
+	"dimmwitted/internal/core"
 )
 
 func TestKindStrings(t *testing.T) {
@@ -68,11 +68,15 @@ func TestImplyGibbsMatchesExact(t *testing.T) {
 	if !(exact[0] > 0.5 && exact[1] > 0.5) {
 		t.Fatalf("implication network marginals unexpected: %v", exact)
 	}
-	s := NewSampler(g, numa.Local2, SingleChain, 3)
-	s.RunSweeps(200)
-	s.DiscardBurnIn()
-	s.RunSweeps(4000)
-	got := s.Marginals()
+	wl := NewWorkload(g)
+	eng, err := core.NewWorkload(wl, core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunEpochs(200)
+	wl.DiscardBurnIn()
+	eng.RunEpochs(4000)
+	got := eng.Model()
 	for v := range exact {
 		if math.Abs(got[v]-exact[v]) > 0.05 {
 			t.Errorf("marginal[%d] = %.3f, exact %.3f", v, got[v], exact[v])

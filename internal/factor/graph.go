@@ -16,6 +16,7 @@ package factor
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Kind selects a factor's potential function. The set mirrors the
@@ -121,6 +122,9 @@ func (f *Factor) fires(assign []int8) bool {
 
 // Graph is a factor graph over boolean variables 0..NumVars-1.
 type Graph struct {
+	// Name identifies the graph for registries, plan-cache keys and
+	// snapshots; empty for ad-hoc graphs.
+	Name string
 	// NumVars is the variable count.
 	NumVars int
 	// Factors is the factor list.
@@ -161,6 +165,71 @@ func (g *Graph) NNZ() int64 {
 		n += int64(len(f.Vars))
 	}
 	return n
+}
+
+// firesWith reports whether the factor's condition holds under assign
+// with variable v overridden to val. Assignments are read with atomic
+// loads, so concurrent single-variable stores by other samplers
+// (Hogwild!-Gibbs) are race-free; the override means evaluation never
+// probes-and-restores the shared state.
+func (f *Factor) firesWith(assign []int32, v int, val int32) bool {
+	at := func(u int32) int32 {
+		if int(u) == v {
+			return val
+		}
+		return atomic.LoadInt32(&assign[u])
+	}
+	switch f.Kind {
+	case Equal:
+		first := at(f.Vars[0])
+		for _, u := range f.Vars[1:] {
+			if at(u) != first {
+				return false
+			}
+		}
+		return true
+	case And:
+		for _, u := range f.Vars {
+			if at(u) == 0 {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, u := range f.Vars {
+			if at(u) == 1 {
+				return true
+			}
+		}
+		return false
+	case Imply:
+		n := len(f.Vars)
+		for _, u := range f.Vars[:n-1] {
+			if at(u) == 0 {
+				return true // antecedent false: implication holds
+			}
+		}
+		return at(f.Vars[n-1]) == 1
+	default:
+		return false
+	}
+}
+
+// conditionalLogOddsAtomic is ConditionalLogOdds over an atomic
+// assignment: safe for concurrent samplers because the probed variable
+// is overridden instead of mutated and every other read is atomic.
+func (g *Graph) conditionalLogOddsAtomic(v int, assign []int32) float64 {
+	var e1, e0 float64
+	for _, fi := range g.varFactors[v] {
+		f := &g.Factors[fi]
+		if f.firesWith(assign, v, 1) {
+			e1 += f.Weight
+		}
+		if f.firesWith(assign, v, 0) {
+			e0 += f.Weight
+		}
+	}
+	return e1 - e0
 }
 
 // ConditionalLogOdds returns log P(x_v = 1 | rest) − log P(x_v = 0 |
@@ -236,5 +305,7 @@ func Generate(cfg GenerateConfig) *Graph {
 // scaled to run in milliseconds while keeping ~2 incidences per
 // factor and heavy degree skew).
 func Paleo() *Graph {
-	return Generate(GenerateConfig{Vars: 4000, Factors: 9000, MaxArity: 3, WeightStd: 0.8, Seed: 42})
+	g := Generate(GenerateConfig{Vars: 4000, Factors: 9000, MaxArity: 3, WeightStd: 0.8, Seed: 42})
+	g.Name = "paleo"
+	return g
 }

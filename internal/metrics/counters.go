@@ -1,6 +1,9 @@
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // ServeCounters are the serving subsystem's monotonically increasing
 // operation counters. All methods are safe for concurrent use; the
@@ -16,6 +19,15 @@ type ServeCounters struct {
 	planCacheHits   atomic.Int64
 	planCacheMisses atomic.Int64
 	httpErrors      atomic.Int64
+	gibbsSweeps     atomic.Int64
+	gibbsSamples    atomic.Int64
+	// The throughput rate is computed over parallel-executor epochs
+	// only (simulated epochs' wall clock measures the cost simulator,
+	// not sampling), so their samples and wall time accumulate apart.
+	gibbsParSamples atomic.Int64
+	gibbsWallNanos  atomic.Int64
+	nnEpochs        atomic.Int64
+	nnExamples      atomic.Int64
 }
 
 // TrainRequest records one accepted training request.
@@ -48,6 +60,25 @@ func (c *ServeCounters) PlanCacheMiss() { c.planCacheMisses.Add(1) }
 // HTTPError records one request answered with a non-2xx status.
 func (c *ServeCounters) HTTPError() { c.httpErrors.Add(1) }
 
+// GibbsEpoch records one Gibbs epoch: sweeps chains each completed a
+// full sweep drawing samples variable samples. wall is the epoch's
+// measured sampling time for parallel-executor epochs and zero for
+// simulated ones, whose wall clock is simulator overhead.
+func (c *ServeCounters) GibbsEpoch(sweeps int, samples int64, wall time.Duration) {
+	c.gibbsSweeps.Add(int64(sweeps))
+	c.gibbsSamples.Add(samples)
+	if wall > 0 {
+		c.gibbsParSamples.Add(samples)
+		c.gibbsWallNanos.Add(int64(wall))
+	}
+}
+
+// NNEpoch records one network-training epoch over examples examples.
+func (c *ServeCounters) NNEpoch(examples int64) {
+	c.nnEpochs.Add(1)
+	c.nnExamples.Add(examples)
+}
+
 // ServeSnapshot is a point-in-time copy of the counters, shaped for
 // JSON export by the stats endpoint.
 type ServeSnapshot struct {
@@ -61,12 +92,23 @@ type ServeSnapshot struct {
 	PlanCacheHits   int64 `json:"plan_cache_hits"`
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
 	HTTPErrors      int64 `json:"http_errors"`
+	// GibbsSweeps counts full chain sweeps; GibbsSamples counts
+	// variable samples; GibbsSamplesPerSec is the cumulative sampling
+	// throughput of parallel-executor epochs over their measured wall
+	// time (zero until a parallel gibbs job has run).
+	GibbsSweeps        int64   `json:"gibbs_sweeps"`
+	GibbsSamples       int64   `json:"gibbs_samples"`
+	GibbsSamplesPerSec float64 `json:"gibbs_samples_per_sec"`
+	// NNEpochs counts network-training epochs; NNExamples the examples
+	// back-propagated.
+	NNEpochs   int64 `json:"nn_epochs"`
+	NNExamples int64 `json:"nn_examples"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting: each field
 // is read atomically, the set is not a single linearization point.
 func (c *ServeCounters) Snapshot() ServeSnapshot {
-	return ServeSnapshot{
+	s := ServeSnapshot{
 		TrainRequests:   c.trainRequests.Load(),
 		PredictRequests: c.predictRequests.Load(),
 		Predictions:     c.predictions.Load(),
@@ -77,5 +119,13 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		PlanCacheHits:   c.planCacheHits.Load(),
 		PlanCacheMisses: c.planCacheMisses.Load(),
 		HTTPErrors:      c.httpErrors.Load(),
+		GibbsSweeps:     c.gibbsSweeps.Load(),
+		GibbsSamples:    c.gibbsSamples.Load(),
+		NNEpochs:        c.nnEpochs.Load(),
+		NNExamples:      c.nnExamples.Load(),
 	}
+	if nanos := c.gibbsWallNanos.Load(); nanos > 0 {
+		s.GibbsSamplesPerSec = float64(c.gibbsParSamples.Load()) / (float64(nanos) / float64(time.Second))
+	}
+	return s
 }

@@ -30,6 +30,20 @@ func (ex Example) Validate(dim int) error {
 	return nil
 }
 
+// DenseVector materialises the example as a dense vector of the given
+// dimension (workloads whose scoring is not a sparse dot product, like
+// a network forward pass, need the full input).
+func (ex Example) DenseVector(dim int) ([]float64, error) {
+	if err := ex.Validate(dim); err != nil {
+		return nil, err
+	}
+	out := make([]float64, dim)
+	for k, j := range ex.Idx {
+		out[j] = ex.Vals[k]
+	}
+	return out, nil
+}
+
 // DenseExample builds an Example from a dense feature vector.
 func DenseExample(features []float64) Example {
 	ex := Example{Idx: make([]int32, 0, len(features)), Vals: make([]float64, 0, len(features))}

@@ -44,7 +44,15 @@ func LoadNetwork(r io.Reader) (*Network, error) {
 			return nil, fmt.Errorf("nn: layer %d biases %d, want %d", l, len(w.Biases[l]), w.Sizes[l+1])
 		}
 	}
-	return &Network{Sizes: w.Sizes, Weights: w.Weights, Biases: w.Biases}, nil
+	// Rebuild the flat backing store so the loaded network composes
+	// with the engine's vector machinery like a freshly built one.
+	n := &Network{Sizes: w.Sizes, params: make([]float64, paramCount(w.Sizes))}
+	n.buildViews()
+	for l := range w.Weights {
+		copy(n.Weights[l], w.Weights[l])
+		copy(n.Biases[l], w.Biases[l])
+	}
+	return n, nil
 }
 
 // Split partitions the dataset into train and test subsets with the

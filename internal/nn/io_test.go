@@ -3,31 +3,35 @@ package nn
 import (
 	"bytes"
 	"testing"
+
+	"dimmwitted/internal/core"
 )
 
 func TestNetworkSaveLoadRoundTrip(t *testing.T) {
 	ds := smallData()
-	tr, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 3; i++ {
-		tr.RunEpoch()
-	}
+	_, eng := smallEngine(t, core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 2})
+	eng.RunEpochs(3)
+	net := NewNetwork(smallSizes(), 2)
+	copy(net.Params(), eng.Model())
 	var buf bytes.Buffer
-	if err := tr.Net.Save(&buf); err != nil {
+	if err := net.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
 	back, err := LoadNetwork(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Same predictions, same loss.
-	if got, want := back.Loss(ds), tr.Net.Loss(ds); got != want {
+	// Same flat parameters, same predictions, same loss.
+	for i, v := range net.Params() {
+		if back.Params()[i] != v {
+			t.Fatalf("param %d changed after round trip", i)
+		}
+	}
+	if got, want := back.Loss(ds), net.Loss(ds); got != want {
 		t.Errorf("loaded loss %v, want %v", got, want)
 	}
 	for i := 0; i < 20; i++ {
-		if back.Predict(ds.Images[i]) != tr.Net.Predict(ds.Images[i]) {
+		if back.Predict(ds.Images[i]) != net.Predict(ds.Images[i]) {
 			t.Fatalf("prediction %d changed after round trip", i)
 		}
 	}
@@ -75,14 +79,18 @@ func TestDatasetSplit(t *testing.T) {
 func TestGeneralisationOnHeldOut(t *testing.T) {
 	ds := SyntheticMNIST(400, 32, 10, 0.08, 5)
 	train, test := ds.Split(0.25, 9)
-	tr, err := NewTrainer(train, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 5})
+	wl, err := NewWorkload(train, WorkloadConfig{Sizes: smallSizes(), Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 8; i++ {
-		tr.RunEpoch()
+	eng, err := core.NewWorkload(wl, core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if acc := tr.Net.Accuracy(test); acc < 0.7 {
+	eng.RunEpochs(8)
+	net := NewNetwork(smallSizes(), 5)
+	copy(net.Params(), eng.Model())
+	if acc := net.Accuracy(test); acc < 0.7 {
 		t.Errorf("held-out accuracy = %v, want >= 0.7", acc)
 	}
 }

@@ -4,6 +4,9 @@ import "math/rand"
 
 // Dataset is a labelled image dataset for the network.
 type Dataset struct {
+	// Name identifies the dataset for registries, plan-cache keys and
+	// snapshots; empty for ad-hoc datasets.
+	Name string
 	// Images holds one input vector per example, values in [0, 1].
 	Images [][]float64
 	// Labels holds the class index of each example.

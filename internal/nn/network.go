@@ -10,21 +10,28 @@
 package nn
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 )
 
 // Network is a fully-connected feed-forward network with ReLU hidden
-// activations and a softmax output layer.
+// activations and a softmax output layer. All parameters live in one
+// flat backing vector (Params), with Weights and Biases as per-layer
+// views into it — so the engine's vector machinery (replica averaging,
+// atomic delta masters, snapshots) operates on the network directly.
 type Network struct {
 	// Sizes lists the layer widths, input first, output last.
 	Sizes []int
 	// Weights[l] is the Sizes[l+1] x Sizes[l] matrix of layer l,
-	// row-major.
+	// row-major; a view into the flat parameter vector.
 	Weights [][]float64
-	// Biases[l] has length Sizes[l+1].
+	// Biases[l] has length Sizes[l+1]; a view into the flat parameter
+	// vector.
 	Biases [][]float64
+
+	// params is the flat backing store: layer 0 weights, layer 0
+	// biases, layer 1 weights, ...
+	params []float64
 }
 
 // LeCunSizes returns the scaled seven-layer architecture used by the
@@ -32,31 +39,52 @@ type Network struct {
 // ~55K parameters so epochs run in milliseconds).
 func LeCunSizes() []int { return []int{256, 128, 96, 64, 48, 32, 10} }
 
+// paramCount returns the total number of weights and biases for an
+// architecture.
+func paramCount(sizes []int) int {
+	total := 0
+	for l := 0; l < len(sizes)-1; l++ {
+		total += sizes[l]*sizes[l+1] + sizes[l+1]
+	}
+	return total
+}
+
+// buildViews slices the flat parameter vector into per-layer weight
+// and bias views.
+func (n *Network) buildViews() {
+	n.Weights, n.Biases = n.Weights[:0], n.Biases[:0]
+	off := 0
+	for l := 0; l < len(n.Sizes)-1; l++ {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		n.Weights = append(n.Weights, n.params[off:off+in*out])
+		off += in * out
+		n.Biases = append(n.Biases, n.params[off:off+out])
+		off += out
+	}
+}
+
 // NewNetwork allocates a network with small random weights.
 func NewNetwork(sizes []int, seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
-	n := &Network{Sizes: sizes}
+	n := &Network{Sizes: sizes, params: make([]float64, paramCount(sizes))}
+	n.buildViews()
 	for l := 0; l < len(sizes)-1; l++ {
-		in, out := sizes[l], sizes[l+1]
-		w := make([]float64, in*out)
-		scale := math.Sqrt(2 / float64(in)) // He initialisation for ReLU
+		w := n.Weights[l]
+		scale := math.Sqrt(2 / float64(sizes[l])) // He initialisation for ReLU
 		for i := range w {
 			w[i] = scale * rng.NormFloat64()
 		}
-		n.Weights = append(n.Weights, w)
-		n.Biases = append(n.Biases, make([]float64, out))
 	}
 	return n
 }
 
+// Params returns the flat parameter vector backing the network. The
+// per-layer Weights and Biases are views into it, so writes through
+// either are visible through both.
+func (n *Network) Params() []float64 { return n.params }
+
 // NumParams returns the total number of weights and biases.
-func (n *Network) NumParams() int {
-	total := 0
-	for l := range n.Weights {
-		total += len(n.Weights[l]) + len(n.Biases[l])
-	}
-	return total
-}
+func (n *Network) NumParams() int { return len(n.params) }
 
 // NumNeurons returns the number of neuron activations computed per
 // example (all non-input layers) — the unit of Figure 17(b)'s
@@ -71,11 +99,11 @@ func (n *Network) NumNeurons() int {
 
 // Clone returns a deep copy of the network.
 func (n *Network) Clone() *Network {
-	out := &Network{Sizes: append([]int(nil), n.Sizes...)}
-	for l := range n.Weights {
-		out.Weights = append(out.Weights, append([]float64(nil), n.Weights[l]...))
-		out.Biases = append(out.Biases, append([]float64(nil), n.Biases[l]...))
+	out := &Network{
+		Sizes:  append([]int(nil), n.Sizes...),
+		params: append([]float64(nil), n.params...),
 	}
+	out.buildViews()
 	return out
 }
 
@@ -233,34 +261,6 @@ func (n *Network) SGDStep(x []float64, label int, step float64, s *scratch) int 
 		}
 	}
 	return touched
-}
-
-// Average overwrites every network in nets (and dst) with their
-// element-wise mean. All networks must share an architecture.
-func Average(dst *Network, nets ...*Network) error {
-	for _, other := range nets {
-		if len(other.Weights) != len(dst.Weights) {
-			return fmt.Errorf("nn: averaging mismatched architectures")
-		}
-	}
-	inv := 1 / float64(len(nets))
-	for l := range dst.Weights {
-		for i := range dst.Weights[l] {
-			var s float64
-			for _, o := range nets {
-				s += o.Weights[l][i]
-			}
-			dst.Weights[l][i] = s * inv
-		}
-		for i := range dst.Biases[l] {
-			var s float64
-			for _, o := range nets {
-				s += o.Biases[l][i]
-			}
-			dst.Biases[l][i] = s * inv
-		}
-	}
-	return nil
 }
 
 // softmax normalises v into probabilities in place, stably.

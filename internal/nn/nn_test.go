@@ -4,12 +4,28 @@ import (
 	"math"
 	"testing"
 
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/model"
 	"dimmwitted/internal/numa"
 )
 
 func smallSizes() []int { return []int{32, 24, 16, 10} }
 
 func smallData() *Dataset { return SyntheticMNIST(300, 32, 10, 0.08, 1) }
+
+// smallEngine builds a workload engine on the small dataset.
+func smallEngine(t *testing.T, plan core.Plan) (*Workload, *core.Engine) {
+	t.Helper()
+	wl, err := NewWorkload(smallData(), WorkloadConfig{Sizes: smallSizes(), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewWorkload(wl, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl, eng
+}
 
 func TestNetworkShapes(t *testing.T) {
 	n := NewNetwork(LeCunSizes(), 1)
@@ -30,6 +46,24 @@ func TestNetworkShapes(t *testing.T) {
 	}
 	if n.NumNeurons() != wantNeurons {
 		t.Errorf("NumNeurons = %d, want %d", n.NumNeurons(), wantNeurons)
+	}
+}
+
+// The flat parameter vector and the per-layer views must alias: the
+// engine averages and snapshots Params, training writes Weights.
+func TestParamsAliasLayerViews(t *testing.T) {
+	n := NewNetwork(smallSizes(), 2)
+	if len(n.Params()) != n.NumParams() {
+		t.Fatalf("flat params %d != NumParams %d", len(n.Params()), n.NumParams())
+	}
+	n.Weights[0][0] = 42
+	if n.Params()[0] != 42 {
+		t.Error("weight write invisible through Params")
+	}
+	n.Params()[len(n.Params())-1] = 7
+	last := n.Biases[len(n.Biases)-1]
+	if last[len(last)-1] != 7 {
+		t.Error("params write invisible through Biases")
 	}
 }
 
@@ -67,16 +101,11 @@ func TestSGDReducesLoss(t *testing.T) {
 }
 
 func TestTrainingReachesHighAccuracy(t *testing.T) {
-	ds := smallData()
-	tr, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 8; i++ {
-		tr.RunEpoch()
-	}
-	if acc := tr.Net.Accuracy(ds); acc < 0.8 {
-		t.Errorf("accuracy = %v, want >= 0.8", acc)
+	_, eng := smallEngine(t, core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 4})
+	eng.RunEpochs(8)
+	m := eng.Metrics()
+	if m["accuracy"] < 0.8 {
+		t.Errorf("accuracy = %v, want >= 0.8", m["accuracy"])
 	}
 }
 
@@ -89,87 +118,139 @@ func TestCloneIndependent(t *testing.T) {
 	}
 }
 
-func TestAverage(t *testing.T) {
-	a := NewNetwork(smallSizes(), 6)
-	b := a.Clone()
-	for l := range b.Weights {
-		for i := range b.Weights[l] {
-			b.Weights[l][i] = a.Weights[l][i] + 2
-		}
-	}
-	dst := a.Clone()
-	if err := Average(dst, a, b); err != nil {
-		t.Fatal(err)
-	}
-	if got, want := dst.Weights[0][0], a.Weights[0][0]+1; math.Abs(got-want) > 1e-12 {
-		t.Errorf("average = %v, want %v", got, want)
-	}
-	bad := NewNetwork([]int{32, 10}, 7)
-	if err := Average(bad, a); err == nil {
-		t.Error("mismatched architectures averaged")
-	}
-}
-
 func TestDimmWittedStrategyFasterThanClassic(t *testing.T) {
 	// Figure 17(b): PerNode+FullReplication yields over an order of
 	// magnitude more neuron throughput than PerMachine+Sharding, whose
 	// fully dense updates hammer one machine-shared network.
-	ds := smallData()
-	classic, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: Classic(), Seed: 8})
-	if err != nil {
-		t.Fatal(err)
+	throughput := func(plan core.Plan) float64 {
+		wl, eng := smallEngine(t, plan)
+		er := eng.RunEpoch()
+		return float64(er.Steps*wl.NumNeurons()) / er.SimTime.Seconds()
 	}
-	dw, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := classic.RunEpoch()
-	d := dw.RunEpoch()
-	ratio := d.NeuronThroughput / c.NeuronThroughput
-	if ratio < 5 {
+	classic := throughput(core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Seed: 8})
+	dw := throughput(core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 8})
+	if ratio := dw / classic; ratio < 5 {
 		t.Errorf("DW/classic neuron throughput ratio = %.1f, want >= 5 (paper: >10)", ratio)
 	}
 }
 
-func TestTrainerValidation(t *testing.T) {
-	if _, err := NewTrainer(&Dataset{}, TrainerConfig{}); err == nil {
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := NewWorkload(&Dataset{}, WorkloadConfig{}); err == nil {
 		t.Error("empty dataset accepted")
 	}
-	ds := smallData()
-	if _, err := NewTrainer(ds, TrainerConfig{Sizes: []int{999, 10}}); err == nil {
+	if _, err := NewWorkload(smallData(), WorkloadConfig{Sizes: []int{999, 10}}); err == nil {
 		t.Error("mismatched input dim accepted")
 	}
-}
-
-func TestTrainerEpochBookkeeping(t *testing.T) {
-	ds := smallData()
-	tr, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: Classic(), Machine: numa.Local2, Seed: 9})
+	wl, err := NewWorkload(smallData(), WorkloadConfig{Sizes: smallSizes()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1 := tr.RunEpoch()
-	r2 := tr.RunEpoch()
+	if _, err := core.NewWorkload(wl, core.Plan{DataRep: core.Importance}); err == nil {
+		t.Error("Importance data replication accepted for network training")
+	}
+}
+
+func TestEpochBookkeeping(t *testing.T) {
+	_, eng := smallEngine(t, core.Plan{ModelRep: core.PerMachine, DataRep: core.Sharding, Machine: numa.Local2, Seed: 9})
+	r1 := eng.RunEpoch()
+	r2 := eng.RunEpoch()
 	if r1.Epoch != 1 || r2.Epoch != 2 {
 		t.Errorf("epoch numbering: %d, %d", r1.Epoch, r2.Epoch)
 	}
-	if r1.Examples != int64(len(ds.Images)) {
-		t.Errorf("classic epoch processed %d examples, want %d", r1.Examples, len(ds.Images))
+	if r1.Steps != len(smallData().Images) {
+		t.Errorf("sharded epoch processed %d examples, want %d", r1.Steps, len(smallData().Images))
 	}
-	if tr.SimTime() != r1.SimTime+r2.SimTime {
+	if eng.SimTime() != r1.SimTime+r2.SimTime {
 		t.Error("cumulative SimTime wrong")
 	}
 }
 
 func TestFullReplicationProcessesPerNode(t *testing.T) {
+	_, eng := smallEngine(t, core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 10})
+	r := eng.RunEpoch()
+	want := len(smallData().Images) * numa.Local2.Nodes
+	if r.Steps != want {
+		t.Errorf("full replication processed %d, want %d", r.Steps, want)
+	}
+}
+
+// The parallel executor must train to the same quality as the
+// simulator on the same plan: different interleaving, same statistics.
+func TestSimParallelLossParity(t *testing.T) {
+	run := func(exec core.ExecutorKind) float64 {
+		_, eng := smallEngine(t, core.Plan{
+			ModelRep: core.PerNode, DataRep: core.FullReplication,
+			Executor: exec, Seed: 12,
+		})
+		return eng.RunEpochs(6)[5].Loss
+	}
+	sim := run(core.ExecSimulated)
+	par := run(core.ExecParallel)
+	// Hogwild interleaving differs from the deterministic simulator, so
+	// exact losses differ; statistical parity means both converge to
+	// the same near-zero regime.
+	if sim > 0.15 || par > 0.15 {
+		t.Errorf("losses diverge: sim %v, parallel %v (want both <= 0.15)", sim, par)
+	}
+	if math.Abs(sim-par) > 0.1 {
+		t.Errorf("sim loss %v vs parallel loss %v differ by more than 0.1", sim, par)
+	}
+}
+
+func TestWorkloadSnapshotPredict(t *testing.T) {
+	wl, eng := smallEngine(t, core.Plan{ModelRep: core.PerNode, DataRep: core.FullReplication, Seed: 4})
+	eng.RunEpochs(8)
+	snap := eng.Snapshot()
+	if snap.Workload != core.WorkloadNN || snap.Spec != "nn" {
+		t.Errorf("snapshot identifies %s/%s", snap.Workload, snap.Spec)
+	}
 	ds := smallData()
-	tr, err := NewTrainer(ds, TrainerConfig{Sizes: smallSizes(), Strategy: DimmWitted(), Seed: 10})
+	examples := make([]model.Example, 0, 20)
+	want := make([]int, 0, 20)
+	for i := 0; i < 20; i++ {
+		examples = append(examples, model.DenseExample(ds.Images[i]))
+		want = append(want, ds.Labels[i])
+	}
+	preds, err := wl.PredictBatch(snap.X, examples)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := tr.RunEpoch()
-	want := int64(len(ds.Images) * numa.Local2.Nodes)
-	if r.Examples != want {
-		t.Errorf("full replication processed %d, want %d", r.Examples, want)
+	hits := 0
+	for i, p := range preds {
+		if int(p) == want[i] {
+			hits++
+		}
+	}
+	if hits < 14 {
+		t.Errorf("snapshot predictions: %d/20 correct", hits)
+	}
+	if _, err := PredictBatch([]int{3, 2}, snap.X, examples); err == nil {
+		t.Error("mismatched architecture accepted")
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	for _, name := range DatasetNames() {
+		ds, sizes, err := DatasetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Name != name {
+			t.Errorf("dataset %q carries name %q", name, ds.Name)
+		}
+		if len(ds.Images[0]) != sizes[0] {
+			t.Errorf("dataset %q input dim %d != architecture %v", name, len(ds.Images[0]), sizes)
+		}
+		again, _, err := DatasetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds != again {
+			t.Errorf("dataset %q not cached as a shared instance", name)
+		}
+	}
+	if _, _, err := DatasetByName("no-such-dataset"); err == nil {
+		t.Error("unknown dataset accepted")
 	}
 }
 

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The dataset registry backs the serving API's "dataset" field for NN
+// jobs: named, deterministic datasets paired with the architecture
+// that trains on them (the name pins both, so plan-cache keys stay
+// honest). Instances are shared and must be treated as immutable.
+
+// namedDataset couples a dataset with its network architecture.
+type namedDataset struct {
+	ds    *Dataset
+	sizes []int
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]namedDataset{}
+)
+
+// dsBuilders maps registry names to constructors.
+var dsBuilders = map[string]func() namedDataset{
+	// The Figure 17(b) configuration: the scaled seven-layer LeCun
+	// network on the synthetic MNIST analog.
+	"mnist": func() namedDataset {
+		ds := SyntheticMNIST(400, 256, 10, 0.08, 3)
+		ds.Name = "mnist"
+		return namedDataset{ds: ds, sizes: LeCunSizes()}
+	},
+	// A small fast-training variant for demos and serving tests.
+	"mnist-small": func() namedDataset {
+		ds := SyntheticMNIST(240, 32, 10, 0.08, 1)
+		ds.Name = "mnist-small"
+		return namedDataset{ds: ds, sizes: []int{32, 24, 16, 10}}
+	},
+}
+
+// DatasetByName returns the shared instance of a registered dataset
+// and the network architecture registered with it.
+func DatasetByName(name string) (*Dataset, []int, error) {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if nd, ok := dsCache[name]; ok {
+		return nd.ds, nd.sizes, nil
+	}
+	build, ok := dsBuilders[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("nn: unknown dataset %q (want one of %v)", name, DatasetNames())
+	}
+	nd := build()
+	dsCache[name] = nd
+	return nd.ds, nd.sizes, nil
+}
+
+// DatasetNames lists the registered dataset names, sorted.
+func DatasetNames() []string {
+	names := make([]string, 0, len(dsBuilders))
+	for n := range dsBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

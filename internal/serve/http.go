@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"dimmwitted/internal/data"
+	"dimmwitted/internal/factor"
 	"dimmwitted/internal/metrics"
 	"dimmwitted/internal/model"
+	"dimmwitted/internal/nn"
 )
 
 // Server is the HTTP front end: a scheduler, its model registry and
@@ -188,7 +190,12 @@ type statsResponse struct {
 	Queue         QueueStats            `json:"queue"`
 	PlanCache     PlanCacheStats        `json:"plan_cache"`
 	Models        int                   `json:"models"`
-	Datasets      []string              `json:"datasets"`
+	// Datasets, Graphs and NNDatasets list what each workload's
+	// "dataset" field accepts: GLM data matrices, factor graphs, and
+	// image corpora.
+	Datasets   []string `json:"datasets"`
+	Graphs     []string `json:"graphs"`
+	NNDatasets []string `json:"nn_datasets"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -200,5 +207,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCache:     s.sched.Plans().Stats(),
 		Models:        s.sched.Models().Len(),
 		Datasets:      data.Names(),
+		Graphs:        factor.GraphNames(),
+		NNDatasets:    nn.DatasetNames(),
 	})
 }

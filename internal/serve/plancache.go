@@ -16,19 +16,24 @@ import (
 // different skew may deserve different plans. The dataset's registry
 // name pins the distribution (registered datasets are deterministic);
 // the aggregate stats guard against a name being re-registered with
-// different content.
+// different content. The workload kind is part of the key: GLM
+// datasets, factor graphs and image corpora live in separate
+// registries, so a Gibbs job must never hit a cached GLM plan (or vice
+// versa) just because the dataset names collide.
 type PlanKey struct {
-	// Model is the spec's short name.
+	// Workload is the workload family the plan was optimized for.
+	Workload core.WorkloadKind
+	// Model is the task's short name (the spec for GLM; "gibbs"/"nn").
 	Model string
 	// Dataset is the registry name, which determines the full nonzero
 	// distribution the cost model reads.
 	Dataset string
-	// Rows, Cols and NNZ are the dataset statistics of Figure 6's
-	// cost model.
+	// Rows, Cols and NNZ are the data shape statistics: rows/columns/
+	// nonzeros for GLM, units/state-dimension/incidences otherwise.
 	Rows, Cols int
 	NNZ        int64
-	// Task distinguishes datasets with equal shapes but different
-	// label semantics.
+	// Task distinguishes GLM datasets with equal shapes but different
+	// label semantics; empty for other workloads.
 	Task string
 	// Machine is the topology name (alpha and core counts).
 	Machine string
@@ -38,16 +43,32 @@ type PlanKey struct {
 	Executor core.ExecutorKind
 }
 
-// KeyFor builds the cache key for a spec/dataset/topology/executor
+// KeyFor builds the cache key for a GLM spec/dataset/topology/executor
 // quadruple.
 func KeyFor(spec model.Spec, ds *data.Dataset, top numa.Topology, exec core.ExecutorKind) PlanKey {
 	return PlanKey{
+		Workload: core.WorkloadGLM,
 		Model:    spec.Name(),
 		Dataset:  ds.Name,
 		Rows:     ds.Rows(),
 		Cols:     ds.Cols(),
 		NNZ:      ds.NNZ(),
 		Task:     ds.Task.String(),
+		Machine:  top.Name,
+		Executor: exec,
+	}
+}
+
+// KeyForWorkload builds the cache key for a non-GLM workload from its
+// kind, task name, dataset identity and shape statistics.
+func KeyForWorkload(wl core.Workload, top numa.Topology, exec core.ExecutorKind) PlanKey {
+	return PlanKey{
+		Workload: wl.Kind(),
+		Model:    wl.Name(),
+		Dataset:  wl.DatasetName(),
+		Rows:     wl.Units(),
+		Cols:     wl.Dim(),
+		NNZ:      wl.DataNNZ(),
 		Machine:  top.Name,
 		Executor: exec,
 	}

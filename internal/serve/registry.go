@@ -17,6 +17,8 @@ var ErrUnknownModel = errors.New("serve: unknown model")
 type ModelInfo struct {
 	// ID is the registry key (the training job's ID).
 	ID string `json:"id"`
+	// Workload is the workload family ("glm", "gibbs", "nn").
+	Workload string `json:"workload"`
 	// Spec and Dataset identify what was trained on what.
 	Spec    string `json:"spec"`
 	Dataset string `json:"dataset"`
@@ -33,6 +35,13 @@ type ModelInfo struct {
 	Created time.Time `json:"created"`
 }
 
+// Scorer maps a frozen state vector and a batch of examples to one
+// prediction per example: a linear-score mapping for GLM snapshots, a
+// network forward pass for NN parameters, a marginal lookup for Gibbs
+// estimates. Scorers must be safe for concurrent use and read-only
+// with respect to x.
+type Scorer func(x []float64, examples []model.Example) ([]float64, error)
+
 // Registry holds trained model snapshots and serves predictions from
 // them. Snapshots are immutable once registered, so the read path
 // (Predict) only holds the lock long enough to fetch the entry; the
@@ -45,6 +54,7 @@ type Registry struct {
 
 type regEntry struct {
 	spec    model.Spec
+	scorer  Scorer
 	snap    core.Snapshot
 	created time.Time
 }
@@ -54,19 +64,38 @@ func NewRegistry() *Registry {
 	return &Registry{models: map[string]*regEntry{}}
 }
 
-// Put registers a snapshot under the given ID, replacing any previous
-// entry with that ID.
+// Put registers a GLM snapshot under the given ID, replacing any
+// previous entry with that ID; predictions go through the spec's
+// linear-score rule.
 func (r *Registry) Put(id string, spec model.Spec, snap core.Snapshot) {
+	r.put(id, &regEntry{
+		spec: spec,
+		scorer: func(x []float64, examples []model.Example) ([]float64, error) {
+			return model.PredictBatch(spec, x, examples)
+		},
+		snap: snap,
+	})
+}
+
+// PutScored registers a snapshot with a workload-specific scorer (nil
+// for snapshots that cannot serve predictions).
+func (r *Registry) PutScored(id string, scorer Scorer, snap core.Snapshot) {
+	r.put(id, &regEntry{scorer: scorer, snap: snap})
+}
+
+func (r *Registry) put(id string, e *regEntry) {
+	e.created = time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, exists := r.models[id]; !exists {
 		r.order = append(r.order, id)
 	}
-	r.models[id] = &regEntry{spec: spec, snap: snap, created: time.Now()}
+	r.models[id] = e
 }
 
 // Get returns the spec and snapshot registered under id. The snapshot's
-// model vector is shared — callers must treat it as read-only.
+// model vector is shared — callers must treat it as read-only. The spec
+// is nil for non-GLM snapshots.
 func (r *Registry) Get(id string) (model.Spec, core.Snapshot, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -80,11 +109,16 @@ func (r *Registry) Get(id string) (model.Spec, core.Snapshot, bool) {
 // Predict scores a batch of examples against the model registered
 // under id.
 func (r *Registry) Predict(id string, examples []model.Example) ([]float64, error) {
-	spec, snap, ok := r.Get(id)
+	r.mu.RLock()
+	e, ok := r.models[id]
+	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrUnknownModel, id)
 	}
-	return model.PredictBatch(spec, snap.X, examples)
+	if e.scorer == nil {
+		return nil, fmt.Errorf("serve: model %q (%s) does not support prediction", id, e.snap.Spec)
+	}
+	return e.scorer(e.snap.X, examples)
 }
 
 // List returns info for every registered model in registration order.
@@ -96,6 +130,7 @@ func (r *Registry) List() []ModelInfo {
 		e := r.models[id]
 		out = append(out, ModelInfo{
 			ID:         id,
+			Workload:   e.snap.Workload.String(),
 			Spec:       e.snap.Spec,
 			Dataset:    e.snap.Dataset,
 			Dim:        len(e.snap.X),

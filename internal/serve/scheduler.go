@@ -8,8 +8,10 @@ import (
 
 	"dimmwitted/internal/core"
 	"dimmwitted/internal/data"
+	"dimmwitted/internal/factor"
 	"dimmwitted/internal/metrics"
 	"dimmwitted/internal/model"
+	"dimmwitted/internal/nn"
 	"dimmwitted/internal/numa"
 )
 
@@ -59,24 +61,39 @@ func (s JobState) Terminal() bool {
 // TrainRequest describes one training job. Zero-valued knobs take
 // scheduler defaults.
 type TrainRequest struct {
-	// Model is the spec's short name ("svm", "lr", ...). Required.
-	Model string `json:"model"`
-	// Dataset is a registered dataset name ("reuters", ...). Required.
+	// Workload selects the workload family: "glm" (default; a model
+	// spec over a data matrix), "gibbs" (sampling over a registered
+	// factor graph) or "nn" (network training over a registered image
+	// dataset).
+	Workload string `json:"workload,omitempty"`
+	// Model is the GLM spec's short name ("svm", "lr", ...). Required
+	// for glm jobs; must be empty for gibbs/nn jobs, whose task is the
+	// workload itself.
+	Model string `json:"model,omitempty"`
+	// Dataset is a registered name in the workload's registry: a data
+	// matrix ("reuters", ...) for glm, a factor graph ("paleo",
+	// "cycle5", ...) for gibbs, an image corpus ("mnist", ...) for nn.
+	// Required.
 	Dataset string `json:"dataset"`
 	// Machine overrides the scheduler's topology ("local2", ...).
 	Machine string `json:"machine,omitempty"`
 	// Access forces an access method ("row", "col", "ctr") instead of
-	// the cost-based optimizer's choice. Forced plans bypass the plan
-	// cache; the engine rejects unsupported spec/access pairs.
+	// the cost-based optimizer's choice; glm only (gibbs is inherently
+	// column-to-row, nn row-wise). Forced plans bypass the plan cache;
+	// the engine rejects unsupported spec/access pairs.
 	Access string `json:"access,omitempty"`
 	// Executor selects the execution backend: "simulated" (default;
 	// deterministic interleaver on the NUMA cost simulator) or
-	// "parallel" (real goroutine Hogwild workers, wall-clock epochs,
-	// cancellable mid-epoch).
+	// "parallel" (real goroutine workers — Hogwild delta-flushing for
+	// glm/nn, concurrent Hogwild!-Gibbs sweeps for gibbs — wall-clock
+	// epochs, cancellable mid-epoch).
 	Executor string `json:"executor,omitempty"`
 	// TargetLoss stops training early once reached; 0 runs MaxEpochs.
+	// Ignored for gibbs jobs, whose quality metric (marginal entropy)
+	// is not a convergence target — sampling runs its sweep budget.
 	TargetLoss float64 `json:"target_loss,omitempty"`
-	// MaxEpochs bounds the run; 0 means 50.
+	// MaxEpochs bounds the run (epochs for glm/nn, sweeps per chain
+	// for gibbs); 0 means 50.
 	MaxEpochs int `json:"max_epochs,omitempty"`
 	// Workers overrides the plan's worker count; 0 means all cores.
 	Workers int `json:"workers,omitempty"`
@@ -116,6 +133,18 @@ type JobStatus struct {
 	Loss  float64 `json:"loss"`
 	// Converged reports whether TargetLoss was reached.
 	Converged bool `json:"converged"`
+	// Workload is the job's workload family ("glm", "gibbs", "nn").
+	Workload string `json:"workload"`
+	// Metrics carries workload-appropriate quality metrics from the
+	// latest epoch: nn reports "accuracy", gibbs reports marginal
+	// summaries ("mean_marginal", "polarization"); empty for glm, whose
+	// loss is the whole story.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Marginals carries the pooled per-variable P(x=1) estimate of a
+	// finished gibbs job. Only the per-job detail view includes it —
+	// the jobs listing omits the (per-variable-sized) vector and keeps
+	// the Metrics summaries.
+	Marginals []float64 `json:"marginals,omitempty"`
 	// Error carries the failure message for failed jobs.
 	Error string `json:"error,omitempty"`
 	// SimSeconds is the cumulative simulated training time (zero for
@@ -135,8 +164,14 @@ type JobStatus struct {
 // job is the scheduler's internal record. All mutable fields are
 // guarded by the owning scheduler's mutex.
 type job struct {
-	id       string
-	req      TrainRequest
+	id   string
+	req  TrainRequest
+	kind core.WorkloadKind
+	// wl is the job's workload; a Workload binds to one engine, so it
+	// is built per job at submission.
+	wl core.Workload
+	// spec and ds are set for glm jobs only (plan-cache keys, registry
+	// publication).
 	spec     model.Spec
 	ds       *data.Dataset
 	top      numa.Topology
@@ -150,16 +185,14 @@ type job struct {
 	loss     float64
 	conv     bool
 	err      string
+	qmetrics map[string]float64
+	margins  []float64
 	simTime  time.Duration
 	wallTime time.Duration
 	curve    metrics.Curve
-	// histEvery is the progress-curve sampling stride; it doubles
-	// whenever the curve reaches maxHistoryPoints so very long jobs
-	// keep a bounded, evenly thinned history.
-	histEvery int
-	enqueued  time.Time
-	started   time.Time
-	finished  time.Time
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
 }
 
 // Options configures a scheduler (and, through it, a server).
@@ -255,16 +288,59 @@ func (s *Scheduler) Counters() *metrics.ServeCounters { return s.counters }
 // Slots returns the worker-pool size.
 func (s *Scheduler) Slots() int { return s.opts.Slots }
 
+// buildWorkload resolves the request's workload, task and dataset into
+// a fresh core.Workload (one per job: a workload binds to one engine).
+// The spec and dataset returns are non-nil for glm jobs only.
+func buildWorkload(kind core.WorkloadKind, req TrainRequest) (core.Workload, model.Spec, *data.Dataset, error) {
+	switch kind {
+	case core.WorkloadGLM:
+		spec, err := model.ByName(req.Model)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ds, err := data.ByName(req.Dataset)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return core.NewGLM(spec, ds), spec, ds, nil
+	case core.WorkloadGibbs:
+		if req.Model != "" {
+			return nil, nil, nil, fmt.Errorf("serve: gibbs jobs take no model name (the workload is the task), got %q", req.Model)
+		}
+		g, err := factor.GraphByName(req.Dataset)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return factor.NewWorkload(g), nil, nil, nil
+	case core.WorkloadNN:
+		if req.Model != "" {
+			return nil, nil, nil, fmt.Errorf("serve: nn jobs take no model name (the workload is the task), got %q", req.Model)
+		}
+		ds, sizes, err := nn.DatasetByName(req.Dataset)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		wl, err := nn.NewWorkload(ds, nn.WorkloadConfig{Sizes: sizes, Seed: seed})
+		return wl, nil, nil, err
+	default:
+		return nil, nil, nil, fmt.Errorf("serve: unhandled workload %v", kind)
+	}
+}
+
 // Submit validates a request, enqueues a job and returns its ID. The
-// request fails fast on unknown models, datasets, machines or access
-// methods and on a full queue; execution errors surface as a Failed
-// job instead.
+// request fails fast on unknown workloads, models, datasets, machines
+// or access methods and on a full queue; execution errors surface as a
+// Failed job instead.
 func (s *Scheduler) Submit(req TrainRequest) (string, error) {
-	spec, err := model.ByName(req.Model)
+	kind, err := core.WorkloadByName(req.Workload)
 	if err != nil {
 		return "", err
 	}
-	ds, err := data.ByName(req.Dataset)
+	wl, spec, ds, err := buildWorkload(kind, req)
 	if err != nil {
 		return "", err
 	}
@@ -275,6 +351,9 @@ func (s *Scheduler) Submit(req TrainRequest) (string, error) {
 		}
 	}
 	if req.Access != "" {
+		if kind != core.WorkloadGLM {
+			return "", fmt.Errorf("serve: access is fixed per workload (%s); only glm jobs accept an override", kind)
+		}
 		if _, err := parseAccess(req.Access); err != nil {
 			return "", err
 		}
@@ -292,6 +371,8 @@ func (s *Scheduler) Submit(req TrainRequest) (string, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		req:      req,
+		kind:     kind,
+		wl:       wl,
 		spec:     spec,
 		ds:       ds,
 		top:      top,
@@ -374,22 +455,23 @@ func parseAccess(name string) (model.Access, error) {
 
 // planFor resolves the job's execution plan, consulting the plan cache
 // when the optimizer would decide (no access override). The requested
-// executor is part of the cache key: it narrows the access methods the
-// optimizer may price, so simulated and parallel jobs for the same
-// task can legitimately cache different plans.
+// executor and the workload kind are both part of the cache key: the
+// executor narrows the access methods the optimizer may price, and
+// heterogeneous workloads keep separate registries whose dataset names
+// may collide.
 func (s *Scheduler) planFor(j *job) (core.Plan, error) {
 	exec, _ := core.ExecutorByName(j.req.Executor) // validated at Submit
-	if j.req.Access != "" {
+	if j.req.Access != "" { // glm only, validated at Submit
 		access, _ := parseAccess(j.req.Access)
 		return core.Plan{Access: access, Machine: j.top, DataRep: core.FullReplication, Executor: exec}, nil
 	}
-	key := KeyFor(j.spec, j.ds, j.top, exec)
+	key := s.keyFor(j, exec)
 	if plan, ok := s.plans.Lookup(key); ok {
 		s.counters.PlanCacheHit()
 		return plan, nil
 	}
 	s.counters.PlanCacheMiss()
-	plan, err := core.ChooseExecutor(j.spec, j.ds, j.top, exec)
+	plan, err := core.ChooseWorkload(j.wl, j.top, exec)
 	if err != nil {
 		if exec == core.ExecParallel {
 			// No row-wise method: the parallel backend genuinely
@@ -403,6 +485,15 @@ func (s *Scheduler) planFor(j *job) (core.Plan, error) {
 	}
 	s.plans.Store(key, plan)
 	return plan, nil
+}
+
+// keyFor builds the job's plan-cache key: the GLM key carries the
+// dataset's task semantics, the workload key its kind and shape.
+func (s *Scheduler) keyFor(j *job, exec core.ExecutorKind) PlanKey {
+	if j.kind == core.WorkloadGLM {
+		return KeyFor(j.spec, j.ds, j.top, exec)
+	}
+	return KeyForWorkload(j.wl, j.top, exec)
 }
 
 // run executes one job on the calling worker goroutine.
@@ -431,7 +522,7 @@ func (s *Scheduler) run(j *job) {
 		plan.Seed = j.req.Seed
 	}
 
-	eng, err := core.New(j.spec, j.ds, plan)
+	eng, err := core.NewWorkload(j.wl, plan)
 	if err != nil {
 		s.finish(j, JobFailed, err.Error())
 		return
@@ -442,6 +533,12 @@ func (s *Scheduler) run(j *job) {
 	j.planned = true
 	s.mu.Unlock()
 
+	// histEvery is the progress sampling stride; it doubles whenever
+	// the curve reaches maxHistoryPoints so very long jobs keep a
+	// bounded, evenly thinned history. Workload quality metrics (NN
+	// accuracy costs a dataset pass) are refreshed on the same stride,
+	// plus once at the end.
+	histEvery := 1
 	for ep := 0; ep < j.req.MaxEpochs; ep++ {
 		select {
 		case <-j.ctx.Done():
@@ -457,22 +554,28 @@ func (s *Scheduler) run(j *job) {
 			s.finish(j, JobCancelled, "")
 			return
 		}
+		sample := er.Epoch%histEvery == 0
+		var qm map[string]float64
+		if sample {
+			qm = eng.Metrics()
+		}
+		s.recordEpoch(j, eng, er)
 
 		s.mu.Lock()
 		j.epoch = er.Epoch
 		j.loss = er.Loss
+		if qm != nil {
+			j.qmetrics = qm
+		}
 		j.simTime = er.CumTime
 		j.wallTime += er.WallTime
-		if j.histEvery == 0 {
-			j.histEvery = 1
-		}
-		if er.Epoch%j.histEvery == 0 {
+		if sample {
 			_ = j.curve.Append(metrics.Point{Epoch: er.Epoch, Time: er.CumTime, Wall: j.wallTime, Loss: er.Loss})
 			if len(j.curve.Points) >= maxHistoryPoints {
-				j.histEvery *= 2
+				histEvery *= 2
 				kept := j.curve.Points[:0]
 				for _, p := range j.curve.Points {
-					if p.Epoch%j.histEvery == 0 {
+					if p.Epoch%histEvery == 0 {
 						kept = append(kept, p)
 					}
 				}
@@ -481,7 +584,9 @@ func (s *Scheduler) run(j *job) {
 		}
 		s.mu.Unlock()
 
-		if j.req.TargetLoss > 0 && er.Loss <= j.req.TargetLoss {
+		// Gibbs marginal entropy is a mixing statistic, not a
+		// convergence target: sampling always runs its sweep budget.
+		if j.kind != core.WorkloadGibbs && j.req.TargetLoss > 0 && er.Loss <= j.req.TargetLoss {
 			s.mu.Lock()
 			j.conv = true
 			s.mu.Unlock()
@@ -498,8 +603,67 @@ func (s *Scheduler) run(j *job) {
 	default:
 	}
 
-	s.models.Put(j.id, j.spec, eng.Snapshot())
+	// The loop may have ended off-stride; publish final quality.
+	final := eng.Metrics()
+	s.mu.Lock()
+	j.qmetrics = final
+	s.mu.Unlock()
+
+	s.publish(j, eng.Snapshot())
 	s.finish(j, JobDone, "")
+}
+
+// recordEpoch feeds one epoch's measurements into the serving
+// counters, per workload kind.
+func (s *Scheduler) recordEpoch(j *job, eng *core.Engine, er core.EpochResult) {
+	switch j.kind {
+	case core.WorkloadGibbs:
+		// One epoch is one sweep per chain; steps are variable samples.
+		// Only parallel-executor epochs contribute wall time: a
+		// simulated epoch's wall clock measures the cost simulator, not
+		// sampling throughput, and would poison the samples/sec rate.
+		var wall time.Duration
+		if eng.ExecutorKind() == core.ExecParallel {
+			wall = er.WallTime
+		}
+		s.counters.GibbsEpoch(eng.Replicas(), int64(er.Steps), wall)
+	case core.WorkloadNN:
+		s.counters.NNEpoch(int64(er.Steps))
+	}
+}
+
+// publish registers the finished job's snapshot with a workload-
+// appropriate scorer and surfaces terminal state (gibbs marginals).
+func (s *Scheduler) publish(j *job, snap core.Snapshot) {
+	switch j.kind {
+	case core.WorkloadGLM:
+		s.models.Put(j.id, j.spec, snap)
+	case core.WorkloadNN:
+		wl := j.wl.(*nn.Workload)
+		s.models.PutScored(j.id, wl.PredictBatch, snap)
+	case core.WorkloadGibbs:
+		s.models.PutScored(j.id, marginalScorer, snap)
+		s.mu.Lock()
+		j.margins = snap.X
+		s.mu.Unlock()
+	}
+}
+
+// marginalScorer serves Gibbs snapshots: each example selects one
+// variable index and the prediction is its pooled marginal P(x=1).
+func marginalScorer(x []float64, examples []model.Example) ([]float64, error) {
+	out := make([]float64, len(examples))
+	for i, ex := range examples {
+		if len(ex.Idx) != 1 {
+			return nil, fmt.Errorf("serve: gibbs example %d must select exactly one variable index, got %d", i, len(ex.Idx))
+		}
+		v := int(ex.Idx[0])
+		if v < 0 || v >= len(x) {
+			return nil, fmt.Errorf("serve: gibbs example %d selects variable %d of %d", i, v, len(x))
+		}
+		out[i] = x[v]
+	}
+	return out, nil
 }
 
 // finish moves a job to a terminal state exactly once.
@@ -560,26 +724,28 @@ func (s *Scheduler) Status(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	return s.statusLocked(j), true
+	return s.statusLocked(j, true), true
 }
 
-// Jobs returns every job's status in submission order.
+// Jobs returns every job's status in submission order. Listings omit
+// the per-variable marginal vectors; fetch a job's Status for those.
 func (s *Scheduler) Jobs() []JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]JobStatus, 0, len(s.order))
 	for _, id := range s.order {
-		out = append(out, s.statusLocked(s.jobs[id]))
+		out = append(out, s.statusLocked(s.jobs[id], false))
 	}
 	return out
 }
 
 // statusLocked snapshots one job; callers hold s.mu.
-func (s *Scheduler) statusLocked(j *job) JobStatus {
+func (s *Scheduler) statusLocked(j *job, withMarginals bool) JobStatus {
 	st := JobStatus{
 		ID:          j.id,
 		State:       j.state.String(),
 		Request:     j.req,
+		Workload:    j.kind.String(),
 		Epoch:       j.epoch,
 		Loss:        j.loss,
 		Converged:   j.conv,
@@ -589,6 +755,15 @@ func (s *Scheduler) statusLocked(j *job) JobStatus {
 		Enqueued:    j.enqueued,
 		Started:     j.started,
 		Finished:    j.finished,
+	}
+	if len(j.qmetrics) > 0 {
+		st.Metrics = make(map[string]float64, len(j.qmetrics))
+		for k, v := range j.qmetrics {
+			st.Metrics[k] = v
+		}
+	}
+	if withMarginals && j.margins != nil {
+		st.Marginals = append([]float64(nil), j.margins...)
 	}
 	if j.planned {
 		st.Plan = j.plan.String()
