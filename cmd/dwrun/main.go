@@ -4,6 +4,14 @@
 //	dwrun -model svm -dataset rcv1                        # optimizer plan
 //	dwrun -model lp -dataset amazon-lp -access col -rep permachine
 //	dwrun -model svm -dataset reuters -machine local8 -epochs 40
+//
+// Training state round-trips through the versioned snapshot codec:
+// -save writes the final engine state to a file, -resume restores one
+// and continues under its original plan until -epochs total epochs,
+// reproducing the uninterrupted run exactly (row access).
+//
+//	dwrun -model svm -dataset reuters -epochs 10 -save svm.snap
+//	dwrun -resume svm.snap -epochs 40
 package main
 
 import (
@@ -59,11 +67,36 @@ func main() {
 	target := flag.Float64("target", 0, "stop at this loss (0 = run all epochs)")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvPath := flag.String("csv", "", "write the loss curve as CSV to this file")
+	savePath := flag.String("save", "", "write the final engine snapshot to this file")
+	resumePath := flag.String("resume", "", "resume from a -save snapshot (its model/dataset/plan override the flags)")
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "dwrun: %v\n", err)
 		os.Exit(1)
+	}
+
+	var resume *core.Snapshot
+	if *resumePath != "" {
+		raw, err := os.ReadFile(*resumePath)
+		if err != nil {
+			die(err)
+		}
+		snap, err := core.DecodeSnapshot(raw)
+		if err != nil {
+			die(err)
+		}
+		if snap.Workload != core.WorkloadGLM {
+			die(fmt.Errorf("snapshot %s holds a %s workload; dwrun trains GLM tasks", *resumePath, snap.Workload))
+		}
+		if snap.Epoch >= *epochs {
+			// -epochs is the total target; a budget the snapshot already
+			// reached would silently train nothing (the serve layer's
+			// warm_start rejects this the same way).
+			die(fmt.Errorf("snapshot %s is already at epoch %d; -epochs %d must exceed it", *resumePath, snap.Epoch, *epochs))
+		}
+		resume = &snap
+		*modelName, *dsName = snap.Spec, snap.Dataset
 	}
 
 	spec, err := model.ByName(*modelName)
@@ -125,16 +158,29 @@ func main() {
 	plan.Step = 0 // let Normalize repick for the (possibly new) access
 	plan.StepDecay = 0
 	plan = plan.Normalize(spec)
+	if resume != nil {
+		// A resumed run must re-run the snapshot's plan, or the
+		// remaining epochs would diverge from the original run. The
+		// reporting axis follows the plan's executor, not the flag.
+		plan = resume.Plan
+		exec = plan.Executor
+	}
 
 	eng, err := core.New(spec, ds, plan)
 	if err != nil {
 		die(err)
 	}
+	if resume != nil {
+		if err := eng.Restore(*resume); err != nil {
+			die(err)
+		}
+		fmt.Printf("resumed %s from %s: epoch %d, loss %.6g\n", spec.Name(), *resumePath, resume.Epoch, resume.Loss)
+	}
 	fmt.Printf("task: %s on %s (%d x %d, %d nnz)\n", spec.Name(), ds.Name, ds.Rows(), ds.Cols(), ds.NNZ())
 	fmt.Printf("plan: %s\n\n", plan)
 	curve := &metrics.Curve{Name: fmt.Sprintf("%s-%s", spec.Name(), ds.Name)}
 	fmt.Printf("%-7s %-14s %-14s %s\n", "epoch", "loss", "epoch time", "total time")
-	for i := 0; i < *epochs; i++ {
+	for eng.Epoch() < *epochs {
 		er := eng.RunEpoch()
 		// The simulated backend's time axis is simulated cycles; the
 		// parallel backend's is measured wall clock.
@@ -167,6 +213,12 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("\nloss curve written to %s\n", *csvPath)
+	}
+	if *savePath != "" {
+		if err := os.WriteFile(*savePath, core.EncodeSnapshot(eng.Snapshot()), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("\nsnapshot written to %s (epoch %d, resumable with -resume)\n", *savePath, eng.Epoch())
 	}
 	if exec == core.ExecParallel {
 		fmt.Printf("\nwall-clock training time: %v\n", eng.WallTime())

@@ -6,6 +6,15 @@
 //	dwserve                                 # listen on :8080, local2
 //	dwserve -addr :9000 -machine local8     # 8 sockets, 8 job slots
 //	dwserve -slots 4 -queue 1024
+//	dwserve -store /var/lib/dimmwitted      # durable models + crash-resume
+//	dwserve -store ./state -checkpoint-every 1
+//
+// With -store, trained models persist across restarts (served lazily
+// on first use), running jobs checkpoint their full resume state every
+// -checkpoint-every epochs, and interrupted jobs revive via
+//
+//	curl -s -X POST localhost:8080/v1/jobs/job-1/resume
+//	curl -s localhost:8080/v1/train -d '{"warm_start":"job-1","max_epochs":100}'
 //
 // Example session (the "workload" knob selects GLM training — the
 // default — Gibbs sampling over a registered factor graph, or neural-
@@ -38,6 +47,8 @@ func main() {
 	machine := flag.String("machine", "local2", "simulated machine (local2, local4, local8, ec2.1, ec2.2)")
 	slots := flag.Int("slots", 0, "concurrent training jobs (0 = one per NUMA node)")
 	queue := flag.Int("queue", 0, "job queue depth (0 = 256)")
+	store := flag.String("store", "", "durable state directory: persists trained models and job checkpoints (empty = memory only)")
+	ckptEvery := flag.Int("checkpoint-every", 5, "checkpoint running jobs every N epochs (needs -store; 0 = never)")
 	flag.Parse()
 
 	top, err := numa.ByName(*machine)
@@ -46,14 +57,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := serve.NewServer(serve.Options{
+	opts := serve.Options{
 		Machine:    top,
 		Slots:      *slots,
 		QueueDepth: *queue,
-	})
+	}
+	if *store != "" {
+		jobs, models, err := serve.OpenStores(*store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Checkpoints = jobs
+		opts.Models = models
+		opts.CheckpointEvery = *ckptEvery
+	}
+
+	srv := serve.NewServer(opts)
 	defer srv.Close()
 
-	log.Printf("dwserve: listening on %s, machine %s, %d training slots, datasets %v, graphs %v, nn datasets %v",
-		*addr, top.Name, srv.Scheduler().Slots(), data.Names(), factor.GraphNames(), nn.DatasetNames())
+	durability := "memory only"
+	if *store != "" {
+		durability = fmt.Sprintf("store %s (checkpoint every %d epochs)", *store, *ckptEvery)
+	}
+	log.Printf("dwserve: listening on %s, machine %s, %d training slots, %s, datasets %v, graphs %v, nn datasets %v",
+		*addr, top.Name, srv.Scheduler().Slots(), durability, data.Names(), factor.GraphNames(), nn.DatasetNames())
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

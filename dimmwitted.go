@@ -259,8 +259,17 @@ func DatasetNames() []string { return data.Names() }
 // ---- Serving layer (internal/serve) ----
 
 // Snapshot is a frozen copy of an engine's trained model, the unit the
-// model registry stores and serves predictions from.
+// model registry stores and serves predictions from. It is also a
+// resume point: Engine.Restore continues training from it exactly.
 type Snapshot = core.Snapshot
+
+// EncodeSnapshot serializes a snapshot in the versioned binary codec
+// (magic, version, CRC-32 trailer) the durable checkpoint store uses.
+func EncodeSnapshot(s Snapshot) []byte { return core.EncodeSnapshot(s) }
+
+// DecodeSnapshot parses a serialized snapshot, verifying magic,
+// version and CRC.
+func DecodeSnapshot(data []byte) (Snapshot, error) { return core.DecodeSnapshot(data) }
 
 // Example is one prediction input: a sparse feature vector.
 type Example = model.Example

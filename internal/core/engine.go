@@ -45,6 +45,14 @@ type Engine struct {
 	cumStats model.Stats
 	cumCtr   numa.Counters
 	rng      *rand.Rand
+	// rngSrc backs rng and tracks its stream position, so snapshots can
+	// capture and restore the traversal randomness exactly.
+	rngSrc *SeededSource
+	// lastLoss caches the objective computed at the last epoch end (or
+	// restore), so Snapshot does not pay a second full-dataset pass per
+	// checkpoint. Invalid until the first epoch or restore.
+	lastLoss  float64
+	lossValid bool
 
 	// leverage sampling state for Importance data replication.
 	levCum []float64
@@ -94,12 +102,14 @@ func NewWorkload(wl Workload, plan Plan) (*Engine, error) {
 	}
 	wl.Bind(plan)
 
+	src := NewSeededSource(plan.Seed)
 	e := &Engine{
-		wl:   wl,
-		plan: plan,
-		mach: numa.New(plan.Machine),
-		step: plan.Step,
-		rng:  rand.New(rand.NewSource(plan.Seed)),
+		wl:     wl,
+		plan:   plan,
+		mach:   numa.New(plan.Machine),
+		step:   plan.Step,
+		rng:    rand.New(src),
+		rngSrc: src,
 	}
 
 	// Workers spread evenly across nodes (the appendix's NUMA thread

@@ -97,9 +97,10 @@ func (e *Engine) RunEpochCtx(ctx context.Context) (EpochResult, error) {
 	}
 	e.cumTime += simT
 
+	e.lastLoss, e.lossValid = e.Loss(), true
 	return EpochResult{
 		Epoch:    e.epoch,
-		Loss:     e.Loss(),
+		Loss:     e.lastLoss,
 		SimTime:  simT,
 		CumTime:  e.cumTime,
 		WallTime: wall,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -95,8 +96,11 @@ type parallelExecutor struct {
 	locals []*WorkState
 	bases  [][]float64
 	// Per-worker random sources for shared-mode steps (many goroutines
-	// sampling on one chain cannot share the chain's generator).
+	// sampling on one chain cannot share the chain's generator). srcs
+	// are the counting sources backing rngs, exposed to snapshots so a
+	// restored engine's workers continue their exact streams.
 	rngs []*rand.Rand
+	srcs []*SeededSource
 }
 
 // newParallelExecutor mirrors the engine's replica layout with atomic
@@ -106,7 +110,9 @@ func newParallelExecutor(e *Engine) *parallelExecutor {
 	p := &parallelExecutor{e: e}
 	if e.wl.Concurrency() == ConcurrencyShared {
 		for _, w := range e.workers {
-			p.rngs = append(p.rngs, rand.New(rand.NewSource(e.plan.Seed+1_000_000_007+int64(w.id))))
+			src := NewSeededSource(e.plan.Seed + 1_000_000_007 + int64(w.id))
+			p.srcs = append(p.srcs, src)
+			p.rngs = append(p.rngs, rand.New(src))
 		}
 		return p
 	}
@@ -208,6 +214,33 @@ func (p *parallelExecutor) runDelta(ctx context.Context) (int, model.Stats, erro
 		p.masters[i].Snapshot(r.X)
 	}
 	return steps, st, err
+}
+
+// rngStates captures the shared-mode worker generators' stream
+// positions for a snapshot; nil in delta mode, whose workers keep no
+// persistent randomness.
+func (p *parallelExecutor) rngStates() []RNGState {
+	if p.srcs == nil {
+		return nil
+	}
+	out := make([]RNGState, len(p.srcs))
+	for i, s := range p.srcs {
+		out[i] = s.State()
+	}
+	return out
+}
+
+// restoreRNGs repositions the shared-mode worker generators from a
+// snapshot. A worker-count mismatch means the snapshot's plan differs
+// from the engine's and exact resume is impossible.
+func (p *parallelExecutor) restoreRNGs(states []RNGState) error {
+	if len(states) != len(p.srcs) {
+		return fmt.Errorf("core: snapshot has %d worker generators, engine has %d", len(states), len(p.srcs))
+	}
+	for i, st := range states {
+		p.srcs[i].Restore(st)
+	}
+	return nil
 }
 
 // sharedCancelStride is how many shared-mode steps run between

@@ -252,17 +252,17 @@ func (p Plan) validateCommon() error {
 	switch p.ModelRep {
 	case PerCore, PerNode, PerMachine:
 	default:
-		return fmt.Errorf("core: unknown model replication %v", p.ModelRep)
+		return fmt.Errorf("core: unknown model replication %v (want PerCore, PerNode, or PerMachine)", p.ModelRep)
 	}
 	switch p.DataRep {
 	case Sharding, FullReplication, Importance:
 	default:
-		return fmt.Errorf("core: unknown data replication %v", p.DataRep)
+		return fmt.Errorf("core: unknown data replication %v (want Sharding, FullReplication, or Importance)", p.DataRep)
 	}
 	switch p.Executor {
 	case ExecSimulated, ExecParallel:
 	default:
-		return fmt.Errorf("core: unknown executor %v", p.Executor)
+		return fmt.Errorf("core: unknown executor %v (want simulated or parallel)", p.Executor)
 	}
 	if p.DataRep == Importance && (p.ImportanceFraction <= 0 || p.ImportanceFraction > 1) {
 		return fmt.Errorf("core: importance fraction %v outside (0,1]", p.ImportanceFraction)
@@ -316,13 +316,11 @@ func defaultRowStep(spec model.Spec) float64 {
 }
 
 // Validate reports an error if the plan is internally inconsistent or
-// unsupported by the spec.
+// unsupported by the spec: the workload-independent checks
+// (validateCommon) plus the GLM-specific access constraints.
 func (p Plan) Validate(spec model.Spec) error {
-	if err := p.Machine.Validate(); err != nil {
+	if err := p.validateCommon(); err != nil {
 		return err
-	}
-	if p.Workers <= 0 {
-		return fmt.Errorf("core: plan has %d workers", p.Workers)
 	}
 	supported := false
 	for _, a := range spec.Supports() {
@@ -333,29 +331,11 @@ func (p Plan) Validate(spec model.Spec) error {
 	if !supported {
 		return fmt.Errorf("core: %s does not support %s access", spec.Name(), p.Access)
 	}
-	switch p.ModelRep {
-	case PerCore, PerNode, PerMachine:
-	default:
-		return fmt.Errorf("core: unknown model replication %v", p.ModelRep)
-	}
-	switch p.DataRep {
-	case Sharding, FullReplication, Importance:
-	default:
-		return fmt.Errorf("core: unknown data replication %v", p.DataRep)
-	}
-	switch p.Executor {
-	case ExecSimulated, ExecParallel:
-	default:
-		return fmt.Errorf("core: unknown executor %v", p.Executor)
-	}
 	if p.Executor == ExecParallel && p.Access != model.RowWise {
 		// Column-wise auxiliary state cannot be kept consistent under
 		// unsynchronized concurrent flushes; the simulator stays the
 		// only backend for coordinate methods.
 		return fmt.Errorf("core: parallel executor supports row-wise access only, got %s", p.Access)
-	}
-	if p.DataRep == Importance && (p.ImportanceFraction <= 0 || p.ImportanceFraction > 1) {
-		return fmt.Errorf("core: importance fraction %v outside (0,1]", p.ImportanceFraction)
 	}
 	return nil
 }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dimmwitted/internal/model"
+)
+
+// TestInvalidKnobMessages pins the error text of every invalid plan
+// knob: each message must name the knob and — where the knob is an
+// enumeration — list the accepted values, so an API caller can fix the
+// request from the error alone. Both validation paths (the GLM
+// Plan.Validate and the engine's workload-generic validateCommon) are
+// covered.
+func TestInvalidKnobMessages(t *testing.T) {
+	spec := model.NewSVM()
+	base := Plan{}.Normalize(spec)
+
+	cases := []struct {
+		name   string
+		mutate func(Plan) Plan
+		want   []string
+	}{
+		{
+			"model replication",
+			func(p Plan) Plan { p.ModelRep = ModelReplication(42); return p },
+			[]string{"unknown model replication", "PerCore, PerNode, or PerMachine"},
+		},
+		{
+			"data replication",
+			func(p Plan) Plan { p.DataRep = DataReplication(42); return p },
+			[]string{"unknown data replication", "Sharding, FullReplication, or Importance"},
+		},
+		{
+			"executor",
+			func(p Plan) Plan { p.Executor = ExecutorKind(42); return p },
+			[]string{"unknown executor", "simulated or parallel"},
+		},
+		{
+			"workers",
+			func(p Plan) Plan { p.Workers = -1; return p },
+			[]string{"workers"},
+		},
+		{
+			"importance fraction",
+			func(p Plan) Plan { p.DataRep = Importance; p.ImportanceFraction = 1.5; return p },
+			[]string{"importance fraction", "(0,1]"},
+		},
+		{
+			"parallel column access",
+			func(p Plan) Plan { p.Executor = ExecParallel; p.Access = model.ColToRow; return p },
+			[]string{"parallel executor", "row-wise"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.mutate(base)
+			check := func(path string, err error) {
+				if err == nil {
+					t.Fatalf("%s accepted invalid %s", path, tc.name)
+				}
+				for _, want := range tc.want {
+					if !strings.Contains(err.Error(), want) {
+						t.Errorf("%s error %q does not mention %q", path, err, want)
+					}
+				}
+			}
+			check("Plan.Validate", p.Validate(spec))
+			// The workload-generic path skips the GLM-only access check.
+			if tc.name != "parallel column access" {
+				check("validateCommon", p.validateCommon())
+			}
+		})
+	}
+}

@@ -6,9 +6,17 @@ import (
 )
 
 // Snapshot is a frozen copy of an engine's trained state: the combined
-// model vector plus enough metadata to identify what produced it. It is
-// plain data — safe to hand to other goroutines, serialize, or park in
-// a model registry while the engine keeps training (or is discarded).
+// model vector, the traversal-randomness positions, any workload-
+// private replica state, plus enough metadata to identify what produced
+// it. It is plain data — safe to hand to other goroutines, park in a
+// model registry, or serialize through the versioned binary codec
+// (EncodeSnapshot) while the engine keeps training (or is discarded).
+//
+// A snapshot taken between epochs is a resume point: restoring it into
+// a fresh engine running the same plan continues the run exactly —
+// remaining epochs reproduce the uninterrupted run bit for bit under
+// the simulated executor (and under the parallel executor whenever the
+// run is single-worker deterministic).
 type Snapshot struct {
 	// Workload is the workload family that produced the state.
 	Workload WorkloadKind
@@ -23,38 +31,95 @@ type Snapshot struct {
 	Loss float64
 	// SimTime is the cumulative simulated training time.
 	SimTime time.Duration
+	// WallTime is the cumulative measured wall-clock training time.
+	WallTime time.Duration
 	// Step is the current (decayed) step size, so a restored engine
 	// continues with the schedule the source engine had reached.
 	Step float64
-	// Plan is the execution plan the engine ran.
+	// Plan is the execution plan the engine ran. A warm-started engine
+	// re-runs this plan, so resumed epochs partition and traverse work
+	// identically to the source engine's.
 	Plan Plan
 	// X is a private copy of the combined model vector.
 	X []float64
+	// EngineRNG is the engine's traversal-generator position (epoch
+	// permutations, leverage samples); a restored engine's remaining
+	// epochs draw the same orders the source engine would have.
+	EngineRNG RNGState
+	// WorkerRNG holds the parallel executor's shared-mode per-worker
+	// generator positions (Gibbs flips), or nil for the simulated
+	// executor and delta-mode workloads.
+	WorkerRNG []RNGState
+	// Priv holds each replica's workload-private state, encoded by the
+	// workload's ReplicaCodec (Gibbs chains: assignments, marginal
+	// tallies, chain generator), in engine replica order. Nil for
+	// workloads whose replicas are fully determined by X (GLM, NN).
+	Priv [][]byte
+}
+
+// ReplicaCodec is optionally implemented by workloads whose replicas
+// carry private state beyond the combined vector that snapshots must
+// capture for exact resume (Gibbs chains). EncodeReplica runs at
+// snapshot time on each replica in engine order; DecodeReplica rebuilds
+// the replica's private state — and its X view, if derived from it —
+// from a blob EncodeReplica produced for the same replica index.
+type ReplicaCodec interface {
+	EncodeReplica(ws *WorkState) ([]byte, error)
+	DecodeReplica(ws *WorkState, blob []byte) error
 }
 
 // Snapshot captures the engine's current combined state and training
 // progress. The returned value shares no memory with the engine, so a
 // serving layer can keep it while the engine continues to run.
 func (e *Engine) Snapshot() Snapshot {
-	return Snapshot{
-		Workload: e.wl.Kind(),
-		Spec:     e.wl.Name(),
-		Dataset:  e.wl.DatasetName(),
-		Epoch:    e.epoch,
-		Loss:     e.Loss(),
-		SimTime:  e.cumTime,
-		Step:     e.step,
-		Plan:     e.plan,
-		X:        append([]float64(nil), e.global...),
+	loss := e.lastLoss
+	if !e.lossValid {
+		loss = e.Loss()
 	}
+	s := Snapshot{
+		Workload:  e.wl.Kind(),
+		Spec:      e.wl.Name(),
+		Dataset:   e.wl.DatasetName(),
+		Epoch:     e.epoch,
+		Loss:      loss,
+		SimTime:   e.cumTime,
+		WallTime:  e.cumWall,
+		Step:      e.step,
+		Plan:      e.plan,
+		X:         append([]float64(nil), e.global...),
+		EngineRNG: CapRNGState(e.rngSrc.State()),
+	}
+	if pe, ok := e.exec.(*parallelExecutor); ok {
+		for _, st := range pe.rngStates() {
+			s.WorkerRNG = append(s.WorkerRNG, CapRNGState(st))
+		}
+	}
+	if rc, ok := e.wl.(ReplicaCodec); ok {
+		for _, r := range e.replicas {
+			blob, err := rc.EncodeReplica(r)
+			if err != nil {
+				// Encoding private state reads plain in-memory slices and
+				// cannot fail for the in-tree workloads; a workload that
+				// does fail degrades to a combined-vector-only snapshot
+				// (still servable, not exactly resumable).
+				s.Priv = nil
+				break
+			}
+			s.Priv = append(s.Priv, blob)
+		}
+	}
+	return s
 }
 
 // Restore loads a snapshot's state into the engine: the global state
-// and every replica are overwritten, auxiliary state is rebuilt, and
-// the epoch counter resumes from the snapshot. The snapshot must come
-// from the same workload and task with matching dimension. Pooled-
-// estimate workloads (Gibbs) cannot restore: the combined marginals do
-// not determine the chains' sampling state.
+// and every replica are overwritten, auxiliary state is rebuilt,
+// traversal generators are repositioned, and the epoch counter resumes
+// from the snapshot. The snapshot must come from the same workload and
+// task with matching dimension. Pooled-estimate workloads (Gibbs)
+// restore through their private replica state — the chains' sampling
+// state — which requires the snapshot's replica count to match the
+// engine's (i.e. the same plan); snapshots without private state cannot
+// seed new chains from combined marginals alone.
 func (e *Engine) Restore(s Snapshot) error {
 	if s.Workload != e.wl.Kind() {
 		return fmt.Errorf("core: %s snapshot cannot restore into %s engine", s.Workload, e.wl.Kind())
@@ -65,16 +130,42 @@ func (e *Engine) Restore(s Snapshot) error {
 	if len(s.X) != len(e.global) {
 		return fmt.Errorf("core: snapshot dimension %d, engine dimension %d", len(s.X), len(e.global))
 	}
-	if e.wl.Sync() == SyncPool {
-		return fmt.Errorf("core: %s snapshots are pooled estimates and cannot seed new chains", e.wl.Kind())
+
+	rc, hasCodec := e.wl.(ReplicaCodec)
+	switch {
+	case hasCodec && len(s.Priv) > 0:
+		if len(s.Priv) != len(e.replicas) {
+			return fmt.Errorf("core: snapshot has %d replica states, engine has %d replicas (plans differ)",
+				len(s.Priv), len(e.replicas))
+		}
+		for i, r := range e.replicas {
+			if err := rc.DecodeReplica(r, s.Priv[i]); err != nil {
+				return fmt.Errorf("core: replica %d: %w", i, err)
+			}
+		}
+	case e.wl.Sync() == SyncPool:
+		return fmt.Errorf("core: %s snapshot carries no chain state; pooled marginals alone cannot seed new chains", e.wl.Kind())
+	default:
+		for _, r := range e.replicas {
+			copy(r.X, s.X)
+			e.wl.AuxRefresh(r, true)
+		}
 	}
 	copy(e.global, s.X)
-	for _, r := range e.replicas {
-		copy(r.X, s.X)
-		e.wl.AuxRefresh(r, true)
+
+	if !s.EngineRNG.zero() {
+		e.rngSrc.Restore(s.EngineRNG)
 	}
+	if pe, ok := e.exec.(*parallelExecutor); ok && len(s.WorkerRNG) > 0 {
+		if err := pe.restoreRNGs(s.WorkerRNG); err != nil {
+			return err
+		}
+	}
+
 	e.epoch = s.Epoch
 	e.cumTime = s.SimTime
+	e.cumWall = s.WallTime
+	e.lastLoss, e.lossValid = s.Loss, true
 	if s.Step > 0 {
 		e.step = s.Step
 	}

@@ -1,0 +1,116 @@
+package factor
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dimmwitted/internal/core"
+)
+
+// chainBlobVersion versions the chain's private-state encoding inside
+// core snapshots. Bump it when the layout below changes; DecodeReplica
+// rejects versions it does not understand.
+const chainBlobVersion = 1
+
+// EncodeReplica implements core.ReplicaCodec: a Gibbs chain's private
+// state is its current assignment, the marginal tallies accumulated so
+// far, and the chain generator's stream position — together they
+// determine every remaining sweep exactly, which is what makes a
+// sampling job resumable at all (the pooled marginals alone do not).
+//
+// Layout (little-endian): u8 version, u32 numVars, numVars x i32
+// assignments, numVars x i64 one-counts, i64 tallies, i64 rng seed,
+// u64 rng draws.
+func (w *Workload) EncodeReplica(ws *core.WorkState) ([]byte, error) {
+	c, ok := ws.Priv.(*chain)
+	if !ok {
+		return nil, fmt.Errorf("factor: replica carries no chain state")
+	}
+	n := len(c.assign)
+	buf := make([]byte, 0, 1+4+4*n+8*n+8+16)
+	buf = append(buf, chainBlobVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, a := range c.assign {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+	}
+	for _, o := range c.ones {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.tallies))
+	// Positions past the replay bound degrade to a fresh derived
+	// generator (see core.CapRNGState) — the chain stays resumable from
+	// its assignment, trading exact stream continuation for liveness.
+	st := core.CapRNGState(c.src.State())
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.Seed))
+	buf = binary.LittleEndian.AppendUint64(buf, st.Draws)
+	return buf, nil
+}
+
+// DecodeReplica implements core.ReplicaCodec: it rebuilds the chain's
+// assignment, tallies and generator position from an EncodeReplica
+// blob, and refreshes the replica's marginal-estimate view from the
+// restored tallies.
+func (w *Workload) DecodeReplica(ws *core.WorkState, blob []byte) error {
+	c, ok := ws.Priv.(*chain)
+	if !ok {
+		return fmt.Errorf("factor: replica carries no chain state")
+	}
+	if len(blob) < 5 {
+		return fmt.Errorf("factor: chain state truncated (%d bytes)", len(blob))
+	}
+	if v := blob[0]; v != chainBlobVersion {
+		return fmt.Errorf("factor: chain state version %d, want %d", v, chainBlobVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(blob[1:5]))
+	if n != len(c.assign) {
+		return fmt.Errorf("factor: chain state has %d variables, graph has %d", n, len(c.assign))
+	}
+	want := 1 + 4 + 4*n + 8*n + 8 + 16
+	if len(blob) != want {
+		return fmt.Errorf("factor: chain state is %d bytes, want %d", len(blob), want)
+	}
+	off := 5
+	for v := range c.assign {
+		a := int32(binary.LittleEndian.Uint32(blob[off:]))
+		if a != 0 && a != 1 {
+			return fmt.Errorf("factor: chain state assigns variable %d value %d", v, a)
+		}
+		c.assign[v] = a
+		off += 4
+	}
+	for v := range c.ones {
+		o := int64(binary.LittleEndian.Uint64(blob[off:]))
+		if o < 0 {
+			return fmt.Errorf("factor: chain state has negative tally for variable %d", v)
+		}
+		c.ones[v] = o
+		off += 8
+	}
+	c.tallies = int64(binary.LittleEndian.Uint64(blob[off:]))
+	off += 8
+	if c.tallies < 0 {
+		return fmt.Errorf("factor: chain state has negative sweep count %d", c.tallies)
+	}
+	for v, o := range c.ones {
+		if o > c.tallies {
+			return fmt.Errorf("factor: chain state tallies variable %d as one %d times in %d sweeps", v, o, c.tallies)
+		}
+	}
+	seed := int64(binary.LittleEndian.Uint64(blob[off:]))
+	draws := binary.LittleEndian.Uint64(blob[off+8:])
+	if draws > core.MaxRNGDraws {
+		return fmt.Errorf("factor: chain generator position %d exceeds the replay bound %d", draws, uint64(core.MaxRNGDraws))
+	}
+	c.src.Restore(core.RNGState{Seed: seed, Draws: draws})
+
+	// The replica's X view is the chain's marginal estimate; refresh it
+	// from the restored tallies (EndEpoch's arithmetic).
+	for v := range ws.X {
+		if c.tallies == 0 {
+			ws.X[v] = 0
+		} else {
+			ws.X[v] = float64(c.ones[v]) / float64(c.tallies)
+		}
+	}
+	return nil
+}

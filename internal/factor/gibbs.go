@@ -37,12 +37,15 @@ type Workload struct {
 
 // chain is one Gibbs chain: an assignment (int32 for atomic access
 // under the parallel executor), its marginal tallies, and the chain's
-// private generator for sweep permutations and flips.
+// private generator for sweep permutations and flips. src is the
+// counting source backing rng, so a snapshot can capture the chain's
+// exact stream position for bit-identical resume.
 type chain struct {
 	assign  []int32
 	ones    []int64
 	tallies int64
 	rng     *rand.Rand
+	src     *core.SeededSource
 }
 
 // NewWorkload wraps a factor graph as an engine workload.
@@ -149,12 +152,14 @@ func (w *Workload) Layout() core.Layout {
 // with a random initial assignment from its own generator (chain n
 // seeds from seed+1+n, the classic sampler's discipline).
 func (w *Workload) NewReplica(repIdx int, seed int64) *core.WorkState {
-	rng := rand.New(rand.NewSource(seed + 1 + int64(repIdx)))
+	src := core.NewSeededSource(seed + 1 + int64(repIdx))
 	c := &chain{
 		assign: make([]int32, w.g.NumVars),
 		ones:   make([]int64, w.g.NumVars),
-		rng:    rng,
+		rng:    rand.New(src),
+		src:    src,
 	}
+	rng := c.rng
 	for v := range c.assign {
 		c.assign[v] = int32(rng.Intn(2))
 	}

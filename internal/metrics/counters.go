@@ -28,6 +28,10 @@ type ServeCounters struct {
 	gibbsWallNanos  atomic.Int64
 	nnEpochs        atomic.Int64
 	nnExamples      atomic.Int64
+	ckptWrites      atomic.Int64
+	ckptBytes       atomic.Int64
+	ckptRestores    atomic.Int64
+	ckptErrors      atomic.Int64
 }
 
 // TrainRequest records one accepted training request.
@@ -79,6 +83,20 @@ func (c *ServeCounters) NNEpoch(examples int64) {
 	c.nnExamples.Add(examples)
 }
 
+// CheckpointWrite records one durable snapshot write of n bytes (a
+// mid-training job checkpoint or a registry model persist).
+func (c *ServeCounters) CheckpointWrite(n int) {
+	c.ckptWrites.Add(1)
+	c.ckptBytes.Add(int64(n))
+}
+
+// CheckpointRestore records one engine or registry state restored from
+// a durable snapshot (warm start, job resume, lazy model load).
+func (c *ServeCounters) CheckpointRestore() { c.ckptRestores.Add(1) }
+
+// CheckpointError records one failed checkpoint write or restore.
+func (c *ServeCounters) CheckpointError() { c.ckptErrors.Add(1) }
+
 // ServeSnapshot is a point-in-time copy of the counters, shaped for
 // JSON export by the stats endpoint.
 type ServeSnapshot struct {
@@ -103,26 +121,38 @@ type ServeSnapshot struct {
 	// back-propagated.
 	NNEpochs   int64 `json:"nn_epochs"`
 	NNExamples int64 `json:"nn_examples"`
+	// CheckpointWrites/Bytes count durable snapshot writes (job
+	// checkpoints and persisted registry models); CheckpointRestores
+	// counts states restored from them (warm starts, job resumes, lazy
+	// model loads); CheckpointErrors counts failed writes or restores.
+	CheckpointWrites   int64 `json:"checkpoint_writes"`
+	CheckpointBytes    int64 `json:"checkpoint_bytes"`
+	CheckpointRestores int64 `json:"checkpoint_restores"`
+	CheckpointErrors   int64 `json:"checkpoint_errors"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting: each field
 // is read atomically, the set is not a single linearization point.
 func (c *ServeCounters) Snapshot() ServeSnapshot {
 	s := ServeSnapshot{
-		TrainRequests:   c.trainRequests.Load(),
-		PredictRequests: c.predictRequests.Load(),
-		Predictions:     c.predictions.Load(),
-		JobsEnqueued:    c.jobsEnqueued.Load(),
-		JobsDone:        c.jobsDone.Load(),
-		JobsFailed:      c.jobsFailed.Load(),
-		JobsCancelled:   c.jobsCancelled.Load(),
-		PlanCacheHits:   c.planCacheHits.Load(),
-		PlanCacheMisses: c.planCacheMisses.Load(),
-		HTTPErrors:      c.httpErrors.Load(),
-		GibbsSweeps:     c.gibbsSweeps.Load(),
-		GibbsSamples:    c.gibbsSamples.Load(),
-		NNEpochs:        c.nnEpochs.Load(),
-		NNExamples:      c.nnExamples.Load(),
+		TrainRequests:      c.trainRequests.Load(),
+		PredictRequests:    c.predictRequests.Load(),
+		Predictions:        c.predictions.Load(),
+		JobsEnqueued:       c.jobsEnqueued.Load(),
+		JobsDone:           c.jobsDone.Load(),
+		JobsFailed:         c.jobsFailed.Load(),
+		JobsCancelled:      c.jobsCancelled.Load(),
+		PlanCacheHits:      c.planCacheHits.Load(),
+		PlanCacheMisses:    c.planCacheMisses.Load(),
+		HTTPErrors:         c.httpErrors.Load(),
+		GibbsSweeps:        c.gibbsSweeps.Load(),
+		GibbsSamples:       c.gibbsSamples.Load(),
+		NNEpochs:           c.nnEpochs.Load(),
+		NNExamples:         c.nnExamples.Load(),
+		CheckpointWrites:   c.ckptWrites.Load(),
+		CheckpointBytes:    c.ckptBytes.Load(),
+		CheckpointRestores: c.ckptRestores.Load(),
+		CheckpointErrors:   c.ckptErrors.Load(),
 	}
 	if nanos := c.gibbsWallNanos.Load(); nanos > 0 {
 		s.GibbsSamplesPerSec = float64(c.gibbsParSamples.Load()) / (float64(nanos) / float64(time.Second))

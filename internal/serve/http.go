@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"time"
 
 	"dimmwitted/internal/data"
@@ -37,6 +38,7 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -114,6 +116,37 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	st, _ := s.sched.Status(id)
 	s.writeJSON(w, http.StatusOK, st)
+}
+
+// resumeResponse acknowledges a resumed job.
+type resumeResponse struct {
+	JobID string `json:"job_id"`
+	// Status is the URL to poll for progress.
+	Status string `json:"status"`
+	// ResumedFrom is the checkpointed job the new job continues.
+	ResumedFrom string `json:"resumed_from"`
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	newID, err := s.sched.Resume(id)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			code = http.StatusNotFound
+		case errors.Is(err, ErrJobActive):
+			code = http.StatusConflict
+		}
+		s.writeError(w, code, err)
+		return
+	}
+	s.counters.TrainRequest()
+	s.writeJSON(w, http.StatusAccepted, resumeResponse{
+		JobID:       newID,
+		Status:      "/v1/jobs/" + newID,
+		ResumedFrom: id,
+	})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -196,10 +229,16 @@ type statsResponse struct {
 	Datasets   []string `json:"datasets"`
 	Graphs     []string `json:"graphs"`
 	NNDatasets []string `json:"nn_datasets"`
+	// CheckpointDir and ModelDir are the durable store directories, or
+	// empty when the server runs without durability (-store unset).
+	CheckpointDir string `json:"checkpoint_dir,omitempty"`
+	ModelDir      string `json:"model_dir,omitempty"`
+	// CheckpointEvery is the scheduler's epochs-per-checkpoint policy.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Machine:       s.sched.opts.Machine.Name,
 		Counters:      s.counters.Snapshot(),
@@ -209,5 +248,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Datasets:      data.Names(),
 		Graphs:        factor.GraphNames(),
 		NNDatasets:    nn.DatasetNames(),
-	})
+	}
+	if st := s.sched.opts.Checkpoints; st != nil {
+		resp.CheckpointDir = st.Dir()
+		resp.CheckpointEvery = s.sched.opts.CheckpointEvery
+	}
+	if st := s.sched.opts.Models; st != nil {
+		resp.ModelDir = st.Dir()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -3,11 +3,15 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
+	"dimmwitted/internal/ckpt"
 	"dimmwitted/internal/core"
+	"dimmwitted/internal/metrics"
 	"dimmwitted/internal/model"
+	"dimmwitted/internal/nn"
 )
 
 // ErrUnknownModel reports a registry miss; match it with errors.Is.
@@ -46,10 +50,28 @@ type Scorer func(x []float64, examples []model.Example) ([]float64, error)
 // them. Snapshots are immutable once registered, so the read path
 // (Predict) only holds the lock long enough to fetch the entry; the
 // actual scoring runs unlocked and concurrently.
+//
+// With Persist, the registry is additionally backed by a durable
+// checkpoint store: every registered snapshot is written through, and
+// a miss falls back to the store — so a restarted daemon serves every
+// model its predecessor trained, loading each lazily on first use.
 type Registry struct {
 	mu     sync.RWMutex
 	models map[string]*regEntry
 	order  []string
+
+	store    *ckpt.Store
+	counters *metrics.ServeCounters
+	// infoCache memoises listing rows of disk-resident models by
+	// generation, so repeated List calls decode each model file once —
+	// the info row is a dozen scalars, not the model vector.
+	infoCache map[string]diskInfo
+}
+
+// diskInfo is one cached listing row for a store-resident model.
+type diskInfo struct {
+	gen  uint64
+	info ModelInfo
 }
 
 type regEntry struct {
@@ -59,16 +81,28 @@ type regEntry struct {
 	created time.Time
 }
 
-// NewRegistry returns an empty model registry.
+// NewRegistry returns an empty, memory-only model registry.
 func NewRegistry() *Registry {
-	return &Registry{models: map[string]*regEntry{}}
+	return &Registry{models: map[string]*regEntry{}, infoCache: map[string]diskInfo{}}
+}
+
+// Persist backs the registry with a durable store: subsequent Puts
+// write through (best-effort — a failed disk write keeps the in-memory
+// entry and counts a checkpoint error), and misses lazily load from
+// disk. counters may be nil.
+func (r *Registry) Persist(store *ckpt.Store, counters *metrics.ServeCounters) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = store
+	r.counters = counters
 }
 
 // Put registers a GLM snapshot under the given ID, replacing any
 // previous entry with that ID; predictions go through the spec's
-// linear-score rule.
-func (r *Registry) Put(id string, spec model.Spec, snap core.Snapshot) {
-	r.put(id, &regEntry{
+// linear-score rule. The returned error reports a failed durable
+// write-through only — the in-memory registration always succeeds.
+func (r *Registry) Put(id string, spec model.Spec, snap core.Snapshot) error {
+	return r.put(id, &regEntry{
 		spec: spec,
 		scorer: func(x []float64, examples []model.Example) ([]float64, error) {
 			return model.PredictBatch(spec, x, examples)
@@ -78,12 +112,32 @@ func (r *Registry) Put(id string, spec model.Spec, snap core.Snapshot) {
 }
 
 // PutScored registers a snapshot with a workload-specific scorer (nil
-// for snapshots that cannot serve predictions).
-func (r *Registry) PutScored(id string, scorer Scorer, snap core.Snapshot) {
-	r.put(id, &regEntry{scorer: scorer, snap: snap})
+// for snapshots that cannot serve predictions). Error semantics as Put.
+func (r *Registry) PutScored(id string, scorer Scorer, snap core.Snapshot) error {
+	return r.put(id, &regEntry{scorer: scorer, snap: snap})
 }
 
-func (r *Registry) put(id string, e *regEntry) {
+func (r *Registry) put(id string, e *regEntry) error {
+	r.insert(id, e)
+	r.mu.RLock()
+	store, counters := r.store, r.counters
+	r.mu.RUnlock()
+	if store == nil {
+		return nil
+	}
+	if _, n, err := store.Save(id, e.snap, nil); err != nil {
+		if counters != nil {
+			counters.CheckpointError()
+		}
+		return err
+	} else if counters != nil {
+		counters.CheckpointWrite(n)
+	}
+	return nil
+}
+
+// insert adds an entry to the in-memory table only.
+func (r *Registry) insert(id string, e *regEntry) {
 	e.created = time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -93,27 +147,101 @@ func (r *Registry) put(id string, e *regEntry) {
 	r.models[id] = e
 }
 
-// Get returns the spec and snapshot registered under id. The snapshot's
-// model vector is shared — callers must treat it as read-only. The spec
-// is nil for non-GLM snapshots.
-func (r *Registry) Get(id string) (model.Spec, core.Snapshot, bool) {
+// lookup fetches an entry, falling back to the durable store on a
+// miss. Loaded entries are cached, so the disk is read once per model
+// per process lifetime. A plain miss wraps ErrUnknownModel; a model
+// whose store entry exists but cannot be read reports that failure
+// (and counts it) instead of masquerading as unknown.
+func (r *Registry) lookup(id string) (*regEntry, error) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	e, ok := r.models[id]
-	if !ok {
+	store, counters := r.store, r.counters
+	r.mu.RUnlock()
+	if ok {
+		return e, nil
+	}
+	if store == nil {
+		return nil, fmt.Errorf("%w %q", ErrUnknownModel, id)
+	}
+	snap, _, _, err := store.Load(id)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w %q", ErrUnknownModel, id)
+		}
+		if counters != nil {
+			counters.CheckpointError()
+		}
+		return nil, fmt.Errorf("serve: stored model %q is unreadable: %w", id, err)
+	}
+	spec, scorer := scorerForSnapshot(snap)
+	e = &regEntry{spec: spec, scorer: scorer, snap: snap}
+	r.insert(id, e)
+	if counters != nil {
+		counters.CheckpointRestore()
+	}
+	return e, nil
+}
+
+// scorerForSnapshot rebuilds the workload-appropriate prediction path
+// for a snapshot loaded from disk: the GLM linear-score rule, the NN
+// forward pass (architecture recovered from the registered dataset),
+// or the Gibbs marginal lookup. An unknown spec or dataset degrades to
+// a nil scorer — the model lists but cannot predict.
+func scorerForSnapshot(snap core.Snapshot) (model.Spec, Scorer) {
+	switch snap.Workload {
+	case core.WorkloadGLM:
+		spec, err := model.ByName(snap.Spec)
+		if err != nil {
+			return nil, nil
+		}
+		return spec, func(x []float64, examples []model.Example) ([]float64, error) {
+			return model.PredictBatch(spec, x, examples)
+		}
+	case core.WorkloadNN:
+		_, sizes, err := nn.DatasetByName(snap.Dataset)
+		if err != nil {
+			return nil, nil
+		}
+		return nil, func(x []float64, examples []model.Example) ([]float64, error) {
+			return nn.PredictBatch(sizes, x, examples)
+		}
+	case core.WorkloadGibbs:
+		return nil, marginalScorer
+	default:
+		return nil, nil
+	}
+}
+
+// Get returns the spec and snapshot registered under id, consulting
+// the durable store on a miss. The snapshot's model vector is shared —
+// callers must treat it as read-only. The spec is nil for non-GLM
+// snapshots.
+func (r *Registry) Get(id string) (model.Spec, core.Snapshot, bool) {
+	e, err := r.lookup(id)
+	if err != nil {
 		return nil, core.Snapshot{}, false
 	}
 	return e.spec, e.snap, true
 }
 
+// Fetch is Get distinguishing its failure modes: a plain miss wraps
+// ErrUnknownModel, while an unreadable store entry surfaces the read
+// error — warm-start resolution reports corruption as corruption.
+func (r *Registry) Fetch(id string) (model.Spec, core.Snapshot, error) {
+	e, err := r.lookup(id)
+	if err != nil {
+		return nil, core.Snapshot{}, err
+	}
+	return e.spec, e.snap, nil
+}
+
 // Predict scores a batch of examples against the model registered
-// under id.
+// under id, lazily loading it from the durable store if this process
+// has not served it yet.
 func (r *Registry) Predict(id string, examples []model.Example) ([]float64, error) {
-	r.mu.RLock()
-	e, ok := r.models[id]
-	r.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w %q", ErrUnknownModel, id)
+	e, err := r.lookup(id)
+	if err != nil {
+		return nil, err
 	}
 	if e.scorer == nil {
 		return nil, fmt.Errorf("serve: model %q (%s) does not support prediction", id, e.snap.Spec)
@@ -121,32 +249,97 @@ func (r *Registry) Predict(id string, examples []model.Example) ([]float64, erro
 	return e.scorer(e.snap.X, examples)
 }
 
-// List returns info for every registered model in registration order.
+// List returns info for every registered model — including store-
+// resident models not yet loaded by this process — in registration
+// order (disk-only models follow, in id order). Disk-only entries are
+// decoded for the listing but not cached: the memory cost of a model
+// stays deferred to its first prediction, as the lazy-load contract
+// promises. Corrupt store entries are skipped rather than failing the
+// list.
 func (r *Registry) List() []ModelInfo {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
+	store := r.store
 	out := make([]ModelInfo, 0, len(r.order))
 	for _, id := range r.order {
-		e := r.models[id]
-		out = append(out, ModelInfo{
-			ID:         id,
-			Workload:   e.snap.Workload.String(),
-			Spec:       e.snap.Spec,
-			Dataset:    e.snap.Dataset,
-			Dim:        len(e.snap.X),
-			Epoch:      e.snap.Epoch,
-			Loss:       e.snap.Loss,
-			SimSeconds: e.snap.SimTime.Seconds(),
-			Plan:       e.snap.Plan.String(),
-			Created:    e.created,
-		})
+		out = append(out, infoFor(id, r.models[id].snap, r.models[id].created))
+	}
+	r.mu.RUnlock()
+	if store == nil {
+		return out
+	}
+	entries, err := store.List()
+	if err != nil {
+		return out
+	}
+	for _, ent := range entries {
+		r.mu.RLock()
+		_, inMem := r.models[ent.ID]
+		di, haveInfo := r.infoCache[ent.ID]
+		r.mu.RUnlock()
+		if inMem {
+			continue
+		}
+		if haveInfo && di.gen == ent.Generation {
+			out = append(out, di.info)
+			continue
+		}
+		snap, _, gen, err := store.Load(ent.ID)
+		if err != nil {
+			continue
+		}
+		info := infoFor(ent.ID, snap, ent.Modified)
+		r.mu.Lock()
+		r.infoCache[ent.ID] = diskInfo{gen: gen, info: info}
+		r.mu.Unlock()
+		out = append(out, info)
 	}
 	return out
 }
 
-// Len returns the number of registered models.
-func (r *Registry) Len() int {
+// infoFor shapes one snapshot into its listing row.
+func infoFor(id string, snap core.Snapshot, created time.Time) ModelInfo {
+	return ModelInfo{
+		ID:         id,
+		Workload:   snap.Workload.String(),
+		Spec:       snap.Spec,
+		Dataset:    snap.Dataset,
+		Dim:        len(snap.X),
+		Epoch:      snap.Epoch,
+		Loss:       snap.Loss,
+		SimSeconds: snap.SimTime.Seconds(),
+		Plan:       snap.Plan.String(),
+		Created:    created,
+	}
+}
+
+// diskOnlyIDs lists store ids not yet cached in memory.
+func (r *Registry) diskOnlyIDs() []string {
+	r.mu.RLock()
+	store := r.store
+	r.mu.RUnlock()
+	if store == nil {
+		return nil
+	}
+	ids, err := store.IDs()
+	if err != nil {
+		return nil
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.models)
+	var out []string
+	for _, id := range ids {
+		if _, ok := r.models[id]; !ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Len returns the number of registered models, counting store-resident
+// models this process has not loaded yet.
+func (r *Registry) Len() int {
+	disk := len(r.diskOnlyIDs())
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models) + disk
 }

@@ -2,10 +2,15 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"dimmwitted/internal/ckpt"
 	"dimmwitted/internal/core"
 	"dimmwitted/internal/data"
 	"dimmwitted/internal/factor"
@@ -14,6 +19,10 @@ import (
 	"dimmwitted/internal/nn"
 	"dimmwitted/internal/numa"
 )
+
+// ErrJobActive reports a resume attempt on a job that is still queued
+// or running; match it with errors.Is.
+var ErrJobActive = errors.New("serve: job is still active")
 
 // JobState is the lifecycle state of a training job.
 type JobState int
@@ -101,6 +110,16 @@ type TrainRequest struct {
 	Step float64 `json:"step,omitempty"`
 	// Seed drives traversal randomness; 0 means the engine default.
 	Seed int64 `json:"seed,omitempty"`
+	// WarmStart resumes training from a stored snapshot: a registry
+	// model ID or a checkpointed job ID. The job runs the snapshot's
+	// plan (re-validated against the restored state), so the plan knobs
+	// — machine, access, executor, workers, step, seed — must be left
+	// empty; workload, model and dataset may be given but must match
+	// the snapshot. MaxEpochs is the total epoch target: a warm-started
+	// job trains until the engine's epoch counter (which resumes from
+	// the snapshot) reaches it, so snapshot epoch k + max_epochs N runs
+	// N−k more epochs and reproduces an uninterrupted N-epoch run.
+	WarmStart string `json:"warm_start,omitempty"`
 }
 
 // ProgressPoint is one epoch of a job's convergence curve.
@@ -172,27 +191,34 @@ type job struct {
 	wl core.Workload
 	// spec and ds are set for glm jobs only (plan-cache keys, registry
 	// publication).
-	spec     model.Spec
-	ds       *data.Dataset
-	top      numa.Topology
-	ctx      context.Context
-	cancel   context.CancelFunc
-	done     chan struct{}
-	state    JobState
-	plan     core.Plan
-	planned  bool
-	epoch    int
-	loss     float64
-	conv     bool
-	err      string
-	qmetrics map[string]float64
-	margins  []float64
-	simTime  time.Duration
-	wallTime time.Duration
-	curve    metrics.Curve
-	enqueued time.Time
-	started  time.Time
-	finished time.Time
+	spec model.Spec
+	ds   *data.Dataset
+	top  numa.Topology
+	// warm is the snapshot a warm-started or resumed job restores
+	// before its first epoch; nil for cold starts.
+	warm *core.Snapshot
+	// resumedFrom is the checkpointed job id a Resume revived; its
+	// checkpoints are superseded (and deleted) when this job completes.
+	// Empty for cold starts and registry warm starts.
+	resumedFrom string
+	ctx         context.Context
+	cancel      context.CancelFunc
+	done        chan struct{}
+	state       JobState
+	plan        core.Plan
+	planned     bool
+	epoch       int
+	loss        float64
+	conv        bool
+	err         string
+	qmetrics    map[string]float64
+	margins     []float64
+	simTime     time.Duration
+	wallTime    time.Duration
+	curve       metrics.Curve
+	enqueued    time.Time
+	started     time.Time
+	finished    time.Time
 }
 
 // Options configures a scheduler (and, through it, a server).
@@ -212,6 +238,29 @@ type Options struct {
 	MaxJobHistory int
 	// Counters receives serving metrics; nil allocates a private set.
 	Counters *metrics.ServeCounters
+	// Checkpoints is the durable job-checkpoint store backing crash
+	// resume (Resume, POST /v1/jobs/{id}/resume); nil disables job
+	// checkpointing.
+	Checkpoints *ckpt.Store
+	// Models persists the registry across restarts; nil keeps trained
+	// models in memory only.
+	Models *ckpt.Store
+	// CheckpointEvery snapshots every running job's engine state after
+	// each N completed epochs (requires Checkpoints); 0 disables.
+	CheckpointEvery int
+}
+
+// OpenStores opens the serve layer's two durability namespaces under
+// dir — "jobs" for mid-training checkpoints, "models" for the
+// persistent registry — creating the directories as needed.
+func OpenStores(dir string) (jobs, models *ckpt.Store, err error) {
+	if jobs, err = ckpt.Open(filepath.Join(dir, "jobs"), ckpt.Options{}); err != nil {
+		return nil, nil, err
+	}
+	if models, err = ckpt.Open(filepath.Join(dir, "models"), ckpt.Options{}); err != nil {
+		return nil, nil, err
+	}
+	return jobs, models, nil
 }
 
 // normalize fills defaults.
@@ -264,6 +313,14 @@ func NewScheduler(opts Options) *Scheduler {
 		queue:    make(chan *job, opts.QueueDepth),
 		jobs:     map[string]*job{},
 	}
+	if opts.Models != nil {
+		s.models.Persist(opts.Models, opts.Counters)
+	}
+	// Job IDs double as durable store keys, so a restarted daemon must
+	// not reissue ids a previous process left in the stores — a reused
+	// id would overwrite the dead process's models and delete its
+	// checkpoints on completion.
+	s.nextID = maxStoredJobID(opts.Checkpoints, opts.Models)
 	for i := 0; i < opts.Slots; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -274,6 +331,30 @@ func NewScheduler(opts Options) *Scheduler {
 		}()
 	}
 	return s
+}
+
+// maxStoredJobID scans the durable stores for "job-<n>" ids and
+// returns the highest n, so a fresh scheduler's counter starts past
+// every id a previous process used. Non-numeric ids are ignored; scan
+// errors degrade to 0 (an empty or brand-new store).
+func maxStoredJobID(stores ...*ckpt.Store) int {
+	max := 0
+	for _, st := range stores {
+		if st == nil {
+			continue
+		}
+		ids, err := st.IDs()
+		if err != nil {
+			continue
+		}
+		for _, id := range ids {
+			var n int
+			if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	return max
 }
 
 // Models returns the registry completed jobs publish into.
@@ -331,11 +412,104 @@ func buildWorkload(kind core.WorkloadKind, req TrainRequest) (core.Workload, mod
 	}
 }
 
+// resolveWarmStart locates the snapshot behind a warm_start reference:
+// a registry model (served or store-resident) or a checkpointed job. A
+// checkpoint that exists but cannot be read (every generation corrupt)
+// is reported as such and counted, not masked as a miss.
+func (s *Scheduler) resolveWarmStart(id string) (core.Snapshot, error) {
+	_, snap, err := s.models.Fetch(id)
+	if err == nil {
+		return snap, nil
+	}
+	if !errors.Is(err, ErrUnknownModel) {
+		// The model exists but its store entry is unreadable; say so
+		// (lookup already counted the checkpoint error).
+		return core.Snapshot{}, fmt.Errorf("serve: warm_start %q: %w", id, err)
+	}
+	if s.opts.Checkpoints != nil {
+		snap, _, _, err := s.opts.Checkpoints.Load(id)
+		if err == nil {
+			return snap, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			s.counters.CheckpointError()
+			return core.Snapshot{}, fmt.Errorf("serve: warm_start %q: %w", id, err)
+		}
+	}
+	return core.Snapshot{}, fmt.Errorf("serve: warm_start %q matches no registered model or job checkpoint", id)
+}
+
+// warmRequest reconciles a warm-start request with its snapshot: plan
+// knobs must be unset (the job re-runs the snapshot's plan, which is
+// what makes resumed epochs reproduce the source run), and the task
+// identity — workload, model, dataset — may be given only if it
+// matches what the snapshot was trained as.
+func warmRequest(req TrainRequest, snap core.Snapshot) (TrainRequest, error) {
+	type knob struct {
+		name string
+		set  bool
+	}
+	for _, k := range []knob{
+		{"machine", req.Machine != ""},
+		{"access", req.Access != ""},
+		{"executor", req.Executor != ""},
+		{"workers", req.Workers != 0},
+		{"step", req.Step != 0},
+		{"seed", req.Seed != 0},
+	} {
+		if k.set {
+			return req, fmt.Errorf("serve: warm_start resumes the snapshot's plan; %s cannot be overridden", k.name)
+		}
+	}
+	if req.Workload != "" && req.Workload != snap.Workload.String() {
+		return req, fmt.Errorf("serve: warm_start %q is a %s snapshot, request says workload %q",
+			req.WarmStart, snap.Workload, req.Workload)
+	}
+	wantModel := ""
+	if snap.Workload == core.WorkloadGLM {
+		wantModel = snap.Spec
+	}
+	if req.Model != "" && req.Model != wantModel {
+		return req, fmt.Errorf("serve: warm_start %q was trained as %q, request says model %q",
+			req.WarmStart, snap.Spec, req.Model)
+	}
+	if req.Dataset != "" && req.Dataset != snap.Dataset {
+		return req, fmt.Errorf("serve: warm_start %q was trained on %q, request says dataset %q",
+			req.WarmStart, snap.Dataset, req.Dataset)
+	}
+	req.Workload = snap.Workload.String()
+	req.Model = wantModel
+	req.Dataset = snap.Dataset
+	return req, nil
+}
+
 // Submit validates a request, enqueues a job and returns its ID. The
 // request fails fast on unknown workloads, models, datasets, machines
-// or access methods and on a full queue; execution errors surface as a
-// Failed job instead.
+// or access methods, on warm_start conflicts, and on a full queue;
+// execution errors surface as a Failed job instead.
 func (s *Scheduler) Submit(req TrainRequest) (string, error) {
+	var warm *core.Snapshot
+	if req.WarmStart != "" {
+		snap, err := s.resolveWarmStart(req.WarmStart)
+		if err != nil {
+			return "", err
+		}
+		warm = &snap
+	}
+	return s.submit(req, warm, "")
+}
+
+// submit is the shared enqueue path; warm (when non-nil) is the
+// already-loaded snapshot behind req.WarmStart, so Resume hands over
+// the exact generation whose metadata set the budget. resumedFrom is
+// the checkpointed job id being revived (Resume only).
+func (s *Scheduler) submit(req TrainRequest, warm *core.Snapshot, resumedFrom string) (string, error) {
+	if warm != nil {
+		var err error
+		if req, err = warmRequest(req, *warm); err != nil {
+			return "", err
+		}
+	}
 	kind, err := core.WorkloadByName(req.Workload)
 	if err != nil {
 		return "", err
@@ -367,20 +541,30 @@ func (s *Scheduler) Submit(req TrainRequest) (string, error) {
 	if req.MaxEpochs == 0 {
 		req.MaxEpochs = 50
 	}
+	if warm != nil && warm.Epoch >= req.MaxEpochs {
+		// max_epochs is the total target; a budget the snapshot has
+		// already reached would "train" zero epochs and republish the
+		// snapshot as a done job — a silent no-op the caller did not ask
+		// for.
+		return "", fmt.Errorf("serve: warm_start %q is already at epoch %d; max_epochs %d must exceed it",
+			req.WarmStart, warm.Epoch, req.MaxEpochs)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		req:      req,
-		kind:     kind,
-		wl:       wl,
-		spec:     spec,
-		ds:       ds,
-		top:      top,
-		ctx:      ctx,
-		cancel:   cancel,
-		done:     make(chan struct{}),
-		state:    JobQueued,
-		enqueued: time.Now(),
+		req:         req,
+		kind:        kind,
+		wl:          wl,
+		spec:        spec,
+		ds:          ds,
+		top:         top,
+		warm:        warm,
+		resumedFrom: resumedFrom,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       JobQueued,
+		enqueued:    time.Now(),
 	}
 
 	// The enqueue happens under the same lock as the closed check so a
@@ -461,7 +645,7 @@ func parseAccess(name string) (model.Access, error) {
 // may collide.
 func (s *Scheduler) planFor(j *job) (core.Plan, error) {
 	exec, _ := core.ExecutorByName(j.req.Executor) // validated at Submit
-	if j.req.Access != "" { // glm only, validated at Submit
+	if j.req.Access != "" {                        // glm only, validated at Submit
 		access, _ := parseAccess(j.req.Access)
 		return core.Plan{Access: access, Machine: j.top, DataRep: core.FullReplication, Executor: exec}, nil
 	}
@@ -507,19 +691,29 @@ func (s *Scheduler) run(j *job) {
 	j.started = time.Now()
 	s.mu.Unlock()
 
-	plan, err := s.planFor(j)
-	if err != nil {
-		s.finish(j, JobFailed, err.Error())
-		return
-	}
-	if j.req.Workers > 0 {
-		plan.Workers = j.req.Workers
-	}
-	if j.req.Step > 0 {
-		plan.Step = j.req.Step
-	}
-	if j.req.Seed != 0 {
-		plan.Seed = j.req.Seed
+	var plan core.Plan
+	if j.warm != nil {
+		// A warm-started job re-runs the snapshot's plan; NewWorkload
+		// re-normalizes and re-validates it against the rebuilt
+		// workload, so a stale snapshot (wrong dimension, withdrawn
+		// dataset shape) fails the job loudly below.
+		plan = j.warm.Plan
+	} else {
+		var err error
+		plan, err = s.planFor(j)
+		if err != nil {
+			s.finish(j, JobFailed, err.Error())
+			return
+		}
+		if j.req.Workers > 0 {
+			plan.Workers = j.req.Workers
+		}
+		if j.req.Step > 0 {
+			plan.Step = j.req.Step
+		}
+		if j.req.Seed != 0 {
+			plan.Seed = j.req.Seed
+		}
 	}
 
 	eng, err := core.NewWorkload(j.wl, plan)
@@ -527,10 +721,24 @@ func (s *Scheduler) run(j *job) {
 		s.finish(j, JobFailed, err.Error())
 		return
 	}
+	if j.warm != nil {
+		if err := eng.Restore(*j.warm); err != nil {
+			s.counters.CheckpointError()
+			s.finish(j, JobFailed, err.Error())
+			return
+		}
+		s.counters.CheckpointRestore()
+	}
 
 	s.mu.Lock()
 	j.plan = eng.Plan()
 	j.planned = true
+	if j.warm != nil {
+		j.epoch = j.warm.Epoch
+		j.loss = j.warm.Loss
+		j.simTime = j.warm.SimTime
+		j.wallTime = j.warm.WallTime
+	}
 	s.mu.Unlock()
 
 	// histEvery is the progress sampling stride; it doubles whenever
@@ -539,7 +747,7 @@ func (s *Scheduler) run(j *job) {
 	// accuracy costs a dataset pass) are refreshed on the same stride,
 	// plus once at the end.
 	histEvery := 1
-	for ep := 0; ep < j.req.MaxEpochs; ep++ {
+	for eng.Epoch() < j.req.MaxEpochs {
 		select {
 		case <-j.ctx.Done():
 			s.finish(j, JobCancelled, "")
@@ -584,6 +792,14 @@ func (s *Scheduler) run(j *job) {
 		}
 		s.mu.Unlock()
 
+		// The checkpoint policy: persist the engine's full resume state
+		// (model, traversal generators, chain state) every N epochs, so
+		// a crashed or cancelled job restarts from its last checkpoint
+		// instead of epoch zero.
+		if s.opts.Checkpoints != nil && s.opts.CheckpointEvery > 0 && er.Epoch%s.opts.CheckpointEvery == 0 {
+			s.checkpoint(j, eng)
+		}
+
 		// Gibbs marginal entropy is a mixing statistic, not a
 		// convergence target: sampling always runs its sweep budget.
 		if j.kind != core.WorkloadGibbs && j.req.TargetLoss > 0 && er.Loss <= j.req.TargetLoss {
@@ -609,8 +825,82 @@ func (s *Scheduler) run(j *job) {
 	j.qmetrics = final
 	s.mu.Unlock()
 
-	s.publish(j, eng.Snapshot())
+	persistErr := s.publish(j, eng.Snapshot())
 	s.finish(j, JobDone, "")
+	// A completed job's resume state is superseded by its registry
+	// model (which warm_start can continue from); drop the checkpoints —
+	// the revived source job's too, or every crash/resume cycle would
+	// leak stale-but-resumable generations forever. Unless the model's
+	// own durable write-through just failed, in which case the last
+	// checkpoint is the only on-disk copy of the state and must survive
+	// for resume.
+	if s.opts.Checkpoints != nil && persistErr == nil {
+		_ = s.opts.Checkpoints.Delete(j.id)
+		if j.resumedFrom != "" {
+			_ = s.opts.Checkpoints.Delete(j.resumedFrom)
+		}
+	}
+}
+
+// checkpoint durably saves one running job's engine state together
+// with the submitted request, so Resume can rebuild both the workload
+// and the remaining epoch budget.
+func (s *Scheduler) checkpoint(j *job, eng *core.Engine) {
+	meta, err := json.Marshal(j.req)
+	if err != nil {
+		s.counters.CheckpointError()
+		return
+	}
+	if _, n, err := s.opts.Checkpoints.Save(j.id, eng.Snapshot(), meta); err != nil {
+		s.counters.CheckpointError()
+	} else {
+		s.counters.CheckpointWrite(n)
+	}
+}
+
+// Resume revives a cancelled, failed or crashed job from its newest
+// durable checkpoint as a new warm-started job, and returns the new
+// job's ID. The id may belong to a terminal job of this scheduler or
+// to a job of a previous process using the same store — the crash
+// case, where this scheduler has never heard of it. The resumed job
+// keeps the original request's epoch budget and loss target but runs
+// the checkpoint's plan.
+func (s *Scheduler) Resume(id string) (string, error) {
+	if s.opts.Checkpoints == nil {
+		return "", fmt.Errorf("serve: no checkpoint store configured (start dwserve with -store)")
+	}
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok && !j.state.Terminal() {
+		state := j.state
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: job %s is %s", ErrJobActive, id, state)
+	}
+	s.mu.Unlock()
+
+	snap, meta, _, err := s.opts.Checkpoints.Load(id)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return "", fmt.Errorf("serve: job %q has no durable checkpoint: %w", id, os.ErrNotExist)
+		}
+		s.counters.CheckpointError()
+		return "", err
+	}
+	var orig TrainRequest
+	if len(meta) > 0 {
+		// A missing or unreadable request (older store layouts) falls
+		// back to Submit's defaults; the snapshot still pins the task.
+		_ = json.Unmarshal(meta, &orig)
+	}
+	req := TrainRequest{
+		TargetLoss: orig.TargetLoss,
+		MaxEpochs:  orig.MaxEpochs,
+		WarmStart:  id,
+	}
+	// Hand the loaded snapshot straight to the submit path: re-resolving
+	// by id would read and decode the checkpoint a second time and could
+	// race a generation written in between, pairing this load's budget
+	// with a different generation's state.
+	return s.submit(req, &snap, id)
 }
 
 // recordEpoch feeds one epoch's measurements into the serving
@@ -634,19 +924,23 @@ func (s *Scheduler) recordEpoch(j *job, eng *core.Engine, er core.EpochResult) {
 
 // publish registers the finished job's snapshot with a workload-
 // appropriate scorer and surfaces terminal state (gibbs marginals).
-func (s *Scheduler) publish(j *job, snap core.Snapshot) {
+// The returned error reports a failed durable write-through; the
+// in-memory registration always happens.
+func (s *Scheduler) publish(j *job, snap core.Snapshot) error {
+	var err error
 	switch j.kind {
 	case core.WorkloadGLM:
-		s.models.Put(j.id, j.spec, snap)
+		err = s.models.Put(j.id, j.spec, snap)
 	case core.WorkloadNN:
 		wl := j.wl.(*nn.Workload)
-		s.models.PutScored(j.id, wl.PredictBatch, snap)
+		err = s.models.PutScored(j.id, wl.PredictBatch, snap)
 	case core.WorkloadGibbs:
-		s.models.PutScored(j.id, marginalScorer, snap)
+		err = s.models.PutScored(j.id, marginalScorer, snap)
 		s.mu.Lock()
 		j.margins = snap.X
 		s.mu.Unlock()
 	}
+	return err
 }
 
 // marginalScorer serves Gibbs snapshots: each example selects one

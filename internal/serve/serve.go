@@ -18,11 +18,18 @@
 //
 // The HTTP surface:
 //
-//	POST   /v1/train     submit a training job            -> {job_id}
-//	GET    /v1/jobs      list jobs
-//	GET    /v1/jobs/{id} job state and progress curve
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /v1/models    list trained models
-//	POST   /v1/predict   batched predictions from a model
-//	GET    /v1/stats     serving counters, cache and queue stats
+//	POST   /v1/train            submit a training job     -> {job_id}
+//	                            ("warm_start" continues a stored model)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job state and progress curve
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/jobs/{id}/resume revive a terminal/crashed job from its
+//	                            durable checkpoint        -> {job_id}
+//	GET    /v1/models           list trained models
+//	POST   /v1/predict          batched predictions from a model
+//	GET    /v1/stats            serving counters, cache and queue stats
+//
+// With Options.Checkpoints/Models (dwserve -store), the scheduler
+// checkpoints running jobs between epochs and the registry persists
+// across restarts — see DESIGN.md "Durability".
 package serve
