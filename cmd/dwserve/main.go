@@ -8,6 +8,15 @@
 //	dwserve -slots 4 -queue 1024
 //	dwserve -store /var/lib/dimmwitted      # durable models + crash-resume
 //	dwserve -store ./state -checkpoint-every 1
+//	dwserve -batch-window 500us             # micro-batch /v1/predict
+//	dwserve -batch-window 1ms -batch-max 128 -predict-queue 512
+//
+// With -batch-window, concurrent /v1/predict requests for the same
+// model coalesce into one batched scorer call (identical results,
+// higher throughput); when the bounded predict queue fills, requests
+// are rejected with 429 and a Retry-After header instead of stacking
+// latency. Per-route latency percentiles appear under "latency" in
+// /v1/stats, the queue-depth gauge under "batch".
 //
 // With -store, trained models persist across restarts (served lazily
 // on first use), running jobs checkpoint their full resume state every
@@ -49,6 +58,9 @@ func main() {
 	queue := flag.Int("queue", 0, "job queue depth (0 = 256)")
 	store := flag.String("store", "", "durable state directory: persists trained models and job checkpoints (empty = memory only)")
 	ckptEvery := flag.Int("checkpoint-every", 5, "checkpoint running jobs every N epochs (needs -store; 0 = never)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch window for /v1/predict: concurrent requests for one model coalesce into one batched call (0 = no batching)")
+	batchMax := flag.Int("batch-max", 0, "max coalesced examples per batched predict flush (0 = 256; needs -batch-window)")
+	predictQueue := flag.Int("predict-queue", 0, "predict admission-queue depth; a full queue answers 429 Retry-After (0 = 1024; needs -batch-window)")
 	flag.Parse()
 
 	top, err := numa.ByName(*machine)
@@ -58,9 +70,12 @@ func main() {
 	}
 
 	opts := serve.Options{
-		Machine:    top,
-		Slots:      *slots,
-		QueueDepth: *queue,
+		Machine:      top,
+		Slots:        *slots,
+		QueueDepth:   *queue,
+		BatchWindow:  *batchWindow,
+		BatchMax:     *batchMax,
+		PredictQueue: *predictQueue,
 	}
 	if *store != "" {
 		jobs, models, err := serve.OpenStores(*store)
@@ -80,7 +95,11 @@ func main() {
 	if *store != "" {
 		durability = fmt.Sprintf("store %s (checkpoint every %d epochs)", *store, *ckptEvery)
 	}
-	log.Printf("dwserve: listening on %s, machine %s, %d training slots, %s, datasets %v, graphs %v, nn datasets %v",
-		*addr, top.Name, srv.Scheduler().Slots(), durability, data.Names(), factor.GraphNames(), nn.DatasetNames())
+	batching := "predict batching off"
+	if *batchWindow > 0 {
+		batching = fmt.Sprintf("predict batching %v", *batchWindow)
+	}
+	log.Printf("dwserve: listening on %s, machine %s, %d training slots, %s, %s, datasets %v, graphs %v, nn datasets %v",
+		*addr, top.Name, srv.Scheduler().Slots(), durability, batching, data.Names(), factor.GraphNames(), nn.DatasetNames())
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the number of exponential histogram buckets.
+// Bucket 0 holds sub-microsecond observations; bucket i (i >= 1) holds
+// durations in [2^(i-1), 2^i) microseconds, so the last bucket starts
+// at 2^32 µs ≈ 71 minutes — far beyond any HTTP handler.
+const latencyBuckets = 34
+
+// Histogram is a fixed-bucket exponential latency histogram. All
+// methods are safe for concurrent use and the hot path (Observe) is
+// lock-free: one atomic add per bucket, sum, and count. The zero value
+// is ready.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [latencyBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// bucketIndex maps a duration to its bucket: the bit length of the
+// duration in whole microseconds, clamped to the last bucket.
+func bucketIndex(d time.Duration) int {
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= latencyBuckets {
+		return latencyBuckets - 1
+	}
+	return i
+}
+
+// bucketBoundsMicros returns bucket i's [lower, upper) bounds in
+// microseconds.
+func bucketBoundsMicros(i int) (float64, float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+}
+
+// HistogramSnapshot is a point-in-time percentile summary, shaped for
+// JSON export. Percentiles are estimated by linear interpolation
+// inside the matched power-of-two bucket, so they carry the bucket's
+// relative error (at most 2x) but are always mutually monotone:
+// P50 <= P95 <= P99 <= Max is an invariant, not a likelihood.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Snapshot summarises the observations so far. Buckets are read once
+// into a private copy, so the reported percentiles are consistent with
+// each other even while Observe runs concurrently.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [latencyBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return HistogramSnapshot{}
+	}
+	maxMs := float64(h.max.Load()) / 1e6
+	// A percentile interpolated inside the top occupied bucket can
+	// overshoot the true maximum; clamp so Max bounds every quantile.
+	clamp := func(v float64) float64 {
+		if v > maxMs {
+			return maxMs
+		}
+		return v
+	}
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		MeanMs: float64(h.sum.Load()) / float64(total) / 1e6,
+		P50Ms:  clamp(percentileMs(&counts, total, 0.50)),
+		P95Ms:  clamp(percentileMs(&counts, total, 0.95)),
+		P99Ms:  clamp(percentileMs(&counts, total, 0.99)),
+		MaxMs:  maxMs,
+	}
+	return s
+}
+
+// percentileMs estimates the q-th percentile in milliseconds from a
+// consistent bucket copy: find the bucket holding the q*total-th
+// observation and interpolate linearly inside its bounds.
+func percentileMs(counts *[latencyBuckets]int64, total int64, q float64) float64 {
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := range counts {
+		n := counts[i]
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := bucketBoundsMicros(i)
+			frac := float64(target-cum) / float64(n)
+			return (lo + frac*(hi-lo)) / 1e3
+		}
+		cum += n
+	}
+	// Unreachable: target <= total, so the loop matched a bucket.
+	return 0
+}

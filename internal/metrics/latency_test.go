@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s != (HistogramSnapshot{}) {
+		t.Fatalf("empty snapshot %+v, want zero", s)
+	}
+}
+
+func TestHistogramSummaries(t *testing.T) {
+	var h Histogram
+	durations := []time.Duration{
+		500 * time.Nanosecond, // bucket 0
+		3 * time.Microsecond,
+		40 * time.Microsecond,
+		900 * time.Microsecond,
+		2 * time.Millisecond,
+		7 * time.Millisecond,
+		20 * time.Millisecond,
+		150 * time.Millisecond,
+	}
+	var sum time.Duration
+	for _, d := range durations {
+		h.Observe(d)
+		sum += d
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(durations)) {
+		t.Errorf("count %d, want %d", s.Count, len(durations))
+	}
+	wantMean := sum.Seconds() * 1e3 / float64(len(durations))
+	if diff := s.MeanMs - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("mean %v ms, want %v", s.MeanMs, wantMean)
+	}
+	if s.MaxMs != 150 {
+		t.Errorf("max %v ms, want 150", s.MaxMs)
+	}
+	if !(s.P50Ms <= s.P95Ms && s.P95Ms <= s.P99Ms && s.P99Ms <= s.MaxMs+1e-9) {
+		t.Errorf("percentiles not monotone: %+v", s)
+	}
+	// The median of the 8 observations is between 900µs and 2ms; the
+	// bucket estimate must land within a factor of two of that range.
+	if s.P50Ms < 0.45 || s.P50Ms > 4 {
+		t.Errorf("p50 %v ms, want within 2x of [0.9, 2]", s.P50Ms)
+	}
+	// p99 of 8 points is the maximum's bucket: [128ms, 256ms).
+	if s.P99Ms < 64 || s.P99Ms > 256 {
+		t.Errorf("p99 %v ms, want in the max's bucket neighbourhood", s.P99Ms)
+	}
+}
+
+func TestHistogramUniformPercentiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations uniform over (0, 100ms]: p50 ≈ 50ms, p95 ≈
+	// 95ms, p99 ≈ 99ms, each within its power-of-two bucket (2x).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", s.P50Ms, 50},
+		{"p95", s.P95Ms, 95},
+		{"p99", s.P99Ms, 99},
+	}
+	for _, c := range checks {
+		if c.got < c.want/2 || c.got > c.want*2 {
+			t.Errorf("%s = %v ms, want within 2x of %v", c.name, c.got, c.want)
+		}
+	}
+	if s.MaxMs != 100 {
+		t.Errorf("max %v, want 100", s.MaxMs)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*per)
+	}
+	if !(s.P50Ms <= s.P95Ms && s.P95Ms <= s.P99Ms) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}
+
+func TestBucketIndexBounds(t *testing.T) {
+	if bucketIndex(0) != 0 || bucketIndex(999*time.Nanosecond) != 0 {
+		t.Error("sub-microsecond durations must land in bucket 0")
+	}
+	if bucketIndex(time.Microsecond) != 1 {
+		t.Errorf("1µs in bucket %d, want 1", bucketIndex(time.Microsecond))
+	}
+	if got := bucketIndex(24 * time.Hour); got != latencyBuckets-1 {
+		t.Errorf("huge duration in bucket %d, want clamped to %d", got, latencyBuckets-1)
+	}
+	for i := 1; i < latencyBuckets; i++ {
+		lo, hi := bucketBoundsMicros(i)
+		if lo >= hi {
+			t.Fatalf("bucket %d bounds [%v, %v) inverted", i, lo, hi)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dimmwitted/internal/data"
-	"dimmwitted/internal/vec"
 )
 
 // Example is one prediction input: a sparse feature vector in the same
@@ -71,14 +70,27 @@ func DatasetExamples(ds *data.Dataset, rows []int) []Example {
 // PredictBatch scores every example against the model vector x and maps
 // each raw score through spec.Predict. It is read-only with respect to
 // x and the examples, so many goroutines may serve predictions from one
-// shared snapshot concurrently.
+// shared snapshot concurrently. The bounds check is fused into the dot
+// product — one pass over each example's nonzeros, not a validation
+// pass followed by a scoring pass — because this is the serving hot
+// path's inner loop; the accumulation order matches vec.SparseDot, so
+// results are bit-identical to the two-pass form.
 func PredictBatch(spec Spec, x []float64, examples []Example) ([]float64, error) {
+	dim := len(x)
 	out := make([]float64, len(examples))
 	for i, ex := range examples {
-		if err := ex.Validate(len(x)); err != nil {
-			return nil, fmt.Errorf("example %d: %w", i, err)
+		if len(ex.Idx) != len(ex.Vals) {
+			return nil, fmt.Errorf("example %d: model: example has %d indices but %d values",
+				i, len(ex.Idx), len(ex.Vals))
 		}
-		out[i] = spec.Predict(vec.SparseDot(ex.Vals, ex.Idx, x))
+		var s float64
+		for k, j := range ex.Idx {
+			if j < 0 || int(j) >= dim {
+				return nil, fmt.Errorf("example %d: model: example index %d outside model dimension %d", i, j, dim)
+			}
+			s += ex.Vals[k] * x[j]
+		}
+		out[i] = spec.Predict(s)
 	}
 	return out, nil
 }

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dimmwitted/internal/model"
+)
+
+// ErrOverloaded reports an admission-control rejection: the predict
+// queue is full and the request was turned away instead of queued.
+// The HTTP layer maps it to 429 with a Retry-After header; match it
+// with errors.Is.
+var ErrOverloaded = errors.New("serve: predict queue is full")
+
+// errCoalescerClosed reports a request against a shut-down coalescer.
+var errCoalescerClosed = errors.New("serve: coalescer closed")
+
+// Coalescer micro-batches concurrent predictions: requests enter a
+// bounded admission queue, a dispatcher gathers them for up to a flush
+// window (or until a batch fills), groups them by model id, and a
+// bounded pool of scoring workers serves each group with ONE batched
+// registry call whose results are split back per request. Under load
+// this converts k concurrent single-example requests for a hot model
+// into one PredictBatch over k examples; when the scoring pool and the
+// queue are both saturated, new requests fail fast with ErrOverloaded
+// instead of stacking latency — admission control, not buffering.
+//
+// Coalescing never changes results: predictions are per-example
+// independent, so the batched call is bit-identical to the per-request
+// calls it replaces, and a batch that fails (one request carrying a
+// bad example) is retried per request so the error lands only on the
+// offender.
+type Coalescer struct {
+	reg    *Registry
+	window time.Duration
+	// maxBatch caps the examples coalesced into one flush.
+	maxBatch int
+	queue    chan *pendingPredict
+	flushCh  chan []*pendingPredict
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	depth    atomic.Int64 // requests admitted and not yet answered
+	rejected atomic.Int64
+	requests atomic.Int64 // requests flushed through batches
+	batches  atomic.Int64 // batched registry calls issued
+}
+
+// pendingPredict is one admitted request waiting for its batch.
+type pendingPredict struct {
+	model    string
+	examples []model.Example
+	res      chan coalesceResult
+}
+
+type coalesceResult struct {
+	preds []float64
+	err   error
+}
+
+// CoalescerOptions tunes a Coalescer; zero values take defaults.
+type CoalescerOptions struct {
+	// Window is how long the dispatcher gathers requests after the
+	// first one arrives before flushing; 0 flushes opportunistically
+	// (whatever has queued, no added wait).
+	Window time.Duration
+	// MaxBatch caps the examples per flush; 0 means 256.
+	MaxBatch int
+	// Queue bounds the admission queue; 0 means 1024.
+	Queue int
+	// Workers bounds the concurrent scoring flushes; 0 means 4.
+	Workers int
+}
+
+// NewCoalescer starts a coalescer over the registry.
+func NewCoalescer(reg *Registry, opts CoalescerOptions) *Coalescer {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 256
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 1024
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	c := &Coalescer{
+		reg:      reg,
+		window:   opts.Window,
+		maxBatch: opts.MaxBatch,
+		queue:    make(chan *pendingPredict, opts.Queue),
+		flushCh:  make(chan []*pendingPredict),
+		stop:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.dispatch()
+	for i := 0; i < opts.Workers; i++ {
+		c.wg.Add(1)
+		go c.scoreLoop()
+	}
+	return c
+}
+
+// Window returns the configured flush window.
+func (c *Coalescer) Window() time.Duration { return c.window }
+
+// Predict submits one request for coalescing and blocks until its
+// batch is served. A full queue returns ErrOverloaded immediately.
+func (c *Coalescer) Predict(id string, examples []model.Example) ([]float64, error) {
+	p := &pendingPredict{model: id, examples: examples, res: make(chan coalesceResult, 1)}
+	// The enqueue happens under the read side of closeMu so Close can
+	// linearise: after it holds the write side, no new request can slip
+	// into the queue behind the dispatcher's drain.
+	c.closeMu.RLock()
+	if c.closed {
+		c.closeMu.RUnlock()
+		return nil, errCoalescerClosed
+	}
+	select {
+	case c.queue <- p:
+		c.depth.Add(1)
+		c.closeMu.RUnlock()
+	default:
+		c.closeMu.RUnlock()
+		c.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	r := <-p.res
+	c.depth.Add(-1)
+	return r.preds, r.err
+}
+
+// dispatch gathers admitted requests into batches and hands them to
+// the scoring workers. When every worker is busy the hand-off blocks,
+// the queue backs up, and admission control starts rejecting — the
+// backpressure path.
+func (c *Coalescer) dispatch() {
+	defer c.wg.Done()
+	for {
+		var first *pendingPredict
+		select {
+		case first = <-c.queue:
+		case <-c.stop:
+			c.drain()
+			return
+		}
+		batch := []*pendingPredict{first}
+		n := len(first.examples)
+		if c.window > 0 {
+			timer := time.NewTimer(c.window)
+		gather:
+			for n < c.maxBatch {
+				select {
+				case p := <-c.queue:
+					batch = append(batch, p)
+					n += len(p.examples)
+				case <-timer.C:
+					break gather
+				case <-c.stop:
+					break gather
+				}
+			}
+			timer.Stop()
+		} else {
+		greedy:
+			for n < c.maxBatch {
+				select {
+				case p := <-c.queue:
+					batch = append(batch, p)
+					n += len(p.examples)
+				default:
+					break greedy
+				}
+			}
+		}
+		select {
+		case c.flushCh <- batch:
+		case <-c.stop:
+			c.fail(batch)
+			c.drain()
+			return
+		}
+	}
+}
+
+// drain fails every queued request after shutdown. By the time stop is
+// closed, Close holds closeMu exclusively, so no producer can enqueue
+// behind this drain.
+func (c *Coalescer) drain() {
+	for {
+		select {
+		case p := <-c.queue:
+			p.res <- coalesceResult{err: errCoalescerClosed}
+		default:
+			return
+		}
+	}
+}
+
+// fail answers every request in a batch with the shutdown error.
+func (c *Coalescer) fail(batch []*pendingPredict) {
+	for _, p := range batch {
+		p.res <- coalesceResult{err: errCoalescerClosed}
+	}
+}
+
+// scoreLoop serves handed-off batches until shutdown.
+func (c *Coalescer) scoreLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case batch := <-c.flushCh:
+			c.flush(batch)
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// flush groups a batch by model id and serves each group with one
+// batched scorer call, splitting the results back onto the waiting
+// requests in arrival order. The model is resolved once per group:
+// model-level failures (unknown id, unreadable store entry, no
+// prediction support) are broadcast to the whole group — retrying
+// per request could not change them — while a failed merged scoring
+// call (one request carrying a bad example) is retried per request
+// against the same resolved model, so the error lands only on the
+// offender and the innocent neighbours still get identical results.
+func (c *Coalescer) flush(batch []*pendingPredict) {
+	groups := make(map[string][]*pendingPredict, 1)
+	var order []string
+	for _, p := range batch {
+		if _, ok := groups[p.model]; !ok {
+			order = append(order, p.model)
+		}
+		groups[p.model] = append(groups[p.model], p)
+	}
+	for _, id := range order {
+		g := groups[id]
+		c.batches.Add(1)
+		c.requests.Add(int64(len(g)))
+		sm, err := c.reg.resolve(id)
+		if err != nil {
+			for _, p := range g {
+				p.res <- coalesceResult{err: err}
+			}
+			continue
+		}
+		if len(g) == 1 {
+			preds, err := safeScore(sm, g[0].examples)
+			g[0].res <- coalesceResult{preds: preds, err: err}
+			continue
+		}
+		merged := make([]model.Example, 0, batchExamples(g))
+		for _, p := range g {
+			merged = append(merged, p.examples...)
+		}
+		preds, err := safeScore(sm, merged)
+		if err != nil {
+			for _, p := range g {
+				pr, perr := safeScore(sm, p.examples)
+				p.res <- coalesceResult{preds: pr, err: perr}
+			}
+			continue
+		}
+		off := 0
+		for _, p := range g {
+			p.res <- coalesceResult{preds: preds[off : off+len(p.examples) : off+len(p.examples)], err: nil}
+			off += len(p.examples)
+		}
+	}
+}
+
+// safeScore runs one scorer call with panic containment: on the
+// direct path a panicking scorer is caught by net/http's per-request
+// recover, and the batched path must not be weaker — one bad scorer
+// must fail its batch, not kill the daemon or strand its waiters.
+func safeScore(sm *servingModel, examples []model.Example) (preds []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			preds, err = nil, fmt.Errorf("serve: scorer panicked: %v", r)
+		}
+	}()
+	return sm.scorer(sm.x, examples)
+}
+
+// batchExamples counts the examples across a group.
+func batchExamples(g []*pendingPredict) int {
+	n := 0
+	for _, p := range g {
+		n += len(p.examples)
+	}
+	return n
+}
+
+// BatchStats is a point-in-time summary of the coalescer for the stats
+// endpoint.
+type BatchStats struct {
+	// Enabled reports whether micro-batching is configured at all.
+	Enabled bool `json:"enabled"`
+	// WindowMs is the flush window in milliseconds.
+	WindowMs float64 `json:"window_ms"`
+	// MaxBatch caps the coalesced examples per flush.
+	MaxBatch int `json:"max_batch"`
+	// Capacity is the admission queue bound; Depth is the queue-depth
+	// gauge — requests admitted and not yet answered.
+	Capacity int   `json:"capacity"`
+	Depth    int64 `json:"depth"`
+	// Requests counts requests served through batches, Batches the
+	// batched registry calls issued (Requests/Batches is the achieved
+	// coalescing factor), Rejected the admission-control rejections.
+	Requests int64 `json:"requests"`
+	Batches  int64 `json:"batches"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Stats summarises the coalescer.
+func (c *Coalescer) Stats() BatchStats {
+	return BatchStats{
+		Enabled:  true,
+		WindowMs: float64(c.window) / float64(time.Millisecond),
+		MaxBatch: c.maxBatch,
+		Capacity: cap(c.queue),
+		Depth:    c.depth.Load(),
+		Requests: c.requests.Load(),
+		Batches:  c.batches.Load(),
+		Rejected: c.rejected.Load(),
+	}
+}
+
+// Close stops the coalescer: in-flight batches finish, queued requests
+// fail with a closed error, and new requests are refused. Safe to call
+// more than once.
+func (c *Coalescer) Close() {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeMu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+	// The dispatcher may have exited between queue receives; sweep any
+	// stragglers that were admitted before closed flipped.
+	c.drain()
+}
+
+// retryAfterSeconds is the Retry-After hint for a 429: one flush
+// window rounded up to a whole second, at least 1.
+func retryAfterSeconds(window time.Duration) string {
+	secs := int(window/time.Second) + 1
+	return fmt.Sprintf("%d", secs)
+}

@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/nn"
+)
+
+// equivalenceFixture registers one serving model per prediction path —
+// all six GLM specs, the gibbs marginal lookup, and the nn argmax —
+// and returns per-model example batches in the model's input encoding.
+func equivalenceFixture(t *testing.T, reg *Registry, rng *rand.Rand) map[string][][]model.Example {
+	t.Helper()
+	const dim = 32
+	const reqs, perReq = 8, 3
+	batches := map[string][][]model.Example{}
+
+	sparse := func() []model.Example {
+		out := make([]model.Example, perReq)
+		for i := range out {
+			out[i] = model.Example{
+				Idx:  []int32{int32(rng.Intn(dim / 2)), int32(dim/2 + rng.Intn(dim/2))},
+				Vals: []float64{rng.NormFloat64(), rng.NormFloat64()},
+			}
+		}
+		return out
+	}
+
+	for _, name := range []string{"svm", "lr", "ls", "lp", "qp", "sum"} {
+		spec, err := model.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		id := "glm-" + name
+		snap := core.Snapshot{Workload: core.WorkloadGLM, Spec: name, Dataset: "synthetic", X: x}
+		if err := reg.Put(id, spec, snap); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < reqs; r++ {
+			batches[id] = append(batches[id], sparse())
+		}
+	}
+
+	// Gibbs: marginal lookup by variable index.
+	marg := make([]float64, dim)
+	for i := range marg {
+		marg[i] = rng.Float64()
+	}
+	if err := reg.PutScored("gibbs-1", marginalScorer,
+		core.Snapshot{Workload: core.WorkloadGibbs, Spec: "gibbs", Dataset: "paleo", X: marg}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < reqs; r++ {
+		exs := make([]model.Example, perReq)
+		for i := range exs {
+			exs[i] = model.Example{Idx: []int32{int32(rng.Intn(dim))}, Vals: []float64{1}}
+		}
+		batches["gibbs-1"] = append(batches["gibbs-1"], exs)
+	}
+
+	// NN: argmax forward pass over a small dense network.
+	sizes := []int{6, 4, 3}
+	params := nn.NewNetwork(sizes, 7).Params()
+	scorer := func(x []float64, examples []model.Example) ([]float64, error) {
+		return nn.PredictBatch(sizes, x, examples)
+	}
+	if err := reg.PutScored("nn-1", scorer,
+		core.Snapshot{Workload: core.WorkloadNN, Spec: "nn", Dataset: "synthetic", X: params}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < reqs; r++ {
+		exs := make([]model.Example, perReq)
+		for i := range exs {
+			dense := make([]float64, sizes[0])
+			for j := range dense {
+				dense[j] = rng.Float64()
+			}
+			exs[i] = model.DenseExample(dense)
+		}
+		batches["nn-1"] = append(batches["nn-1"], exs)
+	}
+	return batches
+}
+
+// TestCoalescerEquivalence proves coalesced micro-batched predictions
+// are bit-identical to per-request PredictBatch results for all six
+// GLM specs plus the gibbs-marginal and nn-argmax serving paths: every
+// request is issued once directly against the registry and once
+// through a coalescer under heavy interleaving, and the float64
+// outputs must match exactly (==, not within tolerance).
+func TestCoalescerEquivalence(t *testing.T) {
+	reg := NewRegistry()
+	rng := rand.New(rand.NewSource(42))
+	batches := equivalenceFixture(t, reg, rng)
+
+	// Reference results: one direct registry call per request.
+	want := map[string][][]float64{}
+	for id, reqs := range batches {
+		for _, exs := range reqs {
+			preds, err := reg.Predict(id, exs)
+			if err != nil {
+				t.Fatalf("direct predict %s: %v", id, err)
+			}
+			want[id] = append(want[id], preds)
+		}
+	}
+
+	// A generous window so concurrent requests genuinely coalesce.
+	coal := NewCoalescer(reg, CoalescerOptions{Window: 100 * time.Millisecond, MaxBatch: 4096})
+	defer coal.Close()
+
+	type result struct {
+		id    string
+		req   int
+		preds []float64
+		err   error
+	}
+	var wg sync.WaitGroup
+	results := make(chan result, 256)
+	start := make(chan struct{})
+	for id, reqs := range batches {
+		for r, exs := range reqs {
+			wg.Add(1)
+			go func(id string, r int, exs []model.Example) {
+				defer wg.Done()
+				<-start
+				preds, err := coal.Predict(id, exs)
+				results <- result{id: id, req: r, preds: preds, err: err}
+			}(id, r, exs)
+		}
+	}
+	close(start)
+	wg.Wait()
+	close(results)
+
+	for res := range results {
+		if res.err != nil {
+			t.Fatalf("coalesced predict %s/%d: %v", res.id, res.req, res.err)
+		}
+		ref := want[res.id][res.req]
+		if len(res.preds) != len(ref) {
+			t.Fatalf("%s/%d: %d predictions, want %d", res.id, res.req, len(res.preds), len(ref))
+		}
+		for i := range ref {
+			if res.preds[i] != ref[i] {
+				t.Fatalf("%s/%d example %d: coalesced %v != direct %v (must be bit-identical)",
+					res.id, res.req, i, res.preds[i], ref[i])
+			}
+		}
+	}
+
+	st := coal.Stats()
+	if st.Requests == 0 || st.Batches == 0 {
+		t.Fatalf("coalescer stats %+v: nothing flowed through batches", st)
+	}
+	if st.Batches >= st.Requests {
+		t.Errorf("coalescer stats %+v: no coalescing happened (batches >= requests)", st)
+	}
+	if st.Rejected != 0 {
+		t.Errorf("unexpected rejections: %+v", st)
+	}
+}
+
+// TestCoalescerBadExampleIsolated pins the batch-failure contract: a
+// request carrying an invalid example coalesced with healthy requests
+// must fail alone — the healthy requests still get their (identical)
+// results.
+func TestCoalescerBadExampleIsolated(t *testing.T) {
+	reg := NewRegistry()
+	spec, _ := model.ByName("svm")
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = 1
+	}
+	if err := reg.Put("m", spec, core.Snapshot{Workload: core.WorkloadGLM, Spec: "svm", X: x}); err != nil {
+		t.Fatal(err)
+	}
+	coal := NewCoalescer(reg, CoalescerOptions{Window: 100 * time.Millisecond})
+	defer coal.Close()
+
+	good := []model.Example{{Idx: []int32{1}, Vals: []float64{2}}}
+	bad := []model.Example{{Idx: []int32{99}, Vals: []float64{1}}} // out of dim
+	wantGood, err := reg.Predict("m", good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var goodPreds []float64
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); goodPreds, goodErr = coal.Predict("m", good) }()
+	go func() { defer wg.Done(); _, badErr = coal.Predict("m", bad) }()
+	wg.Wait()
+
+	if badErr == nil {
+		t.Fatal("invalid example did not error")
+	}
+	if goodErr != nil {
+		t.Fatalf("healthy request failed alongside the bad one: %v", goodErr)
+	}
+	if len(goodPreds) != 1 || goodPreds[0] != wantGood[0] {
+		t.Fatalf("healthy request predictions %v, want %v", goodPreds, wantGood)
+	}
+}
+
+// TestCoalescerScorerPanicContained pins the batched path's failure
+// containment: a panicking scorer must fail its request with an error
+// — matching the direct path, where net/http's per-request recover
+// keeps the daemon alive — not kill the process or strand waiters.
+func TestCoalescerScorerPanicContained(t *testing.T) {
+	reg := NewRegistry()
+	boom := func(x []float64, examples []model.Example) ([]float64, error) {
+		panic("scorer bug")
+	}
+	if err := reg.PutScored("m", boom, core.Snapshot{X: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	coal := NewCoalescer(reg, CoalescerOptions{Window: 10 * time.Millisecond})
+	defer coal.Close()
+
+	ex := []model.Example{{Idx: []int32{0}, Vals: []float64{1}}}
+	for i := 0; i < 3; i++ {
+		if _, err := coal.Predict("m", ex); err == nil {
+			t.Fatal("panicking scorer produced no error")
+		}
+	}
+	if st := coal.Stats(); st.Requests != 3 {
+		t.Fatalf("stats %+v after panics, want the coalescer still accounting", st)
+	}
+}
+
+// TestCoalescerAdmissionControl saturates the pipeline deterministically
+// and proves the overflow request is rejected with ErrOverloaded while
+// every admitted request completes once the scorer unblocks. Layout:
+// one scoring worker (blocked in the scorer), one request gathered by
+// the dispatcher (blocked handing off), two in the queue — the sixth
+// request finds the queue full.
+func TestCoalescerAdmissionControl(t *testing.T) {
+	reg := NewRegistry()
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	scorer := func(x []float64, examples []model.Example) ([]float64, error) {
+		entered <- struct{}{}
+		<-release
+		out := make([]float64, len(examples))
+		return out, nil
+	}
+	if err := reg.PutScored("m", scorer, core.Snapshot{Workload: core.WorkloadGLM, Spec: "svm", X: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	coal := NewCoalescer(reg, CoalescerOptions{
+		Window:   time.Hour, // irrelevant: MaxBatch 1 flushes immediately
+		MaxBatch: 1,
+		Queue:    2,
+		Workers:  1,
+	})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+		coal.Close()
+	}()
+
+	ex := []model.Example{{Idx: []int32{0}, Vals: []float64{1}}}
+	errs := make(chan error, 8)
+	submit := func() {
+		_, err := coal.Predict("m", ex)
+		errs <- err
+	}
+
+	// First request reaches the (single) scoring worker and blocks.
+	go submit()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first request never reached the scorer")
+	}
+	// Three more, one at a time so each is admitted before the next
+	// tries the queue: one gathered by the dispatcher (blocked on
+	// hand-off), two queued — the pipeline is full at depth 4.
+	for want := int64(2); want <= 4; want++ {
+		go submit()
+		deadline := time.Now().Add(10 * time.Second)
+		for coal.Stats().Depth != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("pipeline never reached depth %d: stats %+v", want, coal.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Admission control: the next request is turned away immediately.
+	if _, err := coal.Predict("m", ex); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated coalescer returned %v, want ErrOverloaded", err)
+	}
+	if st := coal.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v, want 1 rejection", st)
+	}
+
+	// Unblock the scorer: every admitted request completes cleanly.
+	close(release)
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("admitted request %d failed: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("admitted request %d never completed", i)
+		}
+	}
+	if d := coal.Stats().Depth; d != 0 {
+		t.Fatalf("queue depth gauge %d after drain, want 0", d)
+	}
+}
+
+// TestCoalescerCloseFailsPending proves shutdown answers every pending
+// request instead of leaking blocked goroutines.
+func TestCoalescerCloseFailsPending(t *testing.T) {
+	reg := NewRegistry()
+	release := make(chan struct{})
+	scorer := func(x []float64, examples []model.Example) ([]float64, error) {
+		<-release
+		return make([]float64, len(examples)), nil
+	}
+	if err := reg.PutScored("m", scorer, core.Snapshot{X: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	coal := NewCoalescer(reg, CoalescerOptions{MaxBatch: 1, Queue: 8, Workers: 1})
+
+	ex := []model.Example{{Idx: []int32{0}, Vals: []float64{1}}}
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := coal.Predict("m", ex)
+			errs <- err
+		}()
+	}
+	// Let requests distribute into worker/dispatcher/queue, then shut
+	// down with the scorer still blocked; Close must not deadlock and
+	// every request must be answered (served after release, or failed).
+	time.Sleep(20 * time.Millisecond)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	coal.Close()
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-errs:
+			if err != nil && !errors.Is(err, errCoalescerClosed) {
+				t.Fatalf("pending request got %v, want nil or errCoalescerClosed", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("pending request leaked through Close")
+		}
+	}
+	if _, err := coal.Predict("m", ex); !errors.Is(err, errCoalescerClosed) {
+		t.Fatalf("closed coalescer accepted a request: %v", err)
+	}
+}

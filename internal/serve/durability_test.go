@@ -391,19 +391,13 @@ func TestListDoesNotPinDiskModels(t *testing.T) {
 	if got := reg.List(); len(got) != 1 {
 		t.Fatalf("listing: %+v", got)
 	}
-	reg.mu.RLock()
-	cached := len(reg.models)
-	reg.mu.RUnlock()
-	if cached != 0 {
+	if cached := reg.memLen(); cached != 0 {
 		t.Fatalf("List cached %d models; loading should wait for the first predict", cached)
 	}
 	if _, err := reg.Predict(id, []model.Example{{Idx: []int32{0}, Vals: []float64{1}}}); err != nil {
 		t.Fatal(err)
 	}
-	reg.mu.RLock()
-	cached = len(reg.models)
-	reg.mu.RUnlock()
-	if cached != 1 {
+	if cached := reg.memLen(); cached != 1 {
 		t.Fatalf("predict cached %d models, want 1", cached)
 	}
 }

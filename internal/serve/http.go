@@ -17,12 +17,20 @@ import (
 
 // Server is the HTTP front end: a scheduler, its model registry and
 // plan cache, exposed as a JSON API (see the package comment for the
-// route table).
+// route table). Every route records its handler latency into a
+// per-route histogram surfaced by /v1/stats; with Options.BatchWindow
+// set, POST /v1/predict coalesces concurrent requests through a
+// micro-batching queue with admission control.
 type Server struct {
 	sched    *Scheduler
 	counters *metrics.ServeCounters
+	coal     *Coalescer
 	mux      *http.ServeMux
-	started  time.Time
+	// latency maps route patterns to their handler-latency histograms.
+	// The map is built at construction and read-only afterwards, so
+	// concurrent lookups need no lock.
+	latency map[string]*metrics.Histogram
+	started time.Time
 }
 
 // NewServer builds a server with its own scheduler.
@@ -32,24 +40,54 @@ func NewServer(opts Options) *Server {
 		sched:    NewScheduler(opts),
 		counters: opts.Counters,
 		mux:      http.NewServeMux(),
+		latency:  map[string]*metrics.Histogram{},
 		started:  time.Now(),
 	}
-	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
-	s.mux.HandleFunc("GET /v1/models", s.handleModels)
-	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if opts.BatchWindow > 0 {
+		s.coal = NewCoalescer(s.sched.Models(), CoalescerOptions{
+			Window:   opts.BatchWindow,
+			MaxBatch: opts.BatchMax,
+			Queue:    opts.PredictQueue,
+		})
+	}
+	s.handle("POST /v1/train", s.handleTrain)
+	s.handle("GET /v1/jobs", s.handleJobs)
+	s.handle("GET /v1/jobs/{id}", s.handleJob)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.handle("POST /v1/jobs/{id}/resume", s.handleResume)
+	s.handle("GET /v1/models", s.handleModels)
+	s.handle("POST /v1/predict", s.handlePredict)
+	s.handle("GET /v1/stats", s.handleStats)
 	return s
+}
+
+// handle registers a route with its latency histogram: every request
+// through the pattern is timed, successes and errors alike, so the
+// histogram count equals the requests issued against the route.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	hist := &metrics.Histogram{}
+	s.latency[pattern] = hist
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start))
+	})
 }
 
 // Scheduler returns the underlying scheduler.
 func (s *Server) Scheduler() *Scheduler { return s.sched }
 
-// Close shuts the scheduler down (see Scheduler.Close).
-func (s *Server) Close() { s.sched.Close() }
+// Coalescer returns the predict micro-batcher, or nil when batching is
+// not configured.
+func (s *Server) Coalescer() *Coalescer { return s.coal }
+
+// Close shuts the coalescer and scheduler down (see Scheduler.Close).
+func (s *Server) Close() {
+	if s.coal != nil {
+		s.coal.Close()
+	}
+	s.sched.Close()
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -198,11 +236,27 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	preds, err := s.sched.Models().Predict(req.Model, examples)
+	var preds []float64
+	var err error
+	if s.coal != nil {
+		preds, err = s.coal.Predict(req.Model, examples)
+	} else {
+		preds, err = s.sched.Models().Predict(req.Model, examples)
+	}
 	if err != nil {
 		code := http.StatusBadRequest
-		if errors.Is(err, ErrUnknownModel) {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			// Admission control: tell the client when the queue is
+			// likely to have drained a flush window's worth of work.
+			w.Header().Set("Retry-After", retryAfterSeconds(s.coal.Window()))
+			code = http.StatusTooManyRequests
+		case errors.Is(err, ErrUnknownModel):
 			code = http.StatusNotFound
+		case errors.Is(err, errCoalescerClosed):
+			// Shutdown is a server-side condition; tell clients to retry
+			// elsewhere, not that their request was malformed.
+			code = http.StatusServiceUnavailable
 		}
 		s.writeError(w, code, err)
 		return
@@ -223,6 +277,14 @@ type statsResponse struct {
 	Queue         QueueStats            `json:"queue"`
 	PlanCache     PlanCacheStats        `json:"plan_cache"`
 	Models        int                   `json:"models"`
+	// Latency maps each route pattern to its handler-latency histogram
+	// summary (p50/p95/p99); counts include error responses, so a
+	// route's count equals the requests issued against it.
+	Latency map[string]metrics.HistogramSnapshot `json:"latency"`
+	// Batch summarises the predict micro-batcher (queue depth gauge,
+	// coalescing factor, admission-control rejections); omitted when
+	// batching is not configured.
+	Batch *BatchStats `json:"batch,omitempty"`
 	// Datasets, Graphs and NNDatasets list what each workload's
 	// "dataset" field accepts: GLM data matrices, factor graphs, and
 	// image corpora.
@@ -238,6 +300,10 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	lat := make(map[string]metrics.HistogramSnapshot, len(s.latency))
+	for pattern, h := range s.latency {
+		lat[pattern] = h.Snapshot()
+	}
 	resp := statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Machine:       s.sched.opts.Machine.Name,
@@ -245,9 +311,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queue:         s.sched.Stats(),
 		PlanCache:     s.sched.Plans().Stats(),
 		Models:        s.sched.Models().Len(),
+		Latency:       lat,
 		Datasets:      data.Names(),
 		Graphs:        factor.GraphNames(),
 		NNDatasets:    nn.DatasetNames(),
+	}
+	if s.coal != nil {
+		st := s.coal.Stats()
+		resp.Batch = &st
 	}
 	if st := s.sched.opts.Checkpoints; st != nil {
 		resp.CheckpointDir = st.Dir()

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/model"
+)
+
+// jsonBody marshals v for a hand-built request.
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// TestHTTPLatencyContract is the end-to-end latency/backpressure
+// contract: /v1/stats must report per-route histograms whose counts
+// match the requests actually issued and whose percentiles are sane
+// (p50 <= p95 <= p99 <= max), and once the predict coalescer's queue
+// is saturated, admission control must answer 429 with a Retry-After
+// header — then serve every admitted request once the path unblocks.
+func TestHTTPLatencyContract(t *testing.T) {
+	srv, ts := newTestServer(t, Options{
+		BatchWindow:  time.Millisecond,
+		BatchMax:     1, // every request flushes alone: saturation below is deterministic
+		PredictQueue: 2,
+	})
+	client := ts.Client()
+
+	// Phase A: a normal train-then-predict session; the histograms
+	// must account for every request.
+	id, _ := trainToCompletion(t, client, ts.URL, TrainRequest{
+		Model: "svm", Dataset: "reuters", MaxEpochs: 2,
+	})
+	const predicts = 20
+	for i := 0; i < predicts; i++ {
+		var presp predictResponse
+		code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/predict", predictRequest{
+			Model:    id,
+			Examples: []exampleJSON{{Indices: []int32{int32(i % 7)}, Values: []float64{1}}},
+		}, &presp)
+		if code != http.StatusOK {
+			t.Fatalf("predict %d: status %d", i, code)
+		}
+	}
+
+	var stats statsResponse
+	if code := doJSON(t, client, http.MethodGet, ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatal("GET /v1/stats failed")
+	}
+	pl, ok := stats.Latency["POST /v1/predict"]
+	if !ok {
+		t.Fatalf("stats latency map %v has no predict route", stats.Latency)
+	}
+	if pl.Count != predicts {
+		t.Fatalf("predict latency count %d, want %d (counts must match issued requests)", pl.Count, predicts)
+	}
+	if !(pl.P50Ms <= pl.P95Ms && pl.P95Ms <= pl.P99Ms && pl.P99Ms <= pl.MaxMs) {
+		t.Fatalf("predict percentiles not monotone: %+v", pl)
+	}
+	if pl.P50Ms <= 0 || pl.MeanMs <= 0 {
+		t.Fatalf("predict latency summary has empty timings: %+v", pl)
+	}
+	if tl := stats.Latency["POST /v1/train"]; tl.Count != 1 {
+		t.Fatalf("train latency count %d, want 1", tl.Count)
+	}
+	if stats.Batch == nil || !stats.Batch.Enabled {
+		t.Fatalf("batch stats %+v, want enabled", stats.Batch)
+	}
+
+	// Phase B: saturate the coalescer deterministically. A blocking
+	// scorer pins all four scoring workers, one more request blocks in
+	// the dispatcher hand-off, two fill the queue; the next request
+	// must be rejected with 429 + Retry-After.
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	blocker := func(x []float64, examples []model.Example) ([]float64, error) {
+		entered <- struct{}{}
+		<-release
+		return make([]float64, len(examples)), nil
+	}
+	if err := srv.Scheduler().Models().PutScored("slow", blocker,
+		core.Snapshot{Workload: core.WorkloadGLM, Spec: "svm", X: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	preq := predictRequest{Model: "slow", Examples: []exampleJSON{{Indices: []int32{0}, Values: []float64{1}}}}
+	codes := make(chan int, 8)
+	var wg sync.WaitGroup
+	submit := func() {
+		defer wg.Done()
+		var out predictResponse
+		codes <- doJSON(t, client, http.MethodPost, ts.URL+"/v1/predict", preq, &out)
+	}
+	const workers = 4 // the coalescer's default scoring pool
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go submit()
+	}
+	for i := 0; i < workers; i++ {
+		select {
+		case <-entered:
+		case <-time.After(10 * time.Second):
+			t.Fatal("scoring workers never saturated")
+		}
+	}
+	// One into the dispatcher, two into the queue.
+	for want := int64(workers + 1); want <= workers+3; want++ {
+		wg.Add(1)
+		go submit()
+		deadline := time.Now().Add(10 * time.Second)
+		for srv.Coalescer().Stats().Depth != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("depth gauge stuck below %d: %+v", want, srv.Coalescer().Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The queue is full: admission control answers 429 + Retry-After.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", jsonBody(t, preq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated predict: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+
+	// Unblock: every admitted request completes with 200.
+	close(release)
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("admitted request finished with status %d", code)
+		}
+	}
+
+	// Final accounting: the predict route's histogram saw every issued
+	// request — phase A, the seven admitted, and the rejected one.
+	doJSON(t, client, http.MethodGet, ts.URL+"/v1/stats", nil, &stats)
+	if got := stats.Latency["POST /v1/predict"].Count; got != predicts+workers+4 {
+		t.Fatalf("predict latency count %d, want %d", got, predicts+workers+4)
+	}
+	if stats.Batch.Rejected != 1 {
+		t.Fatalf("batch stats %+v, want exactly 1 rejection", stats.Batch)
+	}
+	if stats.Batch.Depth != 0 {
+		t.Fatalf("queue depth gauge %d after drain, want 0", stats.Batch.Depth)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dimmwitted/internal/ckpt"
@@ -16,6 +17,12 @@ import (
 
 // ErrUnknownModel reports a registry miss; match it with errors.Is.
 var ErrUnknownModel = errors.New("serve: unknown model")
+
+// regShards is the number of lock-striped registry shards. A power of
+// two so the hash masks instead of dividing; 32 keeps the write-side
+// stripes far wider than the scheduler's worker pool ever publishes
+// from, and the read side never touches a shard lock at all.
+const regShards = 32
 
 // ModelInfo describes one registered model for listings.
 type ModelInfo struct {
@@ -46,26 +53,77 @@ type ModelInfo struct {
 // with respect to x.
 type Scorer func(x []float64, examples []model.Example) ([]float64, error)
 
+// servingModel is the read-optimized, fully pre-resolved form of one
+// registered model: the spec, the scorer, and the flat weight slice are
+// resolved once — at Put or lazy-load time — and the whole value is
+// immutable afterwards. Predictions read it through one atomic pointer
+// load, so a republish can never be observed torn: a reader sees the
+// old (spec, scorer, weights) triple or the new one, never a mix.
+type servingModel struct {
+	// spec is the GLM model specification; nil for non-GLM snapshots.
+	spec model.Spec
+	// scorer serves predictions; nil when the snapshot cannot predict.
+	scorer Scorer
+	// x is the flat weight slice (snap.X), hoisted so the hot path
+	// does not chase through the snapshot struct.
+	x       []float64
+	snap    core.Snapshot
+	created time.Time
+}
+
+// regEntry is one registry slot: an atomic pointer the publish path
+// swaps and the predict path loads lock-free.
+type regEntry struct {
+	p atomic.Pointer[servingModel]
+}
+
+// regShard is one lock stripe. Readers follow m (an immutable
+// copy-on-write map) without any lock; writers serialise on mu and
+// either swap an existing entry's pointer (republish — no map copy) or
+// install a copied map with the new entry (first publish of an id).
+type regShard struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[string]*regEntry]
+}
+
+// regFlight is one in-progress lazy store load, shared by every
+// request that arrives while the load runs (single-flight).
+type regFlight struct {
+	done chan struct{}
+	sm   *servingModel
+	err  error
+}
+
 // Registry holds trained model snapshots and serves predictions from
-// them. Snapshots are immutable once registered, so the read path
-// (Predict) only holds the lock long enough to fetch the entry; the
-// actual scoring runs unlocked and concurrently.
+// them. The read path is engineered for throughput: model ids hash
+// onto lock-striped shards, each entry holds an immutable, pre-resolved
+// servingModel published by atomic pointer swap, and Predict is
+// entirely lock-free — two atomic loads and a map probe, no mutex,
+// regardless of how many Puts, Lists or lazy loads run concurrently.
 //
 // With Persist, the registry is additionally backed by a durable
 // checkpoint store: every registered snapshot is written through, and
 // a miss falls back to the store — so a restarted daemon serves every
 // model its predecessor trained, loading each lazily on first use.
+// Lazy loads are single-flight per id: a cold popular model is read
+// and decoded once, with every concurrent request waiting on the one
+// load instead of issuing its own.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*regEntry
-	order  []string
+	shards [regShards]regShard
 
+	// mu guards the cold-path state only: registration order, the
+	// durable-store configuration, the disk-listing cache and the
+	// in-flight load table. The predict hot path never takes it.
+	mu       sync.Mutex
+	order    []string
+	known    map[string]struct{}
 	store    *ckpt.Store
 	counters *metrics.ServeCounters
 	// infoCache memoises listing rows of disk-resident models by
 	// generation, so repeated List calls decode each model file once —
 	// the info row is a dozen scalars, not the model vector.
 	infoCache map[string]diskInfo
+	flights   map[string]*regFlight
 }
 
 // diskInfo is one cached listing row for a store-resident model.
@@ -74,16 +132,39 @@ type diskInfo struct {
 	info ModelInfo
 }
 
-type regEntry struct {
-	spec    model.Spec
-	scorer  Scorer
-	snap    core.Snapshot
-	created time.Time
-}
-
 // NewRegistry returns an empty, memory-only model registry.
 func NewRegistry() *Registry {
-	return &Registry{models: map[string]*regEntry{}, infoCache: map[string]diskInfo{}}
+	r := &Registry{
+		known:     map[string]struct{}{},
+		infoCache: map[string]diskInfo{},
+		flights:   map[string]*regFlight{},
+	}
+	for i := range r.shards {
+		m := map[string]*regEntry{}
+		r.shards[i].m.Store(&m)
+	}
+	return r
+}
+
+// shardFor maps an id onto its lock stripe: inline FNV-1a over the id
+// bytes — no hasher allocation on the predict hot path.
+func (r *Registry) shardFor(id string) *regShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &r.shards[h&(regShards-1)]
+}
+
+// peek returns the published serving model for id, or nil. This is the
+// whole hot path: one atomic map load, one probe, one entry load.
+func (r *Registry) peek(id string) *servingModel {
+	e, ok := (*r.shardFor(id).m.Load())[id]
+	if !ok {
+		return nil
+	}
+	return e.p.Load()
 }
 
 // Persist backs the registry with a durable store: subsequent Puts
@@ -102,11 +183,12 @@ func (r *Registry) Persist(store *ckpt.Store, counters *metrics.ServeCounters) {
 // linear-score rule. The returned error reports a failed durable
 // write-through only — the in-memory registration always succeeds.
 func (r *Registry) Put(id string, spec model.Spec, snap core.Snapshot) error {
-	return r.put(id, &regEntry{
+	return r.put(id, &servingModel{
 		spec: spec,
 		scorer: func(x []float64, examples []model.Example) ([]float64, error) {
 			return model.PredictBatch(spec, x, examples)
 		},
+		x:    snap.X,
 		snap: snap,
 	})
 }
@@ -114,18 +196,18 @@ func (r *Registry) Put(id string, spec model.Spec, snap core.Snapshot) error {
 // PutScored registers a snapshot with a workload-specific scorer (nil
 // for snapshots that cannot serve predictions). Error semantics as Put.
 func (r *Registry) PutScored(id string, scorer Scorer, snap core.Snapshot) error {
-	return r.put(id, &regEntry{scorer: scorer, snap: snap})
+	return r.put(id, &servingModel{scorer: scorer, x: snap.X, snap: snap})
 }
 
-func (r *Registry) put(id string, e *regEntry) error {
-	r.insert(id, e)
-	r.mu.RLock()
+func (r *Registry) put(id string, sm *servingModel) error {
+	r.publish(id, sm)
+	r.mu.Lock()
 	store, counters := r.store, r.counters
-	r.mu.RUnlock()
+	r.mu.Unlock()
 	if store == nil {
 		return nil
 	}
-	if _, n, err := store.Save(id, e.snap, nil); err != nil {
+	if _, n, err := store.Save(id, sm.snap, nil); err != nil {
 		if counters != nil {
 			counters.CheckpointError()
 		}
@@ -136,32 +218,101 @@ func (r *Registry) put(id string, e *regEntry) error {
 	return nil
 }
 
-// insert adds an entry to the in-memory table only.
-func (r *Registry) insert(id string, e *regEntry) {
-	e.created = time.Now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, exists := r.models[id]; !exists {
-		r.order = append(r.order, id)
-	}
-	r.models[id] = e
+// publish installs sm under id, replacing any current entry: an
+// existing entry's pointer is swapped atomically (readers mid-predict
+// keep the version they loaded), a new id lands in a copied shard map.
+func (r *Registry) publish(id string, sm *servingModel) {
+	r.install(id, sm, true)
 }
 
-// lookup fetches an entry, falling back to the durable store on a
-// miss. Loaded entries are cached, so the disk is read once per model
-// per process lifetime. A plain miss wraps ErrUnknownModel; a model
-// whose store entry exists but cannot be read reports that failure
-// (and counts it) instead of masquerading as unknown.
-func (r *Registry) lookup(id string) (*regEntry, error) {
-	r.mu.RLock()
-	e, ok := r.models[id]
-	store, counters := r.store, r.counters
-	r.mu.RUnlock()
-	if ok {
-		return e, nil
+// publishIfAbsent installs sm only if the id has no entry yet and
+// returns the published model either way. Lazy loads use it so a disk
+// read that raced a concurrent Put cannot clobber the fresher model.
+func (r *Registry) publishIfAbsent(id string, sm *servingModel) *servingModel {
+	return r.install(id, sm, false)
+}
+
+// install is the one publication path: swap an existing entry's
+// pointer (or keep it, when overwrite is false) or insert the id into
+// a copied shard map.
+func (r *Registry) install(id string, sm *servingModel, overwrite bool) *servingModel {
+	sm.created = time.Now()
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	cur := *sh.m.Load()
+	if e, ok := cur[id]; ok {
+		if !overwrite {
+			got := e.p.Load()
+			sh.mu.Unlock()
+			return got
+		}
+		e.p.Store(sm)
+		sh.mu.Unlock()
+	} else {
+		next := make(map[string]*regEntry, len(cur)+1)
+		for k, v := range cur {
+			next[k] = v
+		}
+		e := &regEntry{}
+		e.p.Store(sm)
+		next[id] = e
+		sh.m.Store(&next)
+		sh.mu.Unlock()
 	}
+	r.recordID(id)
+	return sm
+}
+
+// recordID tracks first-registration order for List.
+func (r *Registry) recordID(id string) {
+	r.mu.Lock()
+	if _, ok := r.known[id]; !ok {
+		r.known[id] = struct{}{}
+		r.order = append(r.order, id)
+	}
+	r.mu.Unlock()
+}
+
+// lookup fetches a serving model, falling back to the durable store on
+// a miss. Loads are single-flight per id — however many requests hit a
+// cold model concurrently, the store is read and the snapshot decoded
+// exactly once, and every waiter shares the result. A plain miss wraps
+// ErrUnknownModel; a model whose store entry exists but cannot be read
+// reports that failure (and counts it) instead of masquerading as
+// unknown.
+func (r *Registry) lookup(id string) (*servingModel, error) {
+	if sm := r.peek(id); sm != nil {
+		return sm, nil
+	}
+	r.mu.Lock()
+	store, counters := r.store, r.counters
 	if store == nil {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("%w %q", ErrUnknownModel, id)
+	}
+	if f, ok := r.flights[id]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.sm, f.err
+	}
+	f := &regFlight{done: make(chan struct{})}
+	r.flights[id] = f
+	r.mu.Unlock()
+
+	f.sm, f.err = r.loadFromStore(id, store, counters)
+	r.mu.Lock()
+	delete(r.flights, id)
+	r.mu.Unlock()
+	close(f.done)
+	return f.sm, f.err
+}
+
+// loadFromStore performs the one store read behind a flight.
+func (r *Registry) loadFromStore(id string, store *ckpt.Store, counters *metrics.ServeCounters) (*servingModel, error) {
+	// A Put may have landed between the caller's fast-path miss and the
+	// flight registration; prefer it over a disk read.
+	if sm := r.peek(id); sm != nil {
+		return sm, nil
 	}
 	snap, _, _, err := store.Load(id)
 	if err != nil {
@@ -174,12 +325,11 @@ func (r *Registry) lookup(id string) (*regEntry, error) {
 		return nil, fmt.Errorf("serve: stored model %q is unreadable: %w", id, err)
 	}
 	spec, scorer := scorerForSnapshot(snap)
-	e = &regEntry{spec: spec, scorer: scorer, snap: snap}
-	r.insert(id, e)
+	sm := r.publishIfAbsent(id, &servingModel{spec: spec, scorer: scorer, x: snap.X, snap: snap})
 	if counters != nil {
 		counters.CheckpointRestore()
 	}
-	return e, nil
+	return sm, nil
 }
 
 // scorerForSnapshot rebuilds the workload-appropriate prediction path
@@ -217,36 +367,50 @@ func scorerForSnapshot(snap core.Snapshot) (model.Spec, Scorer) {
 // callers must treat it as read-only. The spec is nil for non-GLM
 // snapshots.
 func (r *Registry) Get(id string) (model.Spec, core.Snapshot, bool) {
-	e, err := r.lookup(id)
+	sm, err := r.lookup(id)
 	if err != nil {
 		return nil, core.Snapshot{}, false
 	}
-	return e.spec, e.snap, true
+	return sm.spec, sm.snap, true
 }
 
 // Fetch is Get distinguishing its failure modes: a plain miss wraps
 // ErrUnknownModel, while an unreadable store entry surfaces the read
 // error — warm-start resolution reports corruption as corruption.
 func (r *Registry) Fetch(id string) (model.Spec, core.Snapshot, error) {
-	e, err := r.lookup(id)
+	sm, err := r.lookup(id)
 	if err != nil {
 		return nil, core.Snapshot{}, err
 	}
-	return e.spec, e.snap, nil
+	return sm.spec, sm.snap, nil
 }
 
 // Predict scores a batch of examples against the model registered
 // under id, lazily loading it from the durable store if this process
-// has not served it yet.
+// has not served it yet. For a resident model the call is lock-free:
+// the serving model — spec, scorer and flat weight slice resolved at
+// publish time — is read through one atomic pointer and scored as an
+// immutable unit.
 func (r *Registry) Predict(id string, examples []model.Example) ([]float64, error) {
-	e, err := r.lookup(id)
+	sm, err := r.resolve(id)
 	if err != nil {
 		return nil, err
 	}
-	if e.scorer == nil {
-		return nil, fmt.Errorf("serve: model %q (%s) does not support prediction", id, e.snap.Spec)
+	return sm.scorer(sm.x, examples)
+}
+
+// resolve is the shared resolution step of the direct and batched
+// predict paths: lookup plus the can-this-model-predict check, so the
+// two paths cannot drift apart in guard logic or error text.
+func (r *Registry) resolve(id string) (*servingModel, error) {
+	sm, err := r.lookup(id)
+	if err != nil {
+		return nil, err
 	}
-	return e.scorer(e.snap.X, examples)
+	if sm.scorer == nil {
+		return nil, fmt.Errorf("serve: model %q (%s) does not support prediction", id, sm.snap.Spec)
+	}
+	return sm, nil
 }
 
 // List returns info for every registered model — including store-
@@ -257,13 +421,16 @@ func (r *Registry) Predict(id string, examples []model.Example) ([]float64, erro
 // promises. Corrupt store entries are skipped rather than failing the
 // list.
 func (r *Registry) List() []ModelInfo {
-	r.mu.RLock()
+	r.mu.Lock()
 	store := r.store
-	out := make([]ModelInfo, 0, len(r.order))
-	for _, id := range r.order {
-		out = append(out, infoFor(id, r.models[id].snap, r.models[id].created))
+	ids := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	out := make([]ModelInfo, 0, len(ids))
+	for _, id := range ids {
+		if sm := r.peek(id); sm != nil {
+			out = append(out, infoFor(id, sm.snap, sm.created))
+		}
 	}
-	r.mu.RUnlock()
 	if store == nil {
 		return out
 	}
@@ -272,13 +439,12 @@ func (r *Registry) List() []ModelInfo {
 		return out
 	}
 	for _, ent := range entries {
-		r.mu.RLock()
-		_, inMem := r.models[ent.ID]
-		di, haveInfo := r.infoCache[ent.ID]
-		r.mu.RUnlock()
-		if inMem {
+		if r.peek(ent.ID) != nil {
 			continue
 		}
+		r.mu.Lock()
+		di, haveInfo := r.infoCache[ent.ID]
+		r.mu.Unlock()
 		if haveInfo && di.gen == ent.Generation {
 			out = append(out, di.info)
 			continue
@@ -312,11 +478,18 @@ func infoFor(id string, snap core.Snapshot, created time.Time) ModelInfo {
 	}
 }
 
+// memLen returns the number of models resident in memory.
+func (r *Registry) memLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.known)
+}
+
 // diskOnlyIDs lists store ids not yet cached in memory.
 func (r *Registry) diskOnlyIDs() []string {
-	r.mu.RLock()
+	r.mu.Lock()
 	store := r.store
-	r.mu.RUnlock()
+	r.mu.Unlock()
 	if store == nil {
 		return nil
 	}
@@ -324,11 +497,9 @@ func (r *Registry) diskOnlyIDs() []string {
 	if err != nil {
 		return nil
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var out []string
 	for _, id := range ids {
-		if _, ok := r.models[id]; !ok {
+		if r.peek(id) == nil {
 			out = append(out, id)
 		}
 	}
@@ -338,8 +509,5 @@ func (r *Registry) diskOnlyIDs() []string {
 // Len returns the number of registered models, counting store-resident
 // models this process has not loaded yet.
 func (r *Registry) Len() int {
-	disk := len(r.diskOnlyIDs())
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.models) + disk
+	return r.memLen() + len(r.diskOnlyIDs())
 }

@@ -248,6 +248,18 @@ type Options struct {
 	// CheckpointEvery snapshots every running job's engine state after
 	// each N completed epochs (requires Checkpoints); 0 disables.
 	CheckpointEvery int
+	// BatchWindow enables request micro-batching on POST /v1/predict:
+	// concurrent predictions for the same model are coalesced into one
+	// batched scorer call, gathered for up to this window after the
+	// first request arrives. 0 disables batching (requests score
+	// directly, the default). Server-level; schedulers ignore it.
+	BatchWindow time.Duration
+	// BatchMax caps the coalesced examples per flush; 0 means 256.
+	BatchMax int
+	// PredictQueue bounds the coalescer's admission queue; a full
+	// queue answers 429 with Retry-After instead of stacking latency.
+	// 0 means 1024. Ignored unless BatchWindow is set.
+	PredictQueue int
 }
 
 // OpenStores opens the serve layer's two durability namespaces under

@@ -16,6 +16,19 @@
 // core.Snapshot values and are served lock-free-read from the
 // registry; prediction is the read path, training the write path.
 //
+// The inference hot path is read-optimized separately from the
+// training path: the registry hashes model ids onto lock-striped
+// shards whose entries hold immutable, pre-resolved serving models
+// (spec + flat weight slice + scorer, built once at publish time)
+// published by atomic pointer swap, so Predict is lock-free; lazy
+// loads from the durable store are single-flight per id; and an
+// optional micro-batching coalescer (Options.BatchWindow) merges
+// concurrent /v1/predict requests for one model into one batched
+// scorer call behind a bounded admission queue (429 + Retry-After when
+// full). Per-route latency histograms (p50/p95/p99) and the queue-
+// depth gauge surface in /v1/stats; cmd/dwload drives the whole path
+// at a target request rate. See DESIGN.md "The serving path".
+//
 // The HTTP surface:
 //
 //	POST   /v1/train            submit a training job     -> {job_id}
@@ -27,7 +40,9 @@
 //	                            durable checkpoint        -> {job_id}
 //	GET    /v1/models           list trained models
 //	POST   /v1/predict          batched predictions from a model
-//	GET    /v1/stats            serving counters, cache and queue stats
+//	                            (coalesced when batching is on)
+//	GET    /v1/stats            serving counters, latency percentiles,
+//	                            cache, queue and batch stats
 //
 // With Options.Checkpoints/Models (dwserve -store), the scheduler
 // checkpoints running jobs between epochs and the registry persists
