@@ -8,6 +8,8 @@
 //	dwbench -list       # available figure ids
 //	dwbench -executors  # wall-clock simulated-vs-parallel comparison
 //	dwbench -executors -out BENCH_parallel.json
+//	dwbench -trace      # traced pairs: step vs flush vs barrier breakdown
+//	dwbench -trace -quick -out BENCH_trace.json
 package main
 
 import (
@@ -24,7 +26,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	list := flag.Bool("list", false, "list available figure ids")
 	executors := flag.Bool("executors", false, "compare wall-clock epoch times of the simulated and parallel executors")
-	out := flag.String("out", "", "with -executors, also write the measurements as JSON to this file")
+	traceRuns := flag.Bool("trace", false, "run traced sim-vs-parallel pairs and print the step-vs-flush-vs-barrier phase breakdown")
+	out := flag.String("out", "", "with -executors or -trace, also write the measurements as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -37,17 +40,14 @@ func main() {
 	if *executors {
 		entries := experiments.ExecWallEntries(*quick)
 		experiments.ExecWallResult(entries).Table.Fprint(os.Stdout)
-		if *out != "" {
-			buf, err := json.MarshalIndent(entries, "", "  ")
-			if err == nil {
-				err = os.WriteFile(*out, buf, 0o644)
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "dwbench: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n", *out)
-		}
+		writeJSON(*out, entries)
+		return
+	}
+
+	if *traceRuns {
+		entries := experiments.TraceEntries(*quick)
+		experiments.TraceResult(entries).Table.Fprint(os.Stdout)
+		writeJSON(*out, entries)
 		return
 	}
 
@@ -68,4 +68,20 @@ func main() {
 	for _, e := range experiments.Registry() {
 		e.Driver(*quick).Table.Fprint(os.Stdout)
 	}
+}
+
+// writeJSON persists measurement entries when -out is set.
+func writeJSON(path string, entries any) {
+	if path == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, buf, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dwbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -7,6 +7,7 @@
 //	dwload -train svm -dataset reuters -epochs 20     # train first, then drive
 //	dwload -rps 2000 -concurrency 128 -examples 8     # bigger batches, more workers
 //	dwload -train svm -dataset reuters -json load.json
+//	dwload -model job-1 -max-error-rate 0.01          # CI gate: exit 1 past 1%
 //
 // dwload paces an open(ish) loop: a pacer emits request tokens at the
 // target rate into a bounded hand-off, -concurrency workers consume
@@ -117,20 +118,25 @@ func main() {
 	nnz := flag.Int("nnz", 8, "nonzeros per sparse example")
 	seed := flag.Int64("seed", 1, "example-generation seed")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file")
+	maxErrorRate := flag.Float64("max-error-rate", 1, "fail (exit 1) when (errors+429s)/issued exceeds this fraction; 1 never fails")
 	flag.Parse()
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	if err := run(client, *addr, *modelID, *train, *dataset, *epochs, *rps, *duration,
-		*concurrency, *examples, *nnz, *seed, *jsonOut); err != nil {
+		*concurrency, *examples, *nnz, *seed, *jsonOut, *maxErrorRate); err != nil {
 		fmt.Fprintln(os.Stderr, "dwload:", err)
 		os.Exit(1)
 	}
 }
 
 func run(client *http.Client, addr, modelID, train, dataset string, epochs int,
-	rps float64, duration time.Duration, concurrency, examples, nnz int, seed int64, jsonOut string) error {
+	rps float64, duration time.Duration, concurrency, examples, nnz int, seed int64,
+	jsonOut string, maxErrorRate float64) error {
 	if rps <= 0 || concurrency <= 0 || examples <= 0 {
 		return fmt.Errorf("rps, concurrency and examples must be positive")
+	}
+	if maxErrorRate < 0 || maxErrorRate > 1 {
+		return fmt.Errorf("max-error-rate must be in [0, 1], got %g", maxErrorRate)
 	}
 	if train != "" {
 		id, err := trainModel(client, addr, train, dataset, epochs)
@@ -184,7 +190,28 @@ func run(client *http.Client, addr, modelID, train, dataset string, epochs int,
 		}
 		fmt.Printf("report written to %s\n", jsonOut)
 	}
+	// The report is always printed (and written) before the gate, so a
+	// failing run still documents what happened.
+	if rate, bad := errorRate(rep, maxErrorRate); bad {
+		return fmt.Errorf("error rate %.2f%% (errors+429s over issued) exceeds -max-error-rate %.2f%%",
+			rate*100, maxErrorRate*100)
+	}
 	return nil
+}
+
+// errorRate computes the failed fraction of issued requests — HTTP
+// errors plus admission-control rejections — and reports whether it
+// exceeds the gate. A run that issued nothing is itself a failure when
+// any gate below 1 is set: an idle load test proves nothing.
+func errorRate(rep report, max float64) (rate float64, exceeded bool) {
+	if max >= 1 {
+		return 0, false
+	}
+	if rep.Issued == 0 {
+		return 1, true
+	}
+	rate = float64(rep.Errors+rep.Rejected) / float64(rep.Issued)
+	return rate, rate > max
 }
 
 // trainModel submits a training job and polls it to completion.

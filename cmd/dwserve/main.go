@@ -10,6 +10,7 @@
 //	dwserve -store ./state -checkpoint-every 1
 //	dwserve -batch-window 500us             # micro-batch /v1/predict
 //	dwserve -batch-window 1ms -batch-max 128 -predict-queue 512
+//	dwserve -debug-addr localhost:6060      # pprof on a separate port
 //
 // With -batch-window, concurrent /v1/predict requests for the same
 // model coalesce into one batched scorer call (identical results,
@@ -35,6 +36,16 @@
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -s localhost:8080/v1/predict -d '{"model":"job-1","examples":[{"indices":[3,17],"values":[1,0.5]}]}'
 //	curl -s localhost:8080/v1/stats
+//
+// Observability: submit a job with "trace": true and read its phase
+// breakdown at /v1/jobs/{id}/trace (add ?format=chrome for a
+// chrome://tracing export); /metrics serves the Prometheus text
+// exposition; -debug-addr serves net/http/pprof off the public port:
+//
+//	curl -s localhost:8080/v1/train -d '{"workload":"gibbs","dataset":"cycle5","executor":"parallel","trace":true}'
+//	curl -s localhost:8080/v1/jobs/job-1/trace | jq .summary
+//	curl -s localhost:8080/metrics | grep engine_phase
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -61,6 +72,7 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch window for /v1/predict: concurrent requests for one model coalesce into one batched call (0 = no batching)")
 	batchMax := flag.Int("batch-max", 0, "max coalesced examples per batched predict flush (0 = 256; needs -batch-window)")
 	predictQueue := flag.Int("predict-queue", 0, "predict admission-queue depth; a full queue answers 429 Retry-After (0 = 1024; needs -batch-window)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (e.g. localhost:6060; empty = no profiling endpoint)")
 	flag.Parse()
 
 	top, err := numa.ByName(*machine)
@@ -90,6 +102,15 @@ func main() {
 
 	srv := serve.NewServer(opts)
 	defer srv.Close()
+
+	// Profiling lives on its own listener so /debug/pprof never shares
+	// the public API port; bind it to loopback in production.
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("dwserve: pprof on http://%s/debug/pprof/", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, serve.DebugHandler()))
+		}()
+	}
 
 	durability := "memory only"
 	if *store != "" {

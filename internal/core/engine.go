@@ -9,6 +9,7 @@ import (
 	"dimmwitted/internal/mat"
 	"dimmwitted/internal/model"
 	"dimmwitted/internal/numa"
+	"dimmwitted/internal/trace"
 )
 
 // flopCycles is the simulated cycle cost of one arithmetic operation.
@@ -53,6 +54,13 @@ type Engine struct {
 	// checkpoint. Invalid until the first epoch or restore.
 	lastLoss  float64
 	lossValid bool
+
+	// rec is the optional span recorder; nil means tracing is off and
+	// every instrumentation site reduces to a pointer comparison.
+	// recBufs are the parallel executor's private per-worker buffers,
+	// merged into rec once per epoch after the barrier.
+	rec     *trace.Recorder
+	recBufs []*trace.WorkerBuf
 
 	// leverage sampling state for Importance data replication.
 	levCum []float64
@@ -209,6 +217,20 @@ func NewWorkload(wl Workload, plan Plan) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// SetRecorder attaches a span recorder: subsequent epochs attribute
+// their wall clock to named phases, per worker goroutine. A nil
+// recorder (the default) disables tracing at the cost of one pointer
+// comparison per phase site — never per step. Attach before running
+// epochs; the engine is not safe for concurrent use, so do not swap
+// recorders mid-epoch.
+func (e *Engine) SetRecorder(r *trace.Recorder) {
+	e.rec = r
+	e.recBufs = r.WorkerBufs(len(e.workers))
+}
+
+// Recorder returns the attached span recorder, or nil.
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
 
 // ProbeStats runs up to n steps of the given access method on a
 // scratch replica and returns the average per-step traffic. Both the

@@ -7,6 +7,7 @@ import (
 
 	"dimmwitted/internal/model"
 	"dimmwitted/internal/numa"
+	"dimmwitted/internal/trace"
 )
 
 // EpochResult reports one completed epoch.
@@ -58,6 +59,13 @@ func (e *Engine) RunEpoch() EpochResult {
 // is abandoned — no combine runs, the epoch counter does not advance,
 // and ctx's error is returned.
 func (e *Engine) RunEpochCtx(ctx context.Context) (EpochResult, error) {
+	// Tracing: the epoch number being executed is e.epoch+1 (1-based);
+	// all phase sites below are nil-checks when tracing is off.
+	epoch := e.epoch + 1
+	var t0 time.Time
+	if e.rec != nil {
+		t0 = time.Now()
+	}
 	e.mach.Reset()
 	e.assignWork()
 	if e.wl.Sync() == SyncAggregate {
@@ -68,18 +76,37 @@ func (e *Engine) RunEpochCtx(ctx context.Context) (EpochResult, error) {
 			}
 		}
 	}
+	if e.rec != nil {
+		e.rec.Record(trace.PhaseAssign, epoch, -1, t0, time.Now(), 0)
+	}
 
 	start := time.Now()
 	steps, st, err := e.exec.runEpoch(ctx)
 	if err != nil {
 		// The abandoned partial epoch counts nowhere: neither in the
-		// epoch/time counters nor in the traffic stats.
+		// epoch/time counters nor in the traffic stats — nor in the
+		// trace journal, whose partial worker spans are discarded.
+		e.rec.Discard(e.recBufs)
 		return EpochResult{}, err
 	}
 	e.cumStats.Add(st)
 
+	var tEnd time.Time
+	if e.rec != nil {
+		tEnd = time.Now()
+	}
 	e.wl.EndEpoch(e.replicas)
+	if e.rec != nil {
+		now := time.Now()
+		e.rec.Record(trace.PhaseEndEpoch, epoch, -1, tEnd, now, 0)
+		tEnd = now
+	}
 	e.combine()
+	if e.rec != nil {
+		now := time.Now()
+		e.rec.Record(trace.PhaseCombine, epoch, -1, tEnd, now, 0)
+		tEnd = now
+	}
 	e.epoch++
 	e.step *= e.plan.StepDecay
 	wall := time.Since(start)
@@ -97,7 +124,19 @@ func (e *Engine) RunEpochCtx(ctx context.Context) (EpochResult, error) {
 	}
 	e.cumTime += simT
 
+	// The loss phase starts where combine ended (tEnd), so the epoch
+	// counter/step-decay bookkeeping between them stays attributed
+	// instead of falling into an untimed gap.
 	e.lastLoss, e.lossValid = e.Loss(), true
+	if e.rec != nil {
+		now := time.Now()
+		e.rec.Record(trace.PhaseLoss, epoch, -1, tEnd, now, 0)
+		e.rec.Record(trace.PhaseEpoch, epoch, -1, t0, now, int64(steps))
+		// The worker-span merge runs after the epoch span closes: the
+		// recorder's own journal maintenance is not engine time and must
+		// not dilute the coverage ratio it reports.
+		e.rec.Merge(e.recBufs)
+	}
 	return EpochResult{
 		Epoch:    e.epoch,
 		Loss:     e.lastLoss,
@@ -156,6 +195,11 @@ func (e *Engine) executeStep(w *worker, item int) model.Stats {
 func (e *Engine) averageReplicas(midEpoch bool) {
 	if len(e.replicas) < 2 {
 		return
+	}
+	var tSync time.Time
+	if e.rec != nil {
+		tSync = time.Now()
+		defer func() { e.rec.Record(trace.PhaseSync, e.epoch+1, -1, tSync, time.Now(), 0) }()
 	}
 	xs := make([][]float64, len(e.replicas))
 	for i, r := range e.replicas {

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"dimmwitted/internal/model"
+	"dimmwitted/internal/trace"
 	"dimmwitted/internal/vec"
 )
 
@@ -43,6 +45,14 @@ func (s *simExecutor) Kind() ExecutorKind { return ExecSimulated }
 // interleaver rounds.
 func (s *simExecutor) runEpoch(ctx context.Context) (int, model.Stats, error) {
 	e := s.e
+	// The whole interleaved step loop is one exec span; the mid-epoch
+	// averaging worker records its own nested sync spans. Abandoned
+	// (cancelled) epochs record nothing, matching the engine's epoch
+	// accounting.
+	var tExec time.Time
+	if e.rec != nil {
+		tExec = time.Now()
+	}
 	var st model.Stats
 	steps := 0
 	round := 0
@@ -70,6 +80,9 @@ func (s *simExecutor) runEpoch(ctx context.Context) (int, model.Stats, error) {
 		if e.midEpochSyncDue(round) {
 			e.averageReplicas(true)
 		}
+	}
+	if e.rec != nil {
+		e.rec.Record(trace.PhaseExec, e.epoch+1, -1, tExec, time.Now(), int64(steps))
 	}
 	return steps, st, nil
 }
@@ -144,10 +157,22 @@ func (p *parallelExecutor) runEpoch(ctx context.Context) (int, model.Stats, erro
 // behind.
 func (p *parallelExecutor) runDelta(ctx context.Context) (int, model.Stats, error) {
 	e := p.e
+	epoch := e.epoch + 1
+	traced := e.rec != nil
+	// Engine-level phase boundaries are staged locally and committed
+	// only on success: an abandoned (cancelled) epoch records nothing,
+	// matching the engine's epoch accounting.
+	var tSeed, tExec, tWait, tPublish time.Time
+	if traced {
+		tSeed = time.Now()
+	}
 	// Seed each master with its replica's current state (the combined
 	// state of the previous epoch, or the workload's initial state).
 	for i, r := range e.replicas {
 		p.masters[i].CopyFrom(r.X)
+	}
+	if traced {
+		tExec = time.Now()
 	}
 	flushEvery := e.plan.ChunkSize
 	step := e.step
@@ -160,16 +185,33 @@ func (p *parallelExecutor) runDelta(ctx context.Context) (int, model.Stats, erro
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
+			// wb is the worker's private span buffer (nil when tracing
+			// is off): the loop and each flush are timed lock-free and
+			// merged by the engine after the barrier.
+			var wb *trace.WorkerBuf
+			if traced {
+				wb = e.recBufs[w.id]
+			}
+			var tLoop, tFlush time.Time
+			if wb != nil {
+				tLoop = time.Now()
+			}
 			master := p.masters[w.repIdx]
 			local, base := p.locals[w.id], p.bases[w.id]
 			master.Snapshot(local.X)
 			copy(base, local.X)
 			since := 0
 			flush := func() {
+				if wb != nil {
+					tFlush = time.Now()
+				}
 				master.AddDelta(local.X, base)
 				master.Snapshot(local.X)
 				copy(base, local.X)
 				since = 0
+				if wb != nil {
+					wb.Record(trace.PhaseFlush, epoch, tFlush, time.Now(), 0)
+				}
 			}
 			// Steps and stats accumulate in goroutine-locals and are
 			// stored into the shared slices once at exit — per-step
@@ -180,6 +222,9 @@ func (p *parallelExecutor) runDelta(ctx context.Context) (int, model.Stats, erro
 			defer func() {
 				perSteps[w.id] = steps
 				perStats[w.id] = st
+				if wb != nil {
+					wb.Record(trace.PhaseWorker, epoch, tLoop, time.Now(), int64(steps))
+				}
 			}()
 			for _, item := range w.items {
 				st.Add(e.wl.Step(item, local, step, nil, nil))
@@ -197,6 +242,9 @@ func (p *parallelExecutor) runDelta(ctx context.Context) (int, model.Stats, erro
 		}(w)
 	}
 	wg.Wait()
+	if traced {
+		tWait = time.Now()
+	}
 
 	var st model.Stats
 	steps := 0
@@ -212,6 +260,12 @@ func (p *parallelExecutor) runDelta(ctx context.Context) (int, model.Stats, erro
 	// path sees what the goroutines produced.
 	for i, r := range e.replicas {
 		p.masters[i].Snapshot(r.X)
+	}
+	if traced && err == nil {
+		tPublish = time.Now()
+		e.rec.Record(trace.PhaseSeed, epoch, -1, tSeed, tExec, 0)
+		e.rec.Record(trace.PhaseExec, epoch, -1, tExec, tWait, int64(steps))
+		e.rec.Record(trace.PhasePublish, epoch, -1, tWait, tPublish, 0)
 	}
 	return steps, st, err
 }
@@ -255,6 +309,12 @@ const sharedCancelStride = 64
 // owns a disjoint variable partition).
 func (p *parallelExecutor) runShared(ctx context.Context) (int, model.Stats, error) {
 	e := p.e
+	epoch := e.epoch + 1
+	traced := e.rec != nil
+	var tExec, tWait time.Time
+	if traced {
+		tExec = time.Now()
+	}
 	step := e.step
 	perSteps := make([]int, len(e.workers))
 	perStats := make([]model.Stats, len(e.workers))
@@ -264,6 +324,16 @@ func (p *parallelExecutor) runShared(ctx context.Context) (int, model.Stats, err
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
+			// wb is the worker's private span buffer (nil when tracing
+			// is off); the whole sampling loop is one worker span.
+			var wb *trace.WorkerBuf
+			if traced {
+				wb = e.recBufs[w.id]
+			}
+			var tLoop time.Time
+			if wb != nil {
+				tLoop = time.Now()
+			}
 			ws := e.replicas[w.repIdx]
 			rng := p.rngs[w.id]
 			var st model.Stats
@@ -271,6 +341,9 @@ func (p *parallelExecutor) runShared(ctx context.Context) (int, model.Stats, err
 			defer func() {
 				perSteps[w.id] = steps
 				perStats[w.id] = st
+				if wb != nil {
+					wb.Record(trace.PhaseWorker, epoch, tLoop, time.Now(), int64(steps))
+				}
 			}()
 			for _, item := range w.items {
 				st.Add(e.wl.Step(item, ws, step, rng, nil))
@@ -285,6 +358,9 @@ func (p *parallelExecutor) runShared(ctx context.Context) (int, model.Stats, err
 		}(w)
 	}
 	wg.Wait()
+	if traced {
+		tWait = time.Now()
+	}
 
 	var st model.Stats
 	steps := 0
@@ -295,6 +371,9 @@ func (p *parallelExecutor) runShared(ctx context.Context) (int, model.Stats, err
 		if perErr[i] != nil {
 			err = perErr[i]
 		}
+	}
+	if traced && err == nil {
+		e.rec.Record(trace.PhaseExec, epoch, -1, tExec, tWait, int64(steps))
 	}
 	return steps, st, err
 }

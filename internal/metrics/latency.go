@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,7 @@ func bucketBoundsMicros(i int) (float64, float64) {
 // P50 <= P95 <= P99 <= Max is an invariant, not a likelihood.
 type HistogramSnapshot struct {
 	Count  int64   `json:"count"`
+	SumMs  float64 `json:"sum_ms"`
 	MeanMs float64 `json:"mean_ms"`
 	P50Ms  float64 `json:"p50_ms"`
 	P95Ms  float64 `json:"p95_ms"`
@@ -94,15 +96,57 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 		return v
 	}
+	sum := h.sum.Load()
 	s := HistogramSnapshot{
 		Count:  h.count.Load(),
-		MeanMs: float64(h.sum.Load()) / float64(total) / 1e6,
+		SumMs:  float64(sum) / 1e6,
+		MeanMs: float64(sum) / float64(total) / 1e6,
 		P50Ms:  clamp(percentileMs(&counts, total, 0.50)),
 		P95Ms:  clamp(percentileMs(&counts, total, 0.95)),
 		P99Ms:  clamp(percentileMs(&counts, total, 0.99)),
 		MaxMs:  maxMs,
 	}
 	return s
+}
+
+// HistogramBucket is one cumulative bucket of a Prometheus-shaped
+// histogram export: Count observations were at most LE seconds.
+type HistogramBucket struct {
+	// LE is the bucket's inclusive upper bound in seconds
+	// (math.Inf(1) for the final catch-all bucket).
+	LE float64
+	// Count is the cumulative observation count up to LE.
+	Count int64
+}
+
+// HistogramExport is a Prometheus-shaped view of the histogram:
+// cumulative le-bound buckets plus the _count and _sum series.
+type HistogramExport struct {
+	Count      int64
+	SumSeconds float64
+	Buckets    []HistogramBucket
+}
+
+// Export snapshots the histogram in Prometheus exposition shape. The
+// bucket copy is read once, so the cumulative counts are mutually
+// consistent even while Observe runs concurrently (Count is read last
+// and may run slightly ahead of the final bucket; scrapes tolerate
+// that the same way they tolerate any non-atomic multi-series read).
+func (h *Histogram) Export() HistogramExport {
+	out := HistogramExport{Buckets: make([]HistogramBucket, 0, latencyBuckets)}
+	var cum int64
+	for i := 0; i < latencyBuckets; i++ {
+		cum += h.buckets[i].Load()
+		_, hi := bucketBoundsMicros(i)
+		le := hi / 1e6
+		if i == latencyBuckets-1 {
+			le = math.Inf(1)
+		}
+		out.Buckets = append(out.Buckets, HistogramBucket{LE: le, Count: cum})
+	}
+	out.SumSeconds = float64(h.sum.Load()) / 1e9
+	out.Count = cum
+	return out
 }
 
 // percentileMs estimates the q-th percentile in milliseconds from a

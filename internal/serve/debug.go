@@ -1,0 +1,21 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves net/http/pprof on a mux of its own. The handlers
+// are registered explicitly — never on http.DefaultServeMux, and never
+// on the public API mux — so profiling is reachable only through the
+// separate listener dwserve binds with -debug-addr (typically a
+// loopback address).
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -13,6 +13,7 @@ import (
 	"dimmwitted/internal/metrics"
 	"dimmwitted/internal/model"
 	"dimmwitted/internal/nn"
+	"dimmwitted/internal/trace"
 )
 
 // Server is the HTTP front end: a scheduler, its model registry and
@@ -58,6 +59,8 @@ func NewServer(opts Options) *Server {
 	s.handle("GET /v1/models", s.handleModels)
 	s.handle("POST /v1/predict", s.handlePredict)
 	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.handle("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -144,6 +147,47 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, st)
+}
+
+// traceResponse is the span journal view of a traced job.
+type traceResponse struct {
+	ID string `json:"id"`
+	// Summary is the aggregate phase breakdown (exact even when the
+	// ring has dropped old spans).
+	Summary trace.Summary `json:"summary"`
+	// Workers is the per-worker utilization over the retained journal;
+	// empty for simulated-executor jobs (one goroutine, no worker
+	// spans).
+	Workers []trace.WorkerUtil `json:"workers,omitempty"`
+	// Epochs is the retained span tree, grouped by epoch.
+	Epochs []trace.EpochSpans `json:"epochs"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.sched.TraceRecorder(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if rec == nil {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %q was not traced; submit with \"trace\": true", id))
+		return
+	}
+	spans := rec.Spans()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+"-trace.json"))
+		_ = trace.WriteChromeTrace(w, spans)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, traceResponse{
+		ID:      id,
+		Summary: rec.Summary(),
+		Workers: trace.Utilization(spans),
+		Epochs:  trace.Tree(spans),
+	})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

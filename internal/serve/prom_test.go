@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var (
+	helpRe  = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRe  = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+	valueRe = regexp.MustCompile(`^(NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+)
+
+// parseSample splits a sample line into name, label body and value
+// text. Label VALUES may contain any characters (the route label holds
+// "{id}"), so the label block ends at the last `"}` before the value,
+// not at the first close brace.
+func parseSample(line string) (name, labels, value string, ok bool) {
+	name = nameRe.FindString(line)
+	if name == "" {
+		return "", "", "", false
+	}
+	rest := line[len(name):]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, `"}`)
+		if end < 0 {
+			return "", "", "", false
+		}
+		labels = rest[1 : end+1]
+		rest = rest[end+2:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return "", "", "", false
+	}
+	value = rest[1:]
+	return name, labels, value, valueRe.MatchString(value)
+}
+
+// parseExposition validates the Prometheus text format line by line
+// and returns every sample as name -> labels -> value. It enforces the
+// format's structural rules: HELP/TYPE pairs announce a family before
+// its samples, sample lines parse, and label pairs are well-formed.
+func parseExposition(t *testing.T, body string) map[string]map[string]float64 {
+	t.Helper()
+	samples := map[string]map[string]float64{}
+	announced := map[string]bool{}
+	var lastHelp string
+	sc := bufio.NewScanner(strings.NewReader(body))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			m := helpRe.FindStringSubmatch(text)
+			if m == nil {
+				t.Fatalf("line %d: malformed HELP: %q", line, text)
+			}
+			lastHelp = m[1]
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			m := typeRe.FindStringSubmatch(text)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE: %q", line, text)
+			}
+			if m[1] != lastHelp {
+				t.Fatalf("line %d: TYPE %s not preceded by its HELP (last HELP %s)", line, m[1], lastHelp)
+			}
+			announced[m[1]] = true
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // comment
+		}
+		name, labels, value, ok := parseSample(text)
+		if !ok {
+			t.Fatalf("line %d: malformed sample: %q", line, text)
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !announced[name] && !announced[family] {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", line, name)
+		}
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				if !labelRe.MatchString(pair) {
+					t.Fatalf("line %d: malformed label pair %q in %q", line, pair, text)
+				}
+			}
+		}
+		v, err := strconv.ParseFloat(strings.Replace(value, "Inf", "inf", 1), 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", line, value, err)
+		}
+		if samples[name] == nil {
+			samples[name] = map[string]float64{}
+		}
+		if _, dup := samples[name][labels]; dup {
+			t.Fatalf("line %d: duplicate series %s{%s}", line, name, labels)
+		}
+		samples[name][labels] = v
+	}
+	return samples
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// TestMetricsPrometheusExposition drives real traffic through a traced
+// job and checks /metrics parses as valid Prometheus text exposition
+// with the families the scrape config depends on, and that histogram
+// series obey the format's invariants (cumulative monotone buckets,
+// +Inf bucket equal to _count).
+func TestMetricsPrometheusExposition(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+
+	id := traceJob(t, client, ts.URL, 5)
+	if st := pollJob(t, client, ts.URL, id); st.State != "done" {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, string(raw))
+
+	for _, want := range []string{
+		"dimmwitted_uptime_seconds",
+		"dimmwitted_train_requests_total",
+		"dimmwitted_jobs_done_total",
+		"dimmwitted_gibbs_samples_total",
+		"dimmwitted_jobs",
+		"dimmwitted_http_request_duration_seconds_bucket",
+		"dimmwitted_engine_phase_seconds_total",
+		"dimmwitted_engine_phase_spans_total",
+	} {
+		if len(samples[want]) == 0 {
+			t.Fatalf("exposition is missing %s", want)
+		}
+	}
+	if got := samples["dimmwitted_jobs_done_total"][""]; got < 1 {
+		t.Fatalf("jobs_done_total = %v, want >= 1", got)
+	}
+
+	// The traced parallel job must have fed the engine phase timers.
+	var phaseSeries int
+	for labels, v := range samples["dimmwitted_engine_phase_seconds_total"] {
+		if strings.Contains(labels, `executor="parallel"`) {
+			phaseSeries++
+			if v < 0 {
+				t.Fatalf("negative phase seconds: %s %v", labels, v)
+			}
+		}
+	}
+	if phaseSeries == 0 {
+		t.Fatal("no parallel-executor phase timers after a traced parallel job")
+	}
+
+	// Histogram invariants per route: buckets cumulative and monotone
+	// in le, +Inf bucket == _count, _sum present.
+	buckets := samples["dimmwitted_http_request_duration_seconds_bucket"]
+	counts := samples["dimmwitted_http_request_duration_seconds_count"]
+	sums := samples["dimmwitted_http_request_duration_seconds_sum"]
+	if len(counts) == 0 || len(sums) == 0 {
+		t.Fatal("histogram missing _count or _sum series")
+	}
+	type rb struct {
+		le    float64
+		count float64
+	}
+	byRoute := map[string][]rb{}
+	for labels, v := range buckets {
+		route, le := "", math.NaN()
+		for _, pair := range splitLabels(labels) {
+			k, val, _ := strings.Cut(pair, "=")
+			val = strings.Trim(val, `"`)
+			switch k {
+			case "route":
+				route = val
+			case "le":
+				if val == "+Inf" {
+					le = math.Inf(1)
+				} else {
+					le, _ = strconv.ParseFloat(val, 64)
+				}
+			}
+		}
+		byRoute[route] = append(byRoute[route], rb{le, v})
+	}
+	for route, bs := range byRoute {
+		var total float64
+		var maxLE float64 = math.Inf(-1)
+		var inf float64 = -1
+		for _, b := range bs {
+			if math.IsInf(b.le, 1) {
+				inf = b.count
+			} else if b.le > maxLE {
+				maxLE, total = b.le, b.count
+			}
+		}
+		if inf < 0 {
+			t.Fatalf("route %q has no +Inf bucket", route)
+		}
+		if total > inf {
+			t.Fatalf("route %q: finite bucket %v exceeds +Inf bucket %v", route, total, inf)
+		}
+		if c, ok := counts[`route="`+route+`"`]; !ok || c != inf {
+			t.Fatalf("route %q: _count %v != +Inf bucket %v", route, c, inf)
+		}
+	}
+}
+
+// TestMetricsScrapeStability scrapes /metrics repeatedly while jobs
+// run; every scrape must parse.
+func TestMetricsScrapeStability(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+	id := traceJob(t, client, ts.URL, 20)
+	deadline := time.Now().Add(waitTimeout)
+	for i := 0; ; i++ {
+		resp, err := client.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parseExposition(t, string(raw))
+		var st JobStatus
+		doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/"+id, nil, &st)
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after %v", st.State, waitTimeout)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"dimmwitted/internal/model"
 	"dimmwitted/internal/nn"
 	"dimmwitted/internal/numa"
+	"dimmwitted/internal/trace"
 )
 
 // ErrJobActive reports a resume attempt on a job that is still queued
@@ -110,6 +111,12 @@ type TrainRequest struct {
 	Step float64 `json:"step,omitempty"`
 	// Seed drives traversal randomness; 0 means the engine default.
 	Seed int64 `json:"seed,omitempty"`
+	// Trace enables the engine's span recorder for this job: phase
+	// breakdowns appear in the job status, the full span journal at
+	// GET /v1/jobs/{id}/trace, and the job's phase timers feed the
+	// process-wide engine counters on /metrics. Not a plan knob — a
+	// warm-started job may be traced even though its plan is pinned.
+	Trace bool `json:"trace,omitempty"`
 	// WarmStart resumes training from a stored snapshot: a registry
 	// model ID or a checkpointed job ID. The job runs the snapshot's
 	// plan (re-validated against the restored state), so the plan knobs
@@ -173,6 +180,10 @@ type JobStatus struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// History is the per-epoch convergence curve.
 	History []ProgressPoint `json:"history,omitempty"`
+	// Trace is the engine phase breakdown of a traced job (request had
+	// "trace": true); nil otherwise. The full span journal is served by
+	// GET /v1/jobs/{id}/trace.
+	Trace *trace.Summary `json:"trace,omitempty"`
 	// Enqueued, Started and Finished are wall-clock timestamps;
 	// Started/Finished are zero until reached.
 	Enqueued time.Time `json:"enqueued"`
@@ -197,6 +208,10 @@ type job struct {
 	// warm is the snapshot a warm-started or resumed job restores
 	// before its first epoch; nil for cold starts.
 	warm *core.Snapshot
+	// rec is the job's span recorder (nil unless the request asked for
+	// tracing). Set once before the first epoch runs; the recorder's own
+	// methods are concurrency-safe, so status snapshots read it live.
+	rec *trace.Recorder
 	// resumedFrom is the checkpointed job id a Resume revived; its
 	// checkpoints are superseded (and deleted) when this job completes.
 	// Empty for cold starts and registry warm starts.
@@ -307,6 +322,11 @@ type Scheduler struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// phases aggregates every traced job's span totals per executor
+	// kind — the process-wide engine phase timers behind /metrics.
+	// Indexed by core.ExecutorKind; the zero values are ready.
+	phases [2]trace.PhaseTotals
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string
@@ -380,6 +400,27 @@ func (s *Scheduler) Counters() *metrics.ServeCounters { return s.counters }
 
 // Slots returns the worker-pool size.
 func (s *Scheduler) Slots() int { return s.opts.Slots }
+
+// PhaseTotals returns the process-wide engine phase timers for one
+// executor kind, aggregated across every traced job.
+func (s *Scheduler) PhaseTotals(kind core.ExecutorKind) *trace.PhaseTotals {
+	if int(kind) < 0 || int(kind) >= len(s.phases) {
+		return nil
+	}
+	return &s.phases[kind]
+}
+
+// TraceRecorder returns a job's span recorder. ok reports whether the
+// job exists; the recorder is nil for untraced jobs.
+func (s *Scheduler) TraceRecorder(id string) (rec *trace.Recorder, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, found := s.jobs[id]
+	if !found {
+		return nil, false
+	}
+	return j.rec, true
+}
 
 // buildWorkload resolves the request's workload, task and dataset into
 // a fresh core.Workload (one per job: a workload binds to one engine).
@@ -742,6 +783,16 @@ func (s *Scheduler) run(j *job) {
 		s.counters.CheckpointRestore()
 	}
 
+	if j.req.Trace {
+		// The sink is chosen by the executed plan (warm starts pin it),
+		// so the phase timers land under the executor that actually ran.
+		rec := trace.New(trace.Config{Sink: s.PhaseTotals(eng.ExecutorKind())})
+		eng.SetRecorder(rec)
+		s.mu.Lock()
+		j.rec = rec
+		s.mu.Unlock()
+	}
+
 	s.mu.Lock()
 	j.plan = eng.Plan()
 	j.planned = true
@@ -1073,6 +1124,10 @@ func (s *Scheduler) statusLocked(j *job, withMarginals bool) JobStatus {
 	}
 	if j.planned {
 		st.Plan = j.plan.String()
+	}
+	if j.rec != nil {
+		sum := j.rec.Summary()
+		st.Trace = &sum
 	}
 	for _, p := range j.curve.Points {
 		st.History = append(st.History, ProgressPoint{

@@ -43,6 +43,16 @@
 //	                            (coalesced when batching is on)
 //	GET    /v1/stats            serving counters, latency percentiles,
 //	                            cache, queue and batch stats
+//	GET    /v1/jobs/{id}/trace  span journal of a traced job (submit
+//	                            with "trace": true); ?format=chrome
+//	                            exports Chrome trace_event JSON
+//	GET    /metrics             Prometheus text exposition: counters,
+//	                            route latency histograms, engine phase
+//	                            timers
+//
+// Profiling (net/http/pprof) is deliberately not on this mux: dwserve
+// serves DebugHandler on a separate -debug-addr listener so profiles
+// never ride the public port.
 //
 // With Options.Checkpoints/Models (dwserve -store), the scheduler
 // checkpoints running jobs between epochs and the registry persists

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// traceJob submits a traced parallel Gibbs job and returns its id.
+func traceJob(t *testing.T, client *http.Client, base string, sweeps int) string {
+	t.Helper()
+	var tr trainResponse
+	code := doJSON(t, client, http.MethodPost, base+"/v1/train", TrainRequest{
+		Workload:  "gibbs",
+		Dataset:   "cycle5",
+		Executor:  "parallel",
+		MaxEpochs: sweeps,
+		Trace:     true,
+	}, &tr)
+	if code != http.StatusAccepted {
+		t.Fatalf("train: status %d", code)
+	}
+	return tr.JobID
+}
+
+// TestTraceEndpointContract checks the traced-job surface end to end:
+// the phase breakdown in the job status, the span journal and its
+// Chrome export at /v1/jobs/{id}/trace, and the 404s for unknown and
+// untraced jobs.
+func TestTraceEndpointContract(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+
+	id := traceJob(t, client, ts.URL, 10)
+	st := pollJob(t, client, ts.URL, id)
+	if st.State != "done" {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Trace == nil {
+		t.Fatal("traced job status has no trace summary")
+	}
+	if st.Trace.Epochs != 10 {
+		t.Fatalf("trace summary epochs = %d, want 10", st.Trace.Epochs)
+	}
+	if st.Trace.Coverage < 0.5 {
+		t.Fatalf("trace coverage = %v, suspiciously low", st.Trace.Coverage)
+	}
+
+	var tr traceResponse
+	if code := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/"+id+"/trace", nil, &tr); code != http.StatusOK {
+		t.Fatalf("GET trace: status %d", code)
+	}
+	if tr.ID != id {
+		t.Fatalf("trace id = %q, want %q", tr.ID, id)
+	}
+	if len(tr.Epochs) == 0 {
+		t.Fatal("trace has no retained epochs")
+	}
+	if len(tr.Workers) == 0 {
+		t.Fatal("parallel trace has no worker utilization rows")
+	}
+	for _, w := range tr.Workers {
+		if w.Utilization < 0 || w.Utilization > 1.5 {
+			t.Fatalf("worker %d utilization = %v out of range", w.Worker, w.Utilization)
+		}
+	}
+
+	// The Chrome export must decode as trace_event JSON.
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + id + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chrome export: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+
+	// An untraced job 404s on the trace endpoint with a hint.
+	var plain trainResponse
+	doJSON(t, client, http.MethodPost, ts.URL+"/v1/train", TrainRequest{
+		Workload: "gibbs", Dataset: "cycle5", MaxEpochs: 2,
+	}, &plain)
+	pollJob(t, client, ts.URL, plain.JobID)
+	if code := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/"+plain.JobID+"/trace", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("untraced job trace: status %d, want 404", code)
+	}
+	if code := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/nope/trace", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job trace: status %d, want 404", code)
+	}
+}
+
+// TestTraceRaceSoak hammers every trace read path — job status with
+// its summary, the span journal, the Chrome export and /metrics —
+// while a traced parallel job is actively recording. Run under -race
+// in CI, this is the engine-to-endpoint synchronization soak.
+func TestTraceRaceSoak(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+
+	id := traceJob(t, client, ts.URL, 60)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			urls := []string{
+				ts.URL + "/v1/jobs/" + id,
+				ts.URL + "/v1/jobs/" + id + "/trace",
+				ts.URL + "/v1/jobs/" + id + "/trace?format=chrome",
+				ts.URL + "/metrics",
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := client.Get(urls[(i+r)%len(urls)])
+				if err != nil {
+					continue // server may be tearing down at test end
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(r)
+	}
+	st := pollJob(t, client, ts.URL, id)
+	close(done)
+	wg.Wait()
+	if st.State != "done" {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Trace == nil || st.Trace.Epochs != 60 {
+		t.Fatalf("trace summary after soak: %+v", st.Trace)
+	}
+}
+
+// TestDebugHandlerServesPprof checks the profiling contract: the debug
+// mux serves pprof, and the public API mux does not.
+func TestDebugHandlerServesPprof(t *testing.T) {
+	dbg := httptest.NewServer(DebugHandler())
+	defer dbg.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(dbg.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("public mux serves /debug/pprof/ — profiling must stay on the debug listener")
+	}
+}
+
+// TestJobStatusTraceOmittedWhenOff checks that untraced jobs carry no
+// trace summary (the field must be omitted, not zero-valued).
+func TestJobStatusTraceOmittedWhenOff(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+	var tr trainResponse
+	doJSON(t, client, http.MethodPost, ts.URL+"/v1/train", TrainRequest{
+		Workload: "gibbs", Dataset: "cycle5", MaxEpochs: 2,
+	}, &tr)
+	st := pollJob(t, client, ts.URL, tr.JobID)
+	if st.Trace != nil {
+		t.Fatalf("untraced job has trace summary: %+v", st.Trace)
+	}
+	raw, _ := json.Marshal(st)
+	if jsonHasKey(raw, "trace") {
+		t.Fatalf("untraced status JSON carries a trace key: %s", raw)
+	}
+}
+
+// jsonHasKey reports whether a marshalled object has a top-level key.
+func jsonHasKey(raw []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+// TestWarmStartAllowsTrace checks Trace is a job knob, not a plan
+// knob: a warm-started job (whose plan knobs must stay unset) may
+// still ask for tracing.
+func TestWarmStartAllowsTrace(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+	var tr trainResponse
+	doJSON(t, client, http.MethodPost, ts.URL+"/v1/train", TrainRequest{
+		Workload: "gibbs", Dataset: "cycle5", MaxEpochs: 3,
+	}, &tr)
+	if st := pollJob(t, client, ts.URL, tr.JobID); st.State != "done" {
+		t.Fatalf("seed job ended %s: %s", st.State, st.Error)
+	}
+	var warm trainResponse
+	code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/train", TrainRequest{
+		WarmStart: tr.JobID, MaxEpochs: 6, Trace: true,
+	}, &warm)
+	if code != http.StatusAccepted {
+		t.Fatalf("warm traced train: status %d", code)
+	}
+	st := pollJob(t, client, ts.URL, warm.JobID)
+	if st.State != "done" {
+		t.Fatalf("warm job ended %s: %s", st.State, st.Error)
+	}
+	if st.Trace == nil || st.Trace.Epochs != 3 {
+		t.Fatalf("warm traced job summary = %+v, want 3 traced epochs (epoch 4..6)", st.Trace)
+	}
+}

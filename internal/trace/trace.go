@@ -1,0 +1,375 @@
+// Package trace is the engine's low-overhead span recorder: it
+// attributes every epoch's wall clock to named phases (work
+// assignment, per-worker step loops, delta flushes, barriers,
+// combines, loss evaluation) tagged per worker goroutine, so the
+// sim-vs-parallel throughput gap is an itemized bill instead of one
+// opaque wall_seconds.
+//
+// The design rules, in order:
+//
+//   - Disabled is free. A nil *Recorder is the off state; every method
+//     is nil-safe and the engine's instrumentation sites reduce to one
+//     pointer comparison per epoch phase (never per step).
+//   - No shared locks on the step hot path. Worker goroutines record
+//     into private WorkerBuf slices (allocated once per job) and the
+//     engine merges them under the recorder's mutex exactly once per
+//     epoch, after the barrier.
+//   - Bounded memory. The span journal is a ring: when it fills, the
+//     oldest spans are overwritten and counted as dropped, while the
+//     per-phase aggregate totals stay exact forever.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase names one attributable slice of an epoch's wall clock.
+type Phase uint8
+
+const (
+	// PhaseEpoch covers one whole epoch, engine-entry to post-loss; it
+	// is the coverage denominator every other phase is measured against.
+	PhaseEpoch Phase = iota
+	// PhaseAssign is the per-epoch work partition (permutation draw and
+	// item-list build).
+	PhaseAssign
+	// PhaseSeed is the parallel delta executor seeding its atomic
+	// masters from the replicas at epoch start.
+	PhaseSeed
+	// PhaseExec is the executor's worker window: goroutine spawn to
+	// barrier exit for the parallel backend, the whole interleaved step
+	// loop for the simulated one.
+	PhaseExec
+	// PhaseWorker is one worker goroutine's step loop (parallel
+	// executor), flushes included; derive pure step time as
+	// worker − flush.
+	PhaseWorker
+	// PhaseFlush is one batched delta flush to the shared atomic master
+	// (parallel delta mode).
+	PhaseFlush
+	// PhasePublish is the parallel delta executor pulling the masters
+	// back into the replicas after the barrier.
+	PhasePublish
+	// PhaseSync is the asynchronous mid-epoch replica averaging
+	// (simulated PerNode plans); it nests inside PhaseExec.
+	PhaseSync
+	// PhaseEndEpoch is the workload's end-of-epoch hook (Gibbs marginal
+	// tally refresh).
+	PhaseEndEpoch
+	// PhaseCombine is the end-of-epoch replica combine and write-back.
+	PhaseCombine
+	// PhaseLoss is the post-combine objective evaluation.
+	PhaseLoss
+	// NumPhases bounds the phase space for aggregate arrays.
+	NumPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseEpoch:
+		return "epoch"
+	case PhaseAssign:
+		return "assign"
+	case PhaseSeed:
+		return "seed"
+	case PhaseExec:
+		return "exec"
+	case PhaseWorker:
+		return "worker"
+	case PhaseFlush:
+		return "flush"
+	case PhasePublish:
+		return "publish"
+	case PhaseSync:
+		return "sync"
+	case PhaseEndEpoch:
+		return "endepoch"
+	case PhaseCombine:
+		return "combine"
+	case PhaseLoss:
+		return "loss"
+	default:
+		return "unknown"
+	}
+}
+
+// topLevel reports whether the phase is a direct child of the epoch
+// span: these are the phases whose durations sum into the coverage
+// ratio. Worker, flush and sync spans nest inside PhaseExec and would
+// double-count; the epoch span is the denominator itself.
+func (p Phase) topLevel() bool {
+	switch p {
+	case PhaseAssign, PhaseSeed, PhaseExec, PhasePublish, PhaseEndEpoch, PhaseCombine, PhaseLoss:
+		return true
+	default:
+		return false
+	}
+}
+
+// Span is one recorded phase interval. Start is an offset from the
+// recorder's origin so spans stay comparable across workers without
+// carrying full timestamps.
+type Span struct {
+	// Phase names the interval.
+	Phase Phase
+	// Epoch is the 1-based epoch the interval belongs to.
+	Epoch int32
+	// Worker is the recording worker goroutine, or -1 for engine-level
+	// spans.
+	Worker int32
+	// Start is nanoseconds since the recorder's origin.
+	Start int64
+	// Dur is the interval length in nanoseconds.
+	Dur int64
+	// Steps counts the work units the interval executed (worker and
+	// exec spans; zero elsewhere).
+	Steps int64
+}
+
+// DefaultCapacity is the span journal's default ring size: 16384 spans
+// (~1 MiB), enough to retain on the order of a hundred epochs of a
+// fully traced parallel run.
+const DefaultCapacity = 1 << 14
+
+// Config configures a Recorder.
+type Config struct {
+	// Capacity bounds the span journal; 0 means DefaultCapacity.
+	Capacity int
+	// Sink, when non-nil, additionally receives every span's phase
+	// totals — the scheduler aggregates all traced jobs into one set of
+	// process-wide engine phase timers for /metrics.
+	Sink *PhaseTotals
+}
+
+// Recorder collects spans for one job. The zero state of the type is a
+// nil pointer: every method is nil-safe, so "tracing off" costs callers
+// one pointer comparison. All methods are safe for concurrent use
+// except as documented on WorkerBuf.
+type Recorder struct {
+	origin time.Time
+	sink   *PhaseTotals
+
+	mu      sync.Mutex
+	ring    []Span
+	next    int  // ring write cursor
+	wrapped bool // ring has overwritten at least once
+	dropped int64
+	counts  [NumPhases]int64
+	nanos   [NumPhases]int64
+	steps   [NumPhases]int64
+	workers int // worker buffers handed out (utilization denominator)
+}
+
+// New builds a recorder. The origin is captured now; span offsets are
+// measured from it.
+func New(cfg Config) *Recorder {
+	cap := cfg.Capacity
+	if cap <= 0 {
+		cap = DefaultCapacity
+	}
+	return &Recorder{
+		origin: time.Now(),
+		sink:   cfg.Sink,
+		ring:   make([]Span, 0, cap),
+	}
+}
+
+// Enabled reports whether the recorder records (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Origin is the instant span offsets are measured from (zero for nil).
+func (r *Recorder) Origin() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.origin
+}
+
+// Record appends one engine-level span measured between start and end.
+// worker is -1 for engine-level phases. Nil-safe: the disabled recorder
+// ignores the call (and callers should avoid the time.Now pair behind a
+// nil check anyway).
+func (r *Recorder) Record(p Phase, epoch, worker int, start, end time.Time, steps int64) {
+	if r == nil {
+		return
+	}
+	s := Span{
+		Phase:  p,
+		Epoch:  int32(epoch),
+		Worker: int32(worker),
+		Start:  start.Sub(r.origin).Nanoseconds(),
+		Dur:    end.Sub(start).Nanoseconds(),
+		Steps:  steps,
+	}
+	r.mu.Lock()
+	r.push(s)
+	r.mu.Unlock()
+	r.sink.add(p, 1, s.Dur)
+}
+
+// push appends one span to the ring and aggregates; callers hold r.mu.
+func (r *Recorder) push(s Span) {
+	if s.Dur < 0 {
+		s.Dur = 0
+	}
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, s)
+	} else {
+		r.ring[r.next] = s
+		r.wrapped = true
+		r.dropped++
+	}
+	r.next = (r.next + 1) % cap(r.ring)
+	r.counts[s.Phase]++
+	r.nanos[s.Phase] += s.Dur
+	r.steps[s.Phase] += s.Steps
+}
+
+// WorkerBufs allocates n private per-worker span buffers, one per
+// worker goroutine. Returns nil on the disabled recorder, so executors
+// gate per-worker timing on a nil buffer check. The buffers belong to
+// this recorder: hand each worker goroutine exclusively its own, and
+// merge them from one goroutine per epoch (Merge) — typically the
+// engine goroutine after the barrier.
+func (r *Recorder) WorkerBufs(n int) []*WorkerBuf {
+	if r == nil {
+		return nil
+	}
+	bufs := make([]*WorkerBuf, n)
+	for i := range bufs {
+		bufs[i] = &WorkerBuf{origin: r.origin, worker: int32(i)}
+	}
+	r.mu.Lock()
+	r.workers = n
+	r.mu.Unlock()
+	return bufs
+}
+
+// Merge drains the worker buffers into the journal. Call it once per
+// epoch after the worker barrier, from a single goroutine; the workers
+// must be quiescent. Nil-safe for both the recorder and the slice.
+func (r *Recorder) Merge(bufs []*WorkerBuf) {
+	if r == nil || len(bufs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	for _, b := range bufs {
+		if b == nil {
+			continue
+		}
+		for _, s := range b.spans {
+			r.push(s)
+			r.sink.add(s.Phase, 1, s.Dur)
+		}
+	}
+	r.mu.Unlock()
+	for _, b := range bufs {
+		if b != nil {
+			b.spans = b.spans[:0]
+		}
+	}
+}
+
+// Discard clears the worker buffers without recording them — the
+// abandoned partial epoch of a cancelled job counts nowhere, matching
+// the engine's epoch accounting. Nil-safe.
+func (r *Recorder) Discard(bufs []*WorkerBuf) {
+	for _, b := range bufs {
+		if b != nil {
+			b.spans = b.spans[:0]
+		}
+	}
+}
+
+// Spans returns the retained journal in recording order (oldest first).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]Span(nil), r.ring...)
+	}
+	out := make([]Span, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// WorkerBuf is one worker goroutine's private span buffer. Record is
+// not safe for concurrent use — exactly one goroutine writes a buffer
+// during an epoch, and the engine merges it only after the barrier, so
+// no lock is needed on the step hot path.
+type WorkerBuf struct {
+	origin time.Time
+	worker int32
+	spans  []Span
+}
+
+// Record appends one span to the buffer. Nil-safe so untraced workers
+// can share code paths, though callers should gate the time.Now pair on
+// the buffer being non-nil.
+func (b *WorkerBuf) Record(p Phase, epoch int, start, end time.Time, steps int64) {
+	if b == nil {
+		return
+	}
+	b.spans = append(b.spans, Span{
+		Phase:  p,
+		Epoch:  int32(epoch),
+		Worker: b.worker,
+		Start:  start.Sub(b.origin).Nanoseconds(),
+		Dur:    end.Sub(start).Nanoseconds(),
+		Steps:  steps,
+	})
+}
+
+// PhaseTotals aggregates phase timers across many recorders — the
+// process-wide engine phase counters behind /metrics. All methods are
+// safe for concurrent use; the zero value is ready.
+type PhaseTotals struct {
+	counts [NumPhases]atomic.Int64
+	nanos  [NumPhases]atomic.Int64
+}
+
+// add feeds one span's totals; nil-safe.
+func (t *PhaseTotals) add(p Phase, count, ns int64) {
+	if t == nil {
+		return
+	}
+	t.counts[p].Add(count)
+	t.nanos[p].Add(ns)
+}
+
+// PhaseTotal is one phase's aggregate across every traced job.
+type PhaseTotal struct {
+	// Phase is the phase name.
+	Phase string `json:"phase"`
+	// Count is the number of spans recorded.
+	Count int64 `json:"count"`
+	// Seconds is the summed span duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// Totals snapshots the non-empty phases in declaration order.
+func (t *PhaseTotals) Totals() []PhaseTotal {
+	if t == nil {
+		return nil
+	}
+	out := make([]PhaseTotal, 0, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		n := t.counts[p].Load()
+		if n == 0 {
+			continue
+		}
+		out = append(out, PhaseTotal{
+			Phase:   p.String(),
+			Count:   n,
+			Seconds: float64(t.nanos[p].Load()) / 1e9,
+		})
+	}
+	return out
+}

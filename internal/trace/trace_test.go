@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsSafe exercises every method on the disabled (nil)
+// recorder and a nil worker buffer: tracing off must be a no-op, not a
+// panic.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Record(PhaseExec, 1, -1, time.Now(), time.Now(), 10)
+	if bufs := r.WorkerBufs(4); bufs != nil {
+		t.Fatalf("nil recorder allocated worker buffers: %v", bufs)
+	}
+	r.Merge(nil)
+	r.Discard(nil)
+	if spans := r.Spans(); spans != nil {
+		t.Fatalf("nil recorder returned spans: %v", spans)
+	}
+	if s := r.Summary(); s.Epochs != 0 || s.Coverage != 0 {
+		t.Fatalf("nil recorder summary not zero: %+v", s)
+	}
+	var wb *WorkerBuf
+	wb.Record(PhaseWorker, 1, time.Now(), time.Now(), 5)
+}
+
+// span is a test helper recording one engine-level span of the given
+// duration.
+func record(r *Recorder, p Phase, epoch int, d time.Duration, steps int64) {
+	start := r.Origin().Add(time.Duration(epoch) * time.Second)
+	r.Record(p, epoch, -1, start, start.Add(d), steps)
+}
+
+func TestAggregatesAndSummary(t *testing.T) {
+	r := New(Config{})
+	bufs := r.WorkerBufs(2)
+	// Two epochs: exec windows of 10ms with two workers busy 8ms and
+	// 6ms, flushes of 1ms each, epoch wall 12ms.
+	for epoch := 1; epoch <= 2; epoch++ {
+		base := r.Origin()
+		bufs[0].Record(PhaseWorker, epoch, base, base.Add(8*time.Millisecond), 100)
+		bufs[0].Record(PhaseFlush, epoch, base, base.Add(1*time.Millisecond), 0)
+		bufs[1].Record(PhaseWorker, epoch, base, base.Add(6*time.Millisecond), 80)
+		bufs[1].Record(PhaseFlush, epoch, base, base.Add(1*time.Millisecond), 0)
+		r.Merge(bufs)
+		record(r, PhaseExec, epoch, 10*time.Millisecond, 180)
+		record(r, PhaseEpoch, epoch, 12*time.Millisecond, 180)
+	}
+	s := r.Summary()
+	if s.Epochs != 2 {
+		t.Fatalf("epochs = %d, want 2", s.Epochs)
+	}
+	if s.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", s.Workers)
+	}
+	// Step = worker − flush = (8+6)*2 − 2*2 = 24ms.
+	if got, want := s.StepSeconds, 0.024; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("step seconds = %v, want %v", got, want)
+	}
+	// Barrier = workers×exec − Σworker = 2*20 − 28 = 12ms.
+	if got, want := s.BarrierSeconds, 0.012; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("barrier seconds = %v, want %v", got, want)
+	}
+	// Coverage: exec (20ms of top-level) over epoch (24ms).
+	if got, want := s.Coverage, 20.0/24.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("coverage = %v, want %v", got, want)
+	}
+	if s.SpansDropped != 0 {
+		t.Fatalf("dropped = %d, want 0", s.SpansDropped)
+	}
+}
+
+// TestRingWrap fills the journal past capacity: the aggregates stay
+// exact, the journal retains the newest spans in order, and the drop
+// counter reports the overwritten ones.
+func TestRingWrap(t *testing.T) {
+	r := New(Config{Capacity: 8})
+	for i := 0; i < 20; i++ {
+		record(r, PhaseExec, i+1, time.Millisecond, 1)
+	}
+	spans := r.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("retained %d spans, want 8", len(spans))
+	}
+	for i, s := range spans {
+		if want := int32(13 + i); s.Epoch != want {
+			t.Fatalf("span %d epoch = %d, want %d (oldest-first order)", i, s.Epoch, want)
+		}
+	}
+	sum := r.Summary()
+	if sum.SpansDropped != 12 {
+		t.Fatalf("dropped = %d, want 12", sum.SpansDropped)
+	}
+	// Aggregates cover all 20 spans, not just the retained 8.
+	if got := sum.Phases; len(got) != 1 || got[0].Count != 20 || got[0].Steps != 20 {
+		t.Fatalf("exec aggregate = %+v, want count 20", got)
+	}
+}
+
+// TestDiscard drops buffered worker spans without recording them.
+func TestDiscard(t *testing.T) {
+	r := New(Config{})
+	bufs := r.WorkerBufs(1)
+	bufs[0].Record(PhaseWorker, 1, r.Origin(), r.Origin().Add(time.Millisecond), 10)
+	r.Discard(bufs)
+	r.Merge(bufs)
+	if spans := r.Spans(); len(spans) != 0 {
+		t.Fatalf("discarded spans were recorded: %v", spans)
+	}
+}
+
+// TestSink verifies every span's totals reach the configured sink,
+// through both Record and Merge.
+func TestSink(t *testing.T) {
+	var sink PhaseTotals
+	r := New(Config{Sink: &sink})
+	record(r, PhaseExec, 1, 2*time.Millisecond, 0)
+	bufs := r.WorkerBufs(1)
+	bufs[0].Record(PhaseWorker, 1, r.Origin(), r.Origin().Add(3*time.Millisecond), 0)
+	r.Merge(bufs)
+	totals := sink.Totals()
+	if len(totals) != 2 {
+		t.Fatalf("sink totals = %+v, want exec and worker", totals)
+	}
+	byPhase := map[string]PhaseTotal{}
+	for _, pt := range totals {
+		byPhase[pt.Phase] = pt
+	}
+	if pt := byPhase["exec"]; pt.Count != 1 || math.Abs(pt.Seconds-0.002) > 1e-9 {
+		t.Fatalf("exec total = %+v", pt)
+	}
+	if pt := byPhase["worker"]; pt.Count != 1 || math.Abs(pt.Seconds-0.003) > 1e-9 {
+		t.Fatalf("worker total = %+v", pt)
+	}
+}
+
+// TestUtilizationAndTree checks the journal-derived views.
+func TestUtilizationAndTree(t *testing.T) {
+	r := New(Config{})
+	bufs := r.WorkerBufs(2)
+	base := r.Origin()
+	bufs[0].Record(PhaseWorker, 1, base, base.Add(8*time.Millisecond), 100)
+	bufs[1].Record(PhaseWorker, 1, base, base.Add(4*time.Millisecond), 50)
+	r.Merge(bufs)
+	record(r, PhaseExec, 1, 10*time.Millisecond, 150)
+	record(r, PhaseEpoch, 1, 11*time.Millisecond, 150)
+
+	utils := Utilization(r.Spans())
+	if len(utils) != 2 {
+		t.Fatalf("utilization rows = %d, want 2", len(utils))
+	}
+	if got, want := utils[0].Utilization, 0.8; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("worker 0 utilization = %v, want %v", got, want)
+	}
+	if got, want := utils[1].Utilization, 0.4; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("worker 1 utilization = %v, want %v", got, want)
+	}
+
+	tree := Tree(r.Spans())
+	if len(tree) != 1 || tree[0].Epoch != 1 || len(tree[0].Spans) != 4 {
+		t.Fatalf("tree = %+v, want one epoch of 4 spans", tree)
+	}
+	for i := 1; i < len(tree[0].Spans); i++ {
+		if tree[0].Spans[i].StartUs < tree[0].Spans[i-1].StartUs {
+			t.Fatalf("epoch spans not start-ordered: %+v", tree[0].Spans)
+		}
+	}
+}
+
+// TestChromeTrace round-trips the export through a JSON decode and
+// checks the trace_event contract: "X" complete events with µs
+// timestamps, workers on their own tids.
+func TestChromeTrace(t *testing.T) {
+	r := New(Config{})
+	bufs := r.WorkerBufs(1)
+	bufs[0].Record(PhaseWorker, 1, r.Origin(), r.Origin().Add(5*time.Millisecond), 42)
+	r.Merge(bufs)
+	record(r, PhaseEpoch, 1, 6*time.Millisecond, 42)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has ph %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur <= 0 {
+			t.Fatalf("event %q has non-positive dur %v", ev.Name, ev.Dur)
+		}
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name] = ev.Tid
+	}
+	if byName["worker"] != 1 || byName["epoch"] != 0 {
+		t.Fatalf("tids = %v, want worker on tid 1, engine spans on tid 0", byName)
+	}
+}
+
+// TestConcurrentRecordAndSnapshot races engine-level recording, worker
+// merges and every read path against each other; run under -race this
+// is the recorder's synchronization soak.
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	var sink PhaseTotals
+	r := New(Config{Capacity: 256, Sink: &sink})
+	const writers, iters = 4, 200
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			bufs := []*WorkerBuf{{origin: r.Origin(), worker: int32(w)}}
+			for i := 0; i < iters; i++ {
+				record(r, PhaseExec, i+1, time.Microsecond, 1)
+				bufs[0].Record(PhaseWorker, i+1, r.Origin(), r.Origin().Add(time.Microsecond), 1)
+				r.Merge(bufs)
+			}
+		}(w)
+	}
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Summary()
+			_ = r.Spans()
+			_ = Utilization(r.Spans())
+			_ = sink.Totals()
+		}
+	}()
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	s := r.Summary()
+	want := int64(writers * iters)
+	for _, p := range s.Phases {
+		if p.Count != want {
+			t.Fatalf("phase %s count = %d, want %d", p.Phase, p.Count, want)
+		}
+	}
+}
