@@ -8,6 +8,9 @@
 //	dwbench -list       # available figure ids
 //	dwbench -executors  # wall-clock simulated-vs-parallel comparison
 //	dwbench -executors -out BENCH_parallel.json
+//	dwbench -gibbs      # sampling-throughput simulated-vs-parallel comparison
+//	dwbench -gibbs -out BENCH_gibbs.json
+//	dwbench -executors -min-speedup 1.0   # exit 1 if parallel loses anywhere
 //	dwbench -trace      # traced pairs: step vs flush vs barrier breakdown
 //	dwbench -trace -quick -out BENCH_trace.json
 package main
@@ -26,8 +29,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	list := flag.Bool("list", false, "list available figure ids")
 	executors := flag.Bool("executors", false, "compare wall-clock epoch times of the simulated and parallel executors")
+	gibbs := flag.Bool("gibbs", false, "compare Gibbs sampling throughput of the simulated and parallel executors")
 	traceRuns := flag.Bool("trace", false, "run traced sim-vs-parallel pairs and print the step-vs-flush-vs-barrier phase breakdown")
-	out := flag.String("out", "", "with -executors or -trace, also write the measurements as JSON to this file")
+	minSpeedup := flag.Float64("min-speedup", 0, "with -executors or -gibbs, exit non-zero if any parallel-vs-simulated speedup falls below this ratio (0 = report only)")
+	out := flag.String("out", "", "with -executors, -gibbs or -trace, also write the measurements as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -41,6 +46,15 @@ func main() {
 		entries := experiments.ExecWallEntries(*quick)
 		experiments.ExecWallResult(entries).Table.Fprint(os.Stdout)
 		writeJSON(*out, entries)
+		gate(experiments.ExecSpeedups(entries), *minSpeedup)
+		return
+	}
+
+	if *gibbs {
+		entries := experiments.GibbsWallEntries(*quick)
+		experiments.GibbsWallResult(entries).Table.Fprint(os.Stdout)
+		writeJSON(*out, entries)
+		gate(experiments.GibbsSpeedups(entries), *minSpeedup)
 		return
 	}
 
@@ -67,6 +81,27 @@ func main() {
 
 	for _, e := range experiments.Registry() {
 		e.Driver(*quick).Table.Fprint(os.Stdout)
+	}
+}
+
+// gate prints the parallel-vs-simulated speedup per task and, when a
+// positive -min-speedup threshold is set, exits non-zero if any task
+// falls below it — the CI regression gate for "the parallel executor
+// must win".
+func gate(rows []experiments.SpeedupRow, min float64) {
+	fail := false
+	for _, r := range rows {
+		status := ""
+		if min > 0 && r.Speedup < min {
+			status = "  BELOW THRESHOLD"
+			fail = true
+		}
+		fmt.Printf("speedup %-24s %7.2fx  (simulated %.4g, parallel %.4g %s)%s\n",
+			r.Task, r.Speedup, r.Simulated, r.Parallel, r.Metric, status)
+	}
+	if fail {
+		fmt.Fprintf(os.Stderr, "dwbench: parallel executor below the %.2fx speedup threshold\n", min)
+		os.Exit(1)
 	}
 }
 

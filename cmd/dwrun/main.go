@@ -34,10 +34,14 @@ func datasetByName(name string) (*data.Dataset, error) {
 		return data.RCV1(), nil
 	case "reuters":
 		return data.Reuters(), nil
+	case "reuters10x":
+		return data.ReutersReplicated(), nil
 	case "music":
 		return data.Music(), nil
 	case "music-reg":
 		return data.MusicRegression(), nil
+	case "music10x":
+		return data.MusicRegressionReplicated(), nil
 	case "forest":
 		return data.Forest(), nil
 	case "amazon-lp":
@@ -51,7 +55,7 @@ func datasetByName(name string) (*data.Dataset, error) {
 	case "clueweb":
 		return data.ClueWeb(0.1), nil
 	default:
-		return nil, fmt.Errorf("unknown dataset %q (rcv1, reuters, music, music-reg, forest, amazon-lp, google-lp, amazon-qp, google-qp, clueweb)", name)
+		return nil, fmt.Errorf("unknown dataset %q (rcv1, reuters, reuters10x, music, music-reg, music10x, forest, amazon-lp, google-lp, amazon-qp, google-qp, clueweb)", name)
 	}
 }
 

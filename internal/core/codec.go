@@ -28,8 +28,11 @@ import (
 // snapMagic identifies a serialized snapshot.
 const snapMagic = "dwsnap"
 
-// snapVersion is the current codec version.
-const snapVersion = 1
+// snapVersion is the current codec version. Version history:
+//
+//	1  initial layout
+//	2  appends Plan.StealChunk (i64) after the replica states
+const snapVersion = 2
 
 // maxSnapshotSlice caps decoded slice lengths (model vectors, replica
 // blobs) so a corrupt or adversarial length prefix cannot force a huge
@@ -229,6 +232,10 @@ func EncodeSnapshot(s Snapshot) []byte {
 		e.bytes(blob)
 	}
 
+	// Version-2 fields append after the complete version-1 payload, so
+	// version-1 files — which simply end here — keep decoding.
+	e.i64(int64(p.StealChunk))
+
 	e.u32(crc32.ChecksumIEEE(e.b))
 	return e.b
 }
@@ -251,8 +258,9 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	}
 
 	d := &decBuf{b: body, off: len(snapMagic)}
-	if v := d.u16(); v != snapVersion {
-		return s, fmt.Errorf("core: snapshot decode: version %d, this build reads version %d", v, snapVersion)
+	ver := d.u16()
+	if ver < 1 || ver > snapVersion {
+		return s, fmt.Errorf("core: snapshot decode: version %d, this build reads versions 1 through %d", ver, snapVersion)
 	}
 
 	s.Workload = WorkloadKind(d.u8())
@@ -312,6 +320,12 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 			s.Priv[i] = append([]byte(nil), d.take(m)...)
 		}
 	}
+
+	if ver >= 2 {
+		s.Plan.StealChunk = int(d.i64())
+	}
+	// Version-1 files predate StealChunk; the zero value renormalizes to
+	// the default when the restored plan goes back through NewWorkload.
 
 	if d.err != nil {
 		return Snapshot{}, d.err

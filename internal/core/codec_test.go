@@ -156,6 +156,31 @@ func TestSnapshotCodecRejectsNewerVersion(t *testing.T) {
 	}
 }
 
+// TestSnapshotCodecReadsVersion1 pins backward compatibility: a
+// version-1 file is the current encoding minus the appended StealChunk
+// field, and must decode with StealChunk zero (renormalized to the
+// default when the plan goes back through an engine).
+func TestSnapshotCodecReadsVersion1(t *testing.T) {
+	s := testSnapshot()
+	s.Plan.StealChunk = 7
+	data := EncodeSnapshot(s)
+	// Drop the v2 tail (8-byte StealChunk before the 4-byte CRC),
+	// restamp version 1 and recompute the CRC.
+	v1 := append([]byte(nil), data[:len(data)-12]...)
+	binary.LittleEndian.PutUint16(v1[6:], 1)
+	v1 = binary.LittleEndian.AppendUint32(v1, crc32.ChecksumIEEE(v1))
+
+	back, err := DecodeSnapshot(v1)
+	if err != nil {
+		t.Fatalf("version-1 decode: %v", err)
+	}
+	if back.Plan.StealChunk != 0 {
+		t.Errorf("version-1 steal chunk = %d, want 0", back.Plan.StealChunk)
+	}
+	s.Plan.StealChunk = 0
+	snapshotsEqual(t, s, back)
+}
+
 func TestSnapshotCodecRejectsLyingLengths(t *testing.T) {
 	// A claimed huge model vector must fail on the length check (before
 	// any allocation), not attempt to read 2^31 floats.

@@ -227,10 +227,29 @@ func NewWorkload(wl Workload, plan Plan) (*Engine, error) {
 func (e *Engine) SetRecorder(r *trace.Recorder) {
 	e.rec = r
 	e.recBufs = r.WorkerBufs(len(e.workers))
+	if p, ok := e.exec.(*parallelExecutor); ok {
+		// The pool multiplexes logical workers onto min(workers,
+		// GOMAXPROCS) lanes; tell the recorder so derived barrier idle
+		// is charged per concurrent lane, not per logical worker.
+		r.SetParallelism(len(p.lanes))
+	}
 }
 
 // Recorder returns the attached span recorder, or nil.
 func (e *Engine) Recorder() *trace.Recorder { return e.rec }
+
+// Close releases the engine's execution resources: the parallel
+// executor's persistent worker pool drains and every pool goroutine
+// exits before Close returns. Idempotent, a no-op for the simulated
+// backend, and required for job-scoped engines (the scheduler defers
+// it) so a cancelled or finished job never leaks parked goroutines.
+// Running further epochs after Close is an error. Call from the
+// goroutine that runs the engine's epochs.
+func (e *Engine) Close() {
+	if p, ok := e.exec.(*parallelExecutor); ok {
+		p.close()
+	}
+}
 
 // ProbeStats runs up to n steps of the given access method on a
 // scratch replica and returns the average per-step traffic. Both the

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dimmwitted/internal/model"
@@ -87,20 +89,37 @@ func (s *simExecutor) runEpoch(ctx context.Context) (int, model.Stats, error) {
 	return steps, st, nil
 }
 
-// parallelExecutor is the real-concurrency backend: one goroutine per
-// worker. For ConcurrencyDelta workloads (GLM, NN) it runs the
-// Hogwild! memory model: each locality group's replica is mirrored by
-// a vec.Atomic master; workers train on private working copies and
-// push accumulated deltas to their master every ChunkSize steps (the
-// paper's "batch writes across sockets" technique, race-detector
-// clean). For ConcurrencyShared workloads (Gibbs) workers step
-// directly on the shared replica, whose Step is itself race-safe.
-// Locality groups meet through the engine's shared end-of-epoch
-// combine, exactly like the simulator; the simulated-cost machinery
-// does not apply, so epochs are measured in wall-clock time and the
-// PMU-style counters stay zero.
+// parallelExecutor is the real-concurrency backend: a persistent pool
+// of goroutines, spawned once at first use and parked on their feed
+// channels between epochs, so an epoch costs one channel send per pool
+// lane instead of a goroutine spawn. The pool is sized to the machine
+// — min(logical workers, GOMAXPROCS) — and each lane services a
+// contiguous band of the plan's logical workers, so a 12-worker plan
+// on a 4-way host runs 4 goroutines multiplexing 3 worker queues each
+// rather than oversubscribing the scheduler. Work is distributed by
+// chunked stealing: each worker drains its own assigned queue in
+// StealChunk runs claimed off an atomic cursor, then steals remaining
+// chunks from co-workers on the same replica, so a straggler (or an
+// idle lane-mate) no longer serializes the epoch barrier. Stealing
+// never crosses replicas (a thief must flush to the victim's master /
+// sample the victim's chain) and every unit runs exactly once — the
+// cursor hands out disjoint ranges — which Gibbs' plain per-unit
+// tallies and the exact aggregate combine both rely on.
+//
+// For ConcurrencyDelta workloads (GLM, NN) the pool runs the Hogwild!
+// memory model: each locality group's replica is mirrored by a
+// vec.Atomic master; workers train on private working copies and push
+// accumulated deltas every ChunkSize steps with a fused single-pass
+// flush — sparse (dirty coordinates only) when the workload declares
+// per-unit coordinate sets, dense otherwise. For ConcurrencyShared
+// workloads (Gibbs) workers step directly on the shared replica, whose
+// Step is itself race-safe. Locality groups meet through the engine's
+// shared end-of-epoch combine, exactly like the simulator; the
+// simulated-cost machinery does not apply, so epochs are measured in
+// wall-clock time and the PMU-style counters stay zero.
 type parallelExecutor struct {
 	e       *Engine
+	delta   bool          // ConcurrencyDelta vs ConcurrencyShared
 	masters []*vec.Atomic // one shared master per model replica (delta mode)
 	// Per-worker private working copies and flush baselines, allocated
 	// once and re-seeded from the masters every epoch: wall time is
@@ -108,20 +127,102 @@ type parallelExecutor struct {
 	// per-epoch allocation and GC churn for worker state.
 	locals []*WorkState
 	bases  [][]float64
+	// coords drives the sparse flush path (non-nil when the workload's
+	// units have static coordinate sets): dirty accumulates each
+	// worker's touched coordinates per chunk, seen is the membership
+	// bitmap that dedups them.
+	coords UnitCoordser
+	dirty  [][]int32
+	seen   [][]byte
 	// Per-worker random sources for shared-mode steps (many goroutines
 	// sampling on one chain cannot share the chain's generator). srcs
 	// are the counting sources backing rngs, exposed to snapshots so a
 	// restored engine's workers continue their exact streams.
 	rngs []*rand.Rand
 	srcs []*SeededSource
+
+	// victims[w] lists the co-replica workers w may steal from, rotated
+	// to start just past w so simultaneous thieves fan out instead of
+	// all hammering the same victim's cursor.
+	victims [][]int
+	// lanes[g] is the band of logical workers pool goroutine g services
+	// each epoch, in order; feeds[g] is its parked task channel.
+	lanes   [][]*worker
+	feeds   []chan *epochTask
+	heads   []queueHead
+	slots   []workerSlot
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// epochTask is one epoch's marching orders for the parked pool: the
+// epoch's step size and cancellation scope, plus the barrier every
+// worker reports to once its share — own queue plus stolen chunks —
+// is drained.
+type epochTask struct {
+	ctx     context.Context
+	epoch   int
+	step    float64
+	barrier *sync.WaitGroup
+}
+
+// queueHead is one worker queue's claim cursor: how many of the
+// worker's assigned items have been claimed, bumped atomically in
+// StealChunk runs by the owner and its thieves. Padded to a cache line
+// so concurrent claims against neighbouring queues never false-share.
+type queueHead struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// workerSlot is one worker's per-epoch result, written once at worker
+// exit and padded so adjacent workers' writes never share a line.
+type workerSlot struct {
+	steps int
+	stats model.Stats
+	err   error
+	_     [64]byte
 }
 
 // newParallelExecutor mirrors the engine's replica layout with atomic
 // masters (delta mode) or allocates per-worker generators (shared
-// mode).
+// mode). Worker goroutines spawn lazily at the first epoch.
 func newParallelExecutor(e *Engine) *parallelExecutor {
-	p := &parallelExecutor{e: e}
-	if e.wl.Concurrency() == ConcurrencyShared {
+	p := &parallelExecutor{e: e, delta: e.wl.Concurrency() == ConcurrencyDelta}
+	n := len(e.workers)
+	pool := runtime.GOMAXPROCS(0)
+	if pool > n {
+		pool = n
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	p.lanes = make([][]*worker, pool)
+	p.feeds = make([]chan *epochTask, pool)
+	for g := range p.lanes {
+		lo, hi := g*n/pool, (g+1)*n/pool
+		p.lanes[g] = e.workers[lo:hi]
+		p.feeds[g] = make(chan *epochTask, 1)
+	}
+	p.heads = make([]queueHead, n)
+	p.slots = make([]workerSlot, n)
+	groups := map[int][]int{}
+	for _, w := range e.workers {
+		groups[w.repIdx] = append(groups[w.repIdx], w.id)
+	}
+	p.victims = make([][]int, n)
+	for _, w := range e.workers {
+		g := groups[w.repIdx]
+		for i, id := range g {
+			if id == w.id {
+				p.victims[w.id] = append(append([]int(nil), g[i+1:]...), g[:i]...)
+				break
+			}
+		}
+	}
+
+	if !p.delta {
 		for _, w := range e.workers {
 			src := NewSeededSource(e.plan.Seed + 1_000_000_007 + int64(w.id))
 			p.srcs = append(p.srcs, src)
@@ -138,110 +239,138 @@ func newParallelExecutor(e *Engine) *parallelExecutor {
 		p.locals = append(p.locals, e.wl.NewReplica(-1-i, e.plan.Seed))
 		p.bases = append(p.bases, make([]float64, dim))
 	}
+	if uc, ok := e.wl.(UnitCoordser); ok && uc.SparseUnits() {
+		p.coords = uc
+		p.dirty = make([][]int32, n)
+		p.seen = make([][]byte, n)
+		for i := range p.seen {
+			p.seen[i] = make([]byte, dim)
+		}
+	}
 	return p
 }
 
 // Kind implements Executor.
 func (p *parallelExecutor) Kind() ExecutorKind { return ExecParallel }
 
-// runEpoch implements Executor.
-func (p *parallelExecutor) runEpoch(ctx context.Context) (int, model.Stats, error) {
-	if p.e.wl.Concurrency() == ConcurrencyShared {
-		return p.runShared(ctx)
+// start spawns the persistent pool goroutines. Called once, from the
+// engine goroutine, on the first epoch.
+func (p *parallelExecutor) start() {
+	p.started = true
+	for g, lane := range p.lanes {
+		p.wg.Add(1)
+		go p.laneLoop(lane, p.feeds[g])
 	}
-	return p.runDelta(ctx)
 }
 
-// runDelta is the delta-flush epoch loop. Cancellation is observed
-// between flushes, so an aborted worker leaves no unflushed local work
-// behind.
-func (p *parallelExecutor) runDelta(ctx context.Context) (int, model.Stats, error) {
+// close drains the pool: the feed channels close, every parked worker
+// goroutine exits, and close blocks until all have. Idempotent, and a
+// no-op if no epoch ever ran. Must be called from the goroutine that
+// runs epochs (the pool's single producer).
+func (p *parallelExecutor) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if !p.started {
+		return
+	}
+	for _, f := range p.feeds {
+		close(f)
+	}
+	p.wg.Wait()
+}
+
+// laneLoop is one pool goroutine: park on the feed, run each logical
+// worker in the lane's band in turn (lane-mates that finish early are
+// drained by stealing, not by waiting), report to the barrier, park
+// again. Exits when the feed closes.
+func (p *parallelExecutor) laneLoop(lane []*worker, feed <-chan *epochTask) {
+	defer p.wg.Done()
+	for t := range feed {
+		for _, w := range lane {
+			if err := t.ctx.Err(); err != nil {
+				// The epoch is already being abandoned; don't start the
+				// remaining lane-mates, but mark them cancelled so the
+				// collected slots carry the error no matter which worker
+				// observed it first.
+				p.slots[w.id].err = err
+				continue
+			}
+			if p.delta {
+				p.runDeltaWorker(w, t)
+			} else {
+				p.runSharedWorker(w, t)
+			}
+		}
+		t.barrier.Done()
+	}
+}
+
+// claim grabs the next unclaimed run of victim's items, at most chunk
+// long; nil means the queue is drained. The atomic cursor hands out
+// disjoint ranges, so a unit is executed exactly once no matter how
+// many thieves race the owner.
+func (p *parallelExecutor) claim(victim, chunk int) []int {
+	items := p.e.workers[victim].items
+	start := int(p.heads[victim].n.Add(int64(chunk))) - chunk
+	if start >= len(items) {
+		return nil
+	}
+	end := start + chunk
+	if end > len(items) {
+		end = len(items)
+	}
+	return items[start:end]
+}
+
+// runEpoch implements Executor: reset the claim cursors, wake the pool
+// with one task send per lane, wait on the barrier, then collect the
+// padded per-worker result slots. Engine-level phase boundaries are
+// staged locally and committed only on success: an abandoned
+// (cancelled) epoch records nothing, matching the engine's epoch
+// accounting.
+func (p *parallelExecutor) runEpoch(ctx context.Context) (int, model.Stats, error) {
 	e := p.e
+	if p.closed {
+		return 0, model.Stats{}, fmt.Errorf("core: parallel executor is closed")
+	}
+	if !p.started {
+		p.start()
+	}
 	epoch := e.epoch + 1
 	traced := e.rec != nil
-	// Engine-level phase boundaries are staged locally and committed
-	// only on success: an abandoned (cancelled) epoch records nothing,
-	// matching the engine's epoch accounting.
-	var tSeed, tExec, tWait, tPublish time.Time
-	if traced {
-		tSeed = time.Now()
-	}
-	// Seed each master with its replica's current state (the combined
-	// state of the previous epoch, or the workload's initial state).
-	for i, r := range e.replicas {
-		p.masters[i].CopyFrom(r.X)
+	var tSeed, tExec, tPool, tWait, tPublish time.Time
+	if p.delta {
+		if traced {
+			tSeed = time.Now()
+		}
+		// Seed each master with its replica's current state (the
+		// combined state of the previous epoch, or the workload's
+		// initial state).
+		for i, r := range e.replicas {
+			p.masters[i].CopyFrom(r.X)
+		}
 	}
 	if traced {
 		tExec = time.Now()
 	}
-	flushEvery := e.plan.ChunkSize
-	step := e.step
-
-	perSteps := make([]int, len(e.workers))
-	perStats := make([]model.Stats, len(e.workers))
-	perErr := make([]error, len(e.workers))
-	var wg sync.WaitGroup
-	for _, w := range e.workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			// wb is the worker's private span buffer (nil when tracing
-			// is off): the loop and each flush are timed lock-free and
-			// merged by the engine after the barrier.
-			var wb *trace.WorkerBuf
-			if traced {
-				wb = e.recBufs[w.id]
-			}
-			var tLoop, tFlush time.Time
-			if wb != nil {
-				tLoop = time.Now()
-			}
-			master := p.masters[w.repIdx]
-			local, base := p.locals[w.id], p.bases[w.id]
-			master.Snapshot(local.X)
-			copy(base, local.X)
-			since := 0
-			flush := func() {
-				if wb != nil {
-					tFlush = time.Now()
-				}
-				master.AddDelta(local.X, base)
-				master.Snapshot(local.X)
-				copy(base, local.X)
-				since = 0
-				if wb != nil {
-					wb.Record(trace.PhaseFlush, epoch, tFlush, time.Now(), 0)
-				}
-			}
-			// Steps and stats accumulate in goroutine-locals and are
-			// stored into the shared slices once at exit — per-step
-			// writes to adjacent slice elements would false-share cache
-			// lines across cores in the measured hot loop.
-			var st model.Stats
-			steps := 0
-			defer func() {
-				perSteps[w.id] = steps
-				perStats[w.id] = st
-				if wb != nil {
-					wb.Record(trace.PhaseWorker, epoch, tLoop, time.Now(), int64(steps))
-				}
-			}()
-			for _, item := range w.items {
-				st.Add(e.wl.Step(item, local, step, nil, nil))
-				steps++
-				since++
-				if since >= flushEvery {
-					flush()
-					if err := ctx.Err(); err != nil {
-						perErr[w.id] = err
-						return
-					}
-				}
-			}
-			flush()
-		}(w)
+	for i := range p.heads {
+		p.heads[i].n.Store(0)
 	}
-	wg.Wait()
+	for i := range p.slots {
+		p.slots[i] = workerSlot{}
+	}
+	barrier := &sync.WaitGroup{}
+	barrier.Add(len(p.feeds))
+	task := &epochTask{ctx: ctx, epoch: epoch, step: e.step, barrier: barrier}
+	for _, f := range p.feeds {
+		f <- task
+	}
+	if traced {
+		tPool = time.Now()
+	}
+	barrier.Wait()
 	if traced {
 		tWait = time.Now()
 	}
@@ -249,25 +378,161 @@ func (p *parallelExecutor) runDelta(ctx context.Context) (int, model.Stats, erro
 	var st model.Stats
 	steps := 0
 	var err error
-	for i := range e.workers {
-		steps += perSteps[i]
-		st.Add(perStats[i])
-		if perErr[i] != nil {
-			err = perErr[i]
+	for i := range p.slots {
+		steps += p.slots[i].steps
+		st.Add(p.slots[i].stats)
+		if p.slots[i].err != nil {
+			err = p.slots[i].err
 		}
 	}
-	// Pull the masters back into the replicas so the shared combine
-	// path sees what the goroutines produced.
-	for i, r := range e.replicas {
-		p.masters[i].Snapshot(r.X)
+	if p.delta {
+		// Pull the masters back into the replicas so the shared combine
+		// path sees what the pool produced.
+		for i, r := range e.replicas {
+			p.masters[i].Snapshot(r.X)
+		}
 	}
 	if traced && err == nil {
 		tPublish = time.Now()
-		e.rec.Record(trace.PhaseSeed, epoch, -1, tSeed, tExec, 0)
+		if p.delta {
+			e.rec.Record(trace.PhaseSeed, epoch, -1, tSeed, tExec, 0)
+		}
+		e.rec.Record(trace.PhasePool, epoch, -1, tExec, tPool, 0)
 		e.rec.Record(trace.PhaseExec, epoch, -1, tExec, tWait, int64(steps))
-		e.rec.Record(trace.PhasePublish, epoch, -1, tWait, tPublish, 0)
+		if p.delta {
+			e.rec.Record(trace.PhasePublish, epoch, -1, tWait, tPublish, 0)
+		}
 	}
 	return steps, st, err
+}
+
+// runDeltaWorker is one worker's share of a delta-mode epoch:
+// snapshot the master into the private working copy, claim and step
+// chunks (own queue first, then co-replica victims), and push batched
+// deltas with the fused flush every ChunkSize steps. Cancellation is
+// observed between flushes, so an aborted worker leaves no unflushed
+// local work behind.
+func (p *parallelExecutor) runDeltaWorker(w *worker, t *epochTask) {
+	e := p.e
+	// wb is the worker's private span buffer (nil when tracing is
+	// off): the loop and each flush are timed lock-free and merged by
+	// the engine after the barrier.
+	var wb *trace.WorkerBuf
+	if e.rec != nil {
+		wb = e.recBufs[w.id]
+	}
+	var tLoop, tFlush time.Time
+	if wb != nil {
+		tLoop = time.Now()
+	}
+	master := p.masters[w.repIdx]
+	local, base := p.locals[w.id], p.bases[w.id]
+	master.Snapshot(local.X)
+	copy(base, local.X)
+
+	sparse := p.coords != nil
+	var dirty []int32
+	var seen []byte
+	if sparse {
+		dirty, seen = p.dirty[w.id][:0], p.seen[w.id]
+	}
+	flush := func() {
+		if wb != nil {
+			tFlush = time.Now()
+		}
+		if sparse {
+			master.FlushDeltaSparse(local.X, base, dirty)
+			for _, j := range dirty {
+				seen[j] = 0
+			}
+			dirty = dirty[:0]
+		} else {
+			master.FlushDelta(local.X, base)
+		}
+		if wb != nil {
+			wb.Record(trace.PhaseFlush, t.epoch, tFlush, time.Now(), 0)
+		}
+	}
+
+	// Steps and stats accumulate in goroutine-locals and land in the
+	// worker's padded slot once at exit.
+	slot := &p.slots[w.id]
+	var st model.Stats
+	steps := 0
+	defer func() {
+		if sparse {
+			// A cancelled worker abandons its unflushed chunk: clear the
+			// bitmap through the dirty list so the next epoch starts
+			// clean.
+			for _, j := range dirty {
+				seen[j] = 0
+			}
+			p.dirty[w.id] = dirty[:0]
+		}
+		slot.steps = steps
+		slot.stats = st
+		if wb != nil {
+			wb.Record(trace.PhaseWorker, t.epoch, tLoop, time.Now(), int64(steps))
+		}
+	}()
+
+	flushEvery := e.plan.ChunkSize
+	since := 0
+	run := func(items []int) bool {
+		for _, item := range items {
+			if sparse {
+				for _, j := range p.coords.UnitCoords(item) {
+					if seen[j] == 0 {
+						seen[j] = 1
+						dirty = append(dirty, j)
+					}
+				}
+			}
+			st.Add(e.wl.Step(item, local, t.step, nil, nil))
+			steps++
+			since++
+			if since >= flushEvery {
+				flush()
+				since = 0
+				if err := t.ctx.Err(); err != nil {
+					slot.err = err
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	chunk := e.plan.StealChunk
+	for {
+		items := p.claim(w.id, chunk)
+		if items == nil {
+			break
+		}
+		if !run(items) {
+			return
+		}
+	}
+	var tSteal time.Time
+	ownSteps := steps
+	if wb != nil {
+		tSteal = time.Now()
+	}
+	for _, v := range p.victims[w.id] {
+		for {
+			items := p.claim(v, chunk)
+			if items == nil {
+				break
+			}
+			if !run(items) {
+				return
+			}
+		}
+	}
+	if wb != nil && steps > ownSteps {
+		wb.Record(trace.PhaseSteal, t.epoch, tSteal, time.Now(), int64(steps-ownSteps))
+	}
+	flush()
 }
 
 // rngStates captures the shared-mode worker generators' stream
@@ -302,78 +567,76 @@ func (p *parallelExecutor) restoreRNGs(states []RNGState) error {
 // epoch promptly, rare enough to stay out of the sampling hot loop.
 const sharedCancelStride = 64
 
-// runShared is the shared-state epoch loop: every worker steps
-// directly on its locality group's replica with a private generator.
-// The workload's Step must be race-safe for concurrent same-replica
-// callers (Gibbs uses atomic assignment loads/stores, and each worker
-// owns a disjoint variable partition).
-func (p *parallelExecutor) runShared(ctx context.Context) (int, model.Stats, error) {
+// runSharedWorker is one worker's share of a shared-state epoch: claim
+// and step chunks (own queue first, then co-replica victims) directly
+// on the locality group's replica with a private generator. The
+// workload's Step must be race-safe for concurrent same-replica callers
+// (Gibbs uses atomic assignment loads/stores, and the claim cursor
+// guarantees each variable is sampled exactly once per sweep).
+func (p *parallelExecutor) runSharedWorker(w *worker, t *epochTask) {
 	e := p.e
-	epoch := e.epoch + 1
-	traced := e.rec != nil
-	var tExec, tWait time.Time
-	if traced {
-		tExec = time.Now()
+	// wb is the worker's private span buffer (nil when tracing is off);
+	// the whole sampling loop is one worker span.
+	var wb *trace.WorkerBuf
+	if e.rec != nil {
+		wb = e.recBufs[w.id]
 	}
-	step := e.step
-	perSteps := make([]int, len(e.workers))
-	perStats := make([]model.Stats, len(e.workers))
-	perErr := make([]error, len(e.workers))
-	var wg sync.WaitGroup
-	for _, w := range e.workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			// wb is the worker's private span buffer (nil when tracing
-			// is off); the whole sampling loop is one worker span.
-			var wb *trace.WorkerBuf
-			if traced {
-				wb = e.recBufs[w.id]
-			}
-			var tLoop time.Time
-			if wb != nil {
-				tLoop = time.Now()
-			}
-			ws := e.replicas[w.repIdx]
-			rng := p.rngs[w.id]
-			var st model.Stats
-			steps := 0
-			defer func() {
-				perSteps[w.id] = steps
-				perStats[w.id] = st
-				if wb != nil {
-					wb.Record(trace.PhaseWorker, epoch, tLoop, time.Now(), int64(steps))
-				}
-			}()
-			for _, item := range w.items {
-				st.Add(e.wl.Step(item, ws, step, rng, nil))
-				steps++
-				if steps%sharedCancelStride == 0 {
-					if err := ctx.Err(); err != nil {
-						perErr[w.id] = err
-						return
-					}
-				}
-			}
-		}(w)
+	var tLoop time.Time
+	if wb != nil {
+		tLoop = time.Now()
 	}
-	wg.Wait()
-	if traced {
-		tWait = time.Now()
-	}
-
+	ws := e.replicas[w.repIdx]
+	rng := p.rngs[w.id]
+	slot := &p.slots[w.id]
 	var st model.Stats
 	steps := 0
-	var err error
-	for i := range e.workers {
-		steps += perSteps[i]
-		st.Add(perStats[i])
-		if perErr[i] != nil {
-			err = perErr[i]
+	defer func() {
+		slot.steps = steps
+		slot.stats = st
+		if wb != nil {
+			wb.Record(trace.PhaseWorker, t.epoch, tLoop, time.Now(), int64(steps))
+		}
+	}()
+	run := func(items []int) bool {
+		for _, item := range items {
+			st.Add(e.wl.Step(item, ws, t.step, rng, nil))
+			steps++
+			if steps%sharedCancelStride == 0 {
+				if err := t.ctx.Err(); err != nil {
+					slot.err = err
+					return false
+				}
+			}
+		}
+		return true
+	}
+	chunk := e.plan.StealChunk
+	for {
+		items := p.claim(w.id, chunk)
+		if items == nil {
+			break
+		}
+		if !run(items) {
+			return
 		}
 	}
-	if traced && err == nil {
-		e.rec.Record(trace.PhaseExec, epoch, -1, tExec, tWait, int64(steps))
+	var tSteal time.Time
+	ownSteps := steps
+	if wb != nil {
+		tSteal = time.Now()
 	}
-	return steps, st, err
+	for _, v := range p.victims[w.id] {
+		for {
+			items := p.claim(v, chunk)
+			if items == nil {
+				break
+			}
+			if !run(items) {
+				return
+			}
+		}
+	}
+	if wb != nil && steps > ownSteps {
+		wb.Record(trace.PhaseSteal, t.epoch, tSteal, time.Now(), int64(steps-ownSteps))
+	}
 }

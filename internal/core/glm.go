@@ -144,6 +144,30 @@ func (g *glmWorkload) charge(c *StepCost, st model.Stats) {
 		float64(st.DataWords)*g.plan.ElementOverheadCycles)
 }
 
+// SparseUnits implements UnitCoordser: row-wise steps of a sparse-
+// update spec read and write the model only at the row's nonzero
+// columns (every RowStep is built on SparseDot/SparseAXPY over the
+// row's index list). Dense-update specs (parallel sum) and column
+// access touch state outside any per-unit set, so they stay on the
+// dense flush path — as does dense *data*, where rows cover most of
+// the model and per-step dirty tracking would cost more than the full
+// single-pass flush it avoids.
+func (g *glmWorkload) SparseUnits() bool {
+	if g.plan.Access != model.RowWise || g.spec.DenseUpdate() {
+		return false
+	}
+	// Sparse flushing pays off only when a chunk's dirty set stays well
+	// under the model dimension: require rows to average < 1/4 of it.
+	return g.ds.NNZ()*4 < int64(g.ds.Rows())*int64(g.ds.Cols())
+}
+
+// UnitCoords implements UnitCoordser: the CSR row's column indices,
+// aliased straight from the immutable data matrix.
+func (g *glmWorkload) UnitCoords(unit int) []int32 {
+	idx, _ := g.ds.A.Row(unit)
+	return idx
+}
+
 // Sync implements Workload: one-pass aggregates combine once, the
 // iterative estimators average with write-back.
 func (g *glmWorkload) Sync() SyncMode {

@@ -177,6 +177,12 @@ type Plan struct {
 	// a worker's batched flushes to its shared master. 0 means a
 	// default.
 	ChunkSize int
+	// StealChunk is the parallel executor's work-stealing granularity:
+	// the number of work units a worker claims from a queue (its own or
+	// an idle-time victim's) per atomic cursor bump. Smaller chunks
+	// balance stragglers better; larger chunks amortize the cursor
+	// traffic. 0 means a default.
+	StealChunk int
 	// SyncRounds is how many interleaver rounds pass between
 	// asynchronous model-averaging events for PerNode replication.
 	// 0 means every round ("as frequently as possible", Section 3.3);
@@ -231,6 +237,9 @@ func (p Plan) normalizeCommon() Plan {
 	if p.ImportanceFraction == 0 {
 		p.ImportanceFraction = 0.1
 	}
+	if p.StealChunk == 0 {
+		p.StealChunk = 64
+	}
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
@@ -266,6 +275,12 @@ func (p Plan) validateCommon() error {
 	}
 	if p.DataRep == Importance && (p.ImportanceFraction <= 0 || p.ImportanceFraction > 1) {
 		return fmt.Errorf("core: importance fraction %v outside (0,1]", p.ImportanceFraction)
+	}
+	if p.ChunkSize < 0 {
+		return fmt.Errorf("core: chunk size %d negative (want >= 1, or 0 for the default)", p.ChunkSize)
+	}
+	if p.StealChunk < 0 {
+		return fmt.Errorf("core: steal chunk %d negative (want >= 1, or 0 for the default)", p.StealChunk)
 	}
 	return nil
 }

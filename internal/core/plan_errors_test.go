@@ -52,6 +52,16 @@ func TestInvalidKnobMessages(t *testing.T) {
 			func(p Plan) Plan { p.Executor = ExecParallel; p.Access = model.ColToRow; return p },
 			[]string{"parallel executor", "row-wise"},
 		},
+		{
+			"chunk size",
+			func(p Plan) Plan { p.ChunkSize = -3; return p },
+			[]string{"chunk size", ">= 1, or 0 for the default"},
+		},
+		{
+			"steal chunk",
+			func(p Plan) Plan { p.StealChunk = -8; return p },
+			[]string{"steal chunk", ">= 1, or 0 for the default"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

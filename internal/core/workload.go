@@ -221,6 +221,23 @@ type Workload interface {
 	Metrics(x []float64) map[string]float64
 }
 
+// UnitCoordser is optionally implemented by ConcurrencyDelta workloads
+// whose work units each touch a small, statically known coordinate set
+// of the state vector. The parallel executor uses it to flush and
+// refresh only the coordinates a chunk actually dirtied — a sparse row
+// then costs O(nnz) per flush instead of O(dim) — so implementations
+// must guarantee Step reads and writes X only at UnitCoords(unit).
+type UnitCoordser interface {
+	// SparseUnits reports whether per-unit coordinate sets apply under
+	// the bound plan (e.g. GLM row-wise steps over CSR rows; false for
+	// dense-update specs, whose steps touch the full dimension).
+	SparseUnits() bool
+	// UnitCoords returns the coordinates unit's Step touches. The slice
+	// is owned by the workload and must stay valid and unmutated for
+	// the engine's lifetime.
+	UnitCoords(unit int) []int32
+}
+
 // EpochOrderer is optionally implemented by workloads that supply each
 // replica's traversal order themselves instead of using the engine's
 // shared permutation. Gibbs chains draw their sweep permutation from

@@ -36,6 +36,18 @@ func Reuters() *Dataset {
 	})
 }
 
+// ReutersReplicated returns the executor-benchmark scale of the
+// Reuters analog: 10x the rows at the same width, sparsity and noise,
+// big enough that a parallel epoch's orchestration (pool wakeup, steal
+// cursors, barrier) amortizes against real step work — the regime
+// where the real-concurrency backend should beat the simulated
+// interleaver.
+func ReutersReplicated() *Dataset {
+	return GenerateSparse(SparseConfig{
+		Name: "reuters10x", Rows: 8000, Cols: 1600, NNZPerRow: 12, Noise: 0.05, Seed: 102,
+	})
+}
+
 // Music returns the scaled YearPredictionMSD (Music) analog: dense,
 // overdetermined, used for regression and classification benchmarks.
 func Music() *Dataset {
@@ -48,6 +60,17 @@ func Music() *Dataset {
 func MusicRegression() *Dataset {
 	return GenerateDense(DenseConfig{
 		Name: "music", Rows: 2500, Cols: 91, Noise: 0.1, Regression: true, Seed: 103,
+	})
+}
+
+// MusicRegressionReplicated returns the executor-benchmark scale of
+// the Music regression analog: 10x the rows at the same width and
+// noise, big enough that a parallel epoch's orchestration amortizes
+// against real step work (the same role ReutersReplicated plays for
+// the sparse tasks).
+func MusicRegressionReplicated() *Dataset {
+	return GenerateDense(DenseConfig{
+		Name: "music10x", Rows: 25000, Cols: 91, Noise: 0.1, Regression: true, Seed: 103,
 	})
 }
 

@@ -14,16 +14,18 @@ import (
 // immutable afterwards and safe for concurrent engines.
 
 var registry = map[string]func() *Dataset{
-	"rcv1":      RCV1,
-	"reuters":   Reuters,
-	"music":     Music,
-	"music-reg": MusicRegression,
-	"forest":    Forest,
-	"amazon-lp": AmazonLP,
-	"google-lp": GoogleLP,
-	"amazon-qp": AmazonQP,
-	"google-qp": GoogleQP,
-	"clueweb":   func() *Dataset { return ClueWeb(0.1) },
+	"rcv1":       RCV1,
+	"reuters":    Reuters,
+	"reuters10x": ReutersReplicated,
+	"music10x":   MusicRegressionReplicated,
+	"music":      Music,
+	"music-reg":  MusicRegression,
+	"forest":     Forest,
+	"amazon-lp":  AmazonLP,
+	"google-lp":  GoogleLP,
+	"amazon-qp":  AmazonQP,
+	"google-qp":  GoogleQP,
+	"clueweb":    func() *Dataset { return ClueWeb(0.1) },
 }
 
 var (

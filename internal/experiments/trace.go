@@ -28,19 +28,21 @@ type TraceEntry struct {
 }
 
 // TraceEntries runs a sim-vs-parallel pair per workload family with
-// the span recorder on — the delta-flush path (SVM on Reuters) and the
-// shared-state path (Gibbs on cycle5) — and returns each run's phase
-// breakdown. This is the engine's time-attribution smoke: where the
-// executor comparisons measure *how long* an epoch takes, this
-// measures *where the time goes*.
+// the span recorder on — the delta-flush path (SVM on replicated
+// Reuters) and the shared-state path (Gibbs on paleo-xl) — and returns
+// each run's phase breakdown. This is the engine's time-attribution
+// smoke: where the executor comparisons measure *how long* an epoch
+// takes, this measures *where the time goes*. The inputs are the same
+// benchmark-scale ones the wall-clock comparisons use, so the phase
+// split describes the regime where the parallel backend wins.
 func TraceEntries(quick bool) []TraceEntry {
-	glmEpochs, sweeps := 6, 200
+	glmEpochs, sweeps := 6, 20
 	if quick {
-		glmEpochs, sweeps = 2, 60
+		glmEpochs, sweeps = 2, 5
 	}
 
 	var out []TraceEntry
-	spec, ds := model.NewSVM(), data.Reuters()
+	spec, ds := model.NewSVM(), data.ReutersReplicated()
 	for _, exec := range []core.ExecutorKind{core.ExecSimulated, core.ExecParallel} {
 		entry := TraceEntry{Workload: "glm", Task: spec.Name() + "/" + ds.Name, Executor: exec.String()}
 		plan, err := core.ChooseExecutor(spec, ds, numa.Local2, exec)
@@ -56,9 +58,9 @@ func TraceEntries(quick bool) []TraceEntry {
 		out = append(out, traceRun(entry, eng, glmEpochs))
 	}
 
-	g, err := factor.GraphByName("cycle5")
+	g, err := factor.GraphByName("paleo-xl")
 	if err != nil {
-		return append(out, TraceEntry{Workload: "gibbs", Task: "cycle5", Error: err.Error()})
+		return append(out, TraceEntry{Workload: "gibbs", Task: "paleo-xl", Error: err.Error()})
 	}
 	for _, exec := range []core.ExecutorKind{core.ExecSimulated, core.ExecParallel} {
 		entry := TraceEntry{Workload: "gibbs", Task: g.Name, Executor: exec.String()}
@@ -92,13 +94,13 @@ func TraceResult(entries []TraceEntry) *Result {
 	t := &Table{
 		Name:   "tracewall",
 		Title:  "traced sim vs parallel pairs: where each epoch-second goes",
-		Header: []string{"workload", "task", "executor", "epochs", "epoch s", "step s", "flush s", "barrier s", "coverage"},
-		Notes:  "step = pure update work; flush = delta pushes to shared masters; barrier = goroutine spawn lag + straggler wait; coverage = named spans / epoch wall clock",
+		Header: []string{"workload", "task", "executor", "epochs", "epoch s", "step s", "flush s", "steal s", "barrier s", "coverage"},
+		Notes:  "step = pure update work; flush = fused delta pushes to shared masters; steal = time spent draining other workers' queues; barrier = pool wakeup lag + straggler wait; coverage = named spans / epoch wall clock",
 	}
 	metrics := map[string]float64{}
 	for _, e := range entries {
 		if e.Error != "" {
-			t.Rows = append(t.Rows, []string{e.Workload, e.Task, e.Executor, "ERROR: " + e.Error, "-", "-", "-", "-", "-"})
+			t.Rows = append(t.Rows, []string{e.Workload, e.Task, e.Executor, "ERROR: " + e.Error, "-", "-", "-", "-", "-", "-"})
 			continue
 		}
 		s := e.Summary
@@ -108,6 +110,7 @@ func TraceResult(entries []TraceEntry) *Result {
 			fmt.Sprintf("%.4f", s.EpochSeconds),
 			fmt.Sprintf("%.4f", s.StepSeconds),
 			fmt.Sprintf("%.4f", phaseSeconds(s, "flush")),
+			fmt.Sprintf("%.4f", phaseSeconds(s, "steal")),
 			fmt.Sprintf("%.4f", s.BarrierSeconds),
 			fmt.Sprintf("%.3f", s.Coverage),
 		})

@@ -309,3 +309,14 @@ func Paleo() *Graph {
 	g.Name = "paleo"
 	return g
 }
+
+// PaleoXL is the executor-benchmark scale of Paleo: 5x the variables
+// and factors, big enough that a parallel sweep's orchestration (pool
+// wakeup, steal cursors, barrier) amortizes against real sampling work
+// — the regime where the real-concurrency backend should beat the
+// simulated interleaver. Same structure family and skew as Paleo.
+func PaleoXL() *Graph {
+	g := Generate(GenerateConfig{Vars: 20000, Factors: 45000, MaxArity: 3, WeightStd: 0.8, Seed: 43})
+	g.Name = "paleo-xl"
+	return g
+}

@@ -19,6 +19,8 @@ var (
 var graphBuilders = map[string]func() *Graph{
 	// The paper's Paleo-scale inference workload.
 	"paleo": Paleo,
+	// The executor-benchmark scale of paleo (5x variables and factors).
+	"paleo-xl": PaleoXL,
 	// A small loopy graph with tractable exact marginals — the
 	// validation graph of the tests and examples.
 	"cycle5": Cycle5,

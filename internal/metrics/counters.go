@@ -5,33 +5,44 @@ import (
 	"time"
 )
 
+// counter is an atomic.Int64 padded out to a full 64-byte cache line.
+// The serving counters below are bumped from every request and worker
+// goroutine; packed tightly, eight of them share a cache line and each
+// Add invalidates its neighbours' cached copies (false sharing). The
+// padding keeps each counter on its own line — see
+// BenchmarkCountersPadding for the measured difference.
+type counter struct {
+	atomic.Int64
+	_ [56]byte
+}
+
 // ServeCounters are the serving subsystem's monotonically increasing
 // operation counters. All methods are safe for concurrent use; the
 // zero value is ready.
 type ServeCounters struct {
-	trainRequests   atomic.Int64
-	predictRequests atomic.Int64
-	predictions     atomic.Int64
-	jobsEnqueued    atomic.Int64
-	jobsDone        atomic.Int64
-	jobsFailed      atomic.Int64
-	jobsCancelled   atomic.Int64
-	planCacheHits   atomic.Int64
-	planCacheMisses atomic.Int64
-	httpErrors      atomic.Int64
-	gibbsSweeps     atomic.Int64
-	gibbsSamples    atomic.Int64
+	trainRequests   counter
+	predictRequests counter
+	predictions     counter
+	jobsEnqueued    counter
+	jobsDone        counter
+	jobsFailed      counter
+	jobsCancelled   counter
+	planCacheHits   counter
+	planCacheMisses counter
+	httpErrors      counter
+	gibbsSweeps     counter
+	gibbsSamples    counter
 	// The throughput rate is computed over parallel-executor epochs
 	// only (simulated epochs' wall clock measures the cost simulator,
 	// not sampling), so their samples and wall time accumulate apart.
-	gibbsParSamples atomic.Int64
-	gibbsWallNanos  atomic.Int64
-	nnEpochs        atomic.Int64
-	nnExamples      atomic.Int64
-	ckptWrites      atomic.Int64
-	ckptBytes       atomic.Int64
-	ckptRestores    atomic.Int64
-	ckptErrors      atomic.Int64
+	gibbsParSamples counter
+	gibbsWallNanos  counter
+	nnEpochs        counter
+	nnExamples      counter
+	ckptWrites      counter
+	ckptBytes       counter
+	ckptRestores    counter
+	ckptErrors      counter
 }
 
 // TrainRequest records one accepted training request.

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkCountersPadding measures the false sharing the padded
+// counter type removes. Each goroutine increments its own slot — no
+// logical contention at all — so any slowdown in the packed variant is
+// purely adjacent counters bouncing the same cache line between cores.
+func BenchmarkCountersPadding(b *testing.B) {
+	b.Run("packed", func(b *testing.B) {
+		var slots [8]atomic.Int64
+		hammerSlots(b, func(i int) *atomic.Int64 { return &slots[i] })
+	})
+	b.Run("padded", func(b *testing.B) {
+		var slots [8]counter
+		hammerSlots(b, func(i int) *atomic.Int64 { return &slots[i].Int64 })
+	})
+}
+
+// hammerSlots runs up to eight goroutines, each adding b.N times to its
+// private slot, and waits for all of them.
+func hammerSlots(b *testing.B, slot func(int) *atomic.Int64) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(c *atomic.Int64) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				c.Add(1)
+			}
+		}(slot(w))
+	}
+	wg.Wait()
+}

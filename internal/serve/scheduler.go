@@ -774,6 +774,11 @@ func (s *Scheduler) run(j *job) {
 		s.finish(j, JobFailed, err.Error())
 		return
 	}
+	// The scheduler owns the engine's pool lifecycle: however the job
+	// ends — done, failed, or cancelled mid-epoch — the parallel
+	// executor's persistent workers drain before run returns, so a
+	// DELETE /v1/jobs/{id} never leaks parked goroutines.
+	defer eng.Close()
 	if j.warm != nil {
 		if err := eng.Restore(*j.warm); err != nil {
 			s.counters.CheckpointError()

@@ -25,10 +25,11 @@ type PhaseStat struct {
 //   - StepSeconds is pure update work: worker loops minus their flushes
 //     (parallel), or the exec window minus mid-epoch syncs (simulated,
 //     whose single goroutine has no worker spans).
-//   - BarrierSeconds is straggler wait plus goroutine orchestration:
-//     the worker window costs workers×exec wall, workers were busy for
-//     Σworker of it, and the rest is spawn lag and barrier idling — the
-//     overhead the BENCH_gibbs gap is made of.
+//   - BarrierSeconds is straggler wait plus pool orchestration: the
+//     worker window costs width×exec wall (width = concurrent pool
+//     lanes, or workers when each has its own goroutine), lanes were
+//     busy for Σworker of it, and the rest is wakeup lag and barrier
+//     idling — the overhead the BENCH_gibbs gap is made of.
 //   - Coverage is Σ(top-level phase seconds)/Σ(epoch seconds): how much
 //     of the traced wall clock the named spans account for.
 type Summary struct {
@@ -84,8 +85,15 @@ func (r *Recorder) Summary() Summary {
 	}
 	if workerNs := r.nanos[PhaseWorker]; workerNs > 0 {
 		s.StepSeconds = float64(workerNs-r.nanos[PhaseFlush]) / 1e9
-		if r.workers > 0 {
-			s.BarrierSeconds = float64(int64(r.workers)*r.nanos[PhaseExec]-workerNs) / 1e9
+		// The concurrency width is the pool-lane count when the executor
+		// multiplexes logical workers onto fewer goroutines, else the
+		// worker count.
+		width := r.lanes
+		if width == 0 {
+			width = r.workers
+		}
+		if width > 0 {
+			s.BarrierSeconds = float64(int64(width)*r.nanos[PhaseExec]-workerNs) / 1e9
 		}
 	} else {
 		s.StepSeconds = float64(r.nanos[PhaseExec]-r.nanos[PhaseSync]) / 1e9

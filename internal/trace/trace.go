@@ -62,6 +62,15 @@ const (
 	PhaseCombine
 	// PhaseLoss is the post-combine objective evaluation.
 	PhaseLoss
+	// PhasePool is the engine-side pool dispatch window: handing the
+	// epoch task to every parked worker. It nests inside PhaseExec, so
+	// exec − pool − straggler wait is the cost the persistent pool saved
+	// versus per-epoch goroutine spawn.
+	PhasePool
+	// PhaseSteal is one worker's aggregate time claiming chunks from
+	// co-workers' queues after exhausting its own; it nests inside
+	// PhaseWorker.
+	PhaseSteal
 	// NumPhases bounds the phase space for aggregate arrays.
 	NumPhases
 )
@@ -91,6 +100,10 @@ func (p Phase) String() string {
 		return "combine"
 	case PhaseLoss:
 		return "loss"
+	case PhasePool:
+		return "pool"
+	case PhaseSteal:
+		return "steal"
 	default:
 		return "unknown"
 	}
@@ -161,6 +174,7 @@ type Recorder struct {
 	nanos   [NumPhases]int64
 	steps   [NumPhases]int64
 	workers int // worker buffers handed out (utilization denominator)
+	lanes   int // pool goroutines running worker spans concurrently
 }
 
 // New builds a recorder. The origin is captured now; span offsets are
@@ -248,6 +262,21 @@ func (r *Recorder) WorkerBufs(n int) []*WorkerBuf {
 	return bufs
 }
 
+// SetParallelism records how many pool goroutines actually run worker
+// spans concurrently — the width of the barrier-idle derivation.
+// Executors that multiplex several logical workers onto one pool lane
+// must set this, or the derived barrier time would charge idle wall
+// clock for goroutines that never existed; it defaults to the
+// worker-buffer count. Nil-safe.
+func (r *Recorder) SetParallelism(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.lanes = n
+	r.mu.Unlock()
+}
+
 // Merge drains the worker buffers into the journal. Call it once per
 // epoch after the worker barrier, from a single goroutine; the workers
 // must be quiescent. Nil-safe for both the recorder and the slice.
@@ -327,12 +356,21 @@ func (b *WorkerBuf) Record(p Phase, epoch int, start, end time.Time, steps int64
 	})
 }
 
+// paddedInt64 is an atomic counter padded out to a full 64-byte cache
+// line. PhaseTotals slots are written by every traced job's merge path
+// concurrently; without the padding, eight adjacent counters share a
+// line and every Add invalidates its neighbours' cached copies.
+type paddedInt64 struct {
+	atomic.Int64
+	_ [56]byte
+}
+
 // PhaseTotals aggregates phase timers across many recorders — the
 // process-wide engine phase counters behind /metrics. All methods are
 // safe for concurrent use; the zero value is ready.
 type PhaseTotals struct {
-	counts [NumPhases]atomic.Int64
-	nanos  [NumPhases]atomic.Int64
+	counts [NumPhases]paddedInt64
+	nanos  [NumPhases]paddedInt64
 }
 
 // add feeds one span's totals; nil-safe.

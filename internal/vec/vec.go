@@ -14,6 +14,7 @@ package vec
 import (
 	"math"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Atomic is a fixed-length vector of float64 values with component-wise
@@ -23,8 +24,24 @@ type Atomic struct {
 	bits []uint64
 }
 
-// NewAtomic returns an all-zero atomic vector of length n.
-func NewAtomic(n int) *Atomic { return &Atomic{bits: make([]uint64, n)} }
+// cacheLine is the coherence granularity the allocator aligns Atomic
+// storage to, so two masters never share a line and a master's first
+// component never shares one with unrelated heap neighbours.
+const cacheLine = 64
+
+// NewAtomic returns an all-zero atomic vector of length n. The backing
+// array is aligned to a cache-line boundary: shared masters are the
+// parallel executor's hottest write targets, and an unaligned start
+// would let another allocation false-share the first components' line.
+func NewAtomic(n int) *Atomic {
+	const wordsPerLine = cacheLine / 8
+	buf := make([]uint64, n+wordsPerLine-1)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) % cacheLine; rem != 0 {
+		off = int((cacheLine - rem) / 8)
+	}
+	return &Atomic{bits: buf[off : off+n : off+n]}
+}
 
 // Len returns the vector length.
 func (a *Atomic) Len() int { return len(a.bits) }
@@ -68,6 +85,47 @@ func (a *Atomic) AddDelta(cur, base []float64) {
 	for i := range a.bits {
 		if d := cur[i] - base[i]; d != 0 {
 			a.Add(i, d)
+		}
+	}
+}
+
+// FlushDelta is one worker's batched flush of locally accumulated
+// updates, fused into a single pass: for every component it pushes the
+// local delta cur[i]-base[i] to the master and refreshes cur and base
+// with the master's resulting value, so the worker's next chunk trains
+// on a view that includes its peers' flushed updates. It replaces the
+// three-pass AddDelta + Snapshot + copy sequence the flush used to be —
+// on the measured hot path, one traversal of three cache-resident
+// arrays instead of three.
+//
+// cur and base must have length Len(). With a single writer the
+// refreshed values equal cur exactly, so single-worker runs stay
+// bit-identical to the unfused sequence.
+func (a *Atomic) FlushDelta(cur, base []float64) {
+	for i := range a.bits {
+		var nv float64
+		if d := cur[i] - base[i]; d != 0 {
+			nv = a.Add(i, d)
+		} else {
+			nv = a.Load(i)
+		}
+		cur[i], base[i] = nv, nv
+	}
+}
+
+// FlushDeltaSparse is FlushDelta restricted to the given coordinate
+// set: only listed components are flushed and refreshed, so a chunk of
+// sparse rows pays O(coordinates touched) instead of O(dim) per flush.
+// Unlisted components keep the (possibly stale) values of the last full
+// refresh — acceptable under the Hogwild! memory model, and exact when
+// the worker's steps never read outside the listed coordinates.
+// Duplicate indices are harmless: after the first visit the component's
+// local delta is zero.
+func (a *Atomic) FlushDeltaSparse(cur, base []float64, idx []int32) {
+	for _, j := range idx {
+		if d := cur[j] - base[j]; d != 0 {
+			nv := a.Add(int(j), d)
+			cur[j], base[j] = nv, nv
 		}
 	}
 }
