@@ -13,6 +13,8 @@
 //	dwbench -executors -min-speedup 1.0   # exit 1 if parallel loses anywhere
 //	dwbench -trace      # traced pairs: step vs flush vs barrier breakdown
 //	dwbench -trace -quick -out BENCH_trace.json
+//	dwbench -feedback   # static first run vs feedback-corrected second run
+//	dwbench -feedback -min-speedup 1.0 -out BENCH_optimizer.json
 package main
 
 import (
@@ -31,8 +33,9 @@ func main() {
 	executors := flag.Bool("executors", false, "compare wall-clock epoch times of the simulated and parallel executors")
 	gibbs := flag.Bool("gibbs", false, "compare Gibbs sampling throughput of the simulated and parallel executors")
 	traceRuns := flag.Bool("trace", false, "run traced sim-vs-parallel pairs and print the step-vs-flush-vs-barrier phase breakdown")
-	minSpeedup := flag.Float64("min-speedup", 0, "with -executors or -gibbs, exit non-zero if any parallel-vs-simulated speedup falls below this ratio (0 = report only)")
-	out := flag.String("out", "", "with -executors, -gibbs or -trace, also write the measurements as JSON to this file")
+	feedback := flag.Bool("feedback", false, "run the self-tuning optimizer benchmark: static first run vs feedback-corrected second run")
+	minSpeedup := flag.Float64("min-speedup", 0, "with -executors, -gibbs or -feedback, exit non-zero if any speedup falls below this ratio (0 = report only)")
+	out := flag.String("out", "", "with -executors, -gibbs, -trace or -feedback, also write the measurements as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +58,14 @@ func main() {
 		experiments.GibbsWallResult(entries).Table.Fprint(os.Stdout)
 		writeJSON(*out, entries)
 		gate(experiments.GibbsSpeedups(entries), *minSpeedup)
+		return
+	}
+
+	if *feedback {
+		entries := experiments.FeedbackEntries(*quick)
+		experiments.FeedbackResult(entries).Table.Fprint(os.Stdout)
+		writeJSON(*out, entries)
+		gate(experiments.FeedbackSpeedups(entries), *minSpeedup)
 		return
 	}
 

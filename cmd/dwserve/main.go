@@ -10,6 +10,8 @@
 //	dwserve -store ./state -checkpoint-every 1
 //	dwserve -batch-window 500us             # micro-batch /v1/predict
 //	dwserve -batch-window 1ms -batch-max 128 -predict-queue 512
+//	dwserve -batch-window 1ms -auto-batch   # AIMD-tune window and cap
+//	dwserve -batch-window 1ms -auto-batch -auto-batch-target 2ms
 //	dwserve -debug-addr localhost:6060      # pprof on a separate port
 //
 // With -batch-window, concurrent /v1/predict requests for the same
@@ -17,7 +19,23 @@
 // higher throughput); when the bounded predict queue fills, requests
 // are rejected with 429 and a Retry-After header instead of stacking
 // latency. Per-route latency percentiles appear under "latency" in
-// /v1/stats, the queue-depth gauge under "batch".
+// /v1/stats, the queue-depth gauge under "batch". Adding -auto-batch
+// runs an AIMD controller that retunes the window and cap live: p95
+// latency over -auto-batch-target halves both, a healthy coalescing
+// factor under target grows both additively ("batch_tuner" in
+// /v1/stats shows the current settings and decision counts).
+//
+// The optimizer is self-tuning by default: every finished epoch feeds
+// its wall clock back into plan choice, and once a plan has enough
+// observations (-feedback-min-obs) the measured cost overrides the
+// static estimate, with an occasional exploration of the runner-up
+// plan (-feedback-epsilon). Job status reports "plan_source" plus
+// predicted vs observed seconds-per-epoch; learned costs persist under
+// -store and survive restarts. -no-feedback restores purely static
+// planning:
+//
+//	dwserve -feedback-min-obs 5 -feedback-epsilon 0.1
+//	dwserve -no-feedback
 //
 // With -store, trained models persist across restarts (served lazily
 // on first use), running jobs checkpoint their full resume state every
@@ -60,6 +78,7 @@ import (
 	"dimmwitted/internal/nn"
 	"dimmwitted/internal/numa"
 	"dimmwitted/internal/serve"
+	"dimmwitted/internal/tune"
 )
 
 func main() {
@@ -73,6 +92,11 @@ func main() {
 	batchMax := flag.Int("batch-max", 0, "max coalesced examples per batched predict flush (0 = 256; needs -batch-window)")
 	predictQueue := flag.Int("predict-queue", 0, "predict admission-queue depth; a full queue answers 429 Retry-After (0 = 1024; needs -batch-window)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (e.g. localhost:6060; empty = no profiling endpoint)")
+	noFeedback := flag.Bool("no-feedback", false, "disable the self-tuning optimizer: plans come from the static cost model alone")
+	feedbackMinObs := flag.Int("feedback-min-obs", 0, "observed epochs before a measured cost overrides the static plan choice (0 = 3)")
+	feedbackEpsilon := flag.Float64("feedback-epsilon", 0, "probability of exploring the runner-up plan instead of the winner (0 = 0.05; negative disables exploration)")
+	autoBatch := flag.Bool("auto-batch", false, "auto-tune -batch-window/-batch-max from live p95 latency and the coalescing factor (needs -batch-window)")
+	autoBatchTarget := flag.Duration("auto-batch-target", 0, "p95 latency goal the batch auto-tuner defends (0 = 5ms; needs -auto-batch)")
 	flag.Parse()
 
 	top, err := numa.ByName(*machine)
@@ -82,15 +106,24 @@ func main() {
 	}
 
 	opts := serve.Options{
-		Machine:      top,
-		Slots:        *slots,
-		QueueDepth:   *queue,
-		BatchWindow:  *batchWindow,
-		BatchMax:     *batchMax,
-		PredictQueue: *predictQueue,
+		Machine:         top,
+		Slots:           *slots,
+		QueueDepth:      *queue,
+		BatchWindow:     *batchWindow,
+		BatchMax:        *batchMax,
+		PredictQueue:    *predictQueue,
+		DisableFeedback: *noFeedback,
+		AutoBatch:       *autoBatch,
+		AutoBatchConfig: serve.BatchTunerConfig{TargetP95: *autoBatchTarget},
+	}
+	if !*noFeedback {
+		opts.Feedback = tune.NewStore(tune.Options{
+			MinObservations: *feedbackMinObs,
+			Epsilon:         *feedbackEpsilon,
+		})
 	}
 	if *store != "" {
-		jobs, models, err := serve.OpenStores(*store)
+		jobs, models, tuner, err := serve.OpenStores(*store)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -98,6 +131,14 @@ func main() {
 		opts.Checkpoints = jobs
 		opts.Models = models
 		opts.CheckpointEvery = *ckptEvery
+		if opts.Feedback != nil {
+			// Learned plan costs survive restarts alongside the models
+			// they were measured for.
+			if err := opts.Feedback.Persist(tuner); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
 	}
 
 	srv := serve.NewServer(opts)
@@ -119,6 +160,14 @@ func main() {
 	batching := "predict batching off"
 	if *batchWindow > 0 {
 		batching = fmt.Sprintf("predict batching %v", *batchWindow)
+		if *autoBatch {
+			batching += " (auto-tuned)"
+		}
+	}
+	if *noFeedback {
+		batching += ", static planning"
+	} else {
+		batching += ", self-tuning optimizer"
 	}
 	log.Printf("dwserve: listening on %s, machine %s, %d training slots, %s, %s, datasets %v, graphs %v, nn datasets %v",
 		*addr, top.Name, srv.Scheduler().Slots(), durability, batching, data.Names(), factor.GraphNames(), nn.DatasetNames())

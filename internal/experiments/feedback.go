@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/factor"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+	"dimmwitted/internal/tune"
+)
+
+// FeedbackDecision is one row of a self-tuning plan decision: a
+// candidate, its measured cost after the probe pass, and whether the
+// corrected optimizer chose it.
+type FeedbackDecision struct {
+	Plan                    string  `json:"plan"`
+	StaticRank              int     `json:"static_rank"`
+	MeasuredSecondsPerEpoch float64 `json:"measured_seconds_per_epoch"`
+	Measured                bool    `json:"measured"`
+	Winner                  bool    `json:"winner"`
+}
+
+// FeedbackEntry is one workload's static-vs-feedback planning
+// comparison, JSON-shaped for BENCH_optimizer.json (written by the
+// bench-smoke step in CI). The protocol mirrors the serving loop: a
+// first pass runs the static optimizer's choice and records its wall
+// clock into the feedback store, a probe pass visits every other
+// candidate (the work epsilon-exploration spreads over time), and the
+// corrected decision re-plans with measured costs in charge. The
+// second run executes the corrected plan fresh.
+type FeedbackEntry struct {
+	Workload string `json:"workload"`
+	Task     string `json:"task"`
+	Dataset  string `json:"dataset"`
+	Executor string `json:"executor"`
+	Epochs   int    `json:"epochs"`
+	// StaticPlan is the word-cost prior's choice (the first run);
+	// TunedPlan the feedback-corrected winner (the second run).
+	StaticPlan string `json:"static_plan"`
+	TunedPlan  string `json:"tuned_plan"`
+	// PlanSource is the corrected decision's source: "measured" proves
+	// the feedback store, not the prior, decided.
+	PlanSource string `json:"plan_source"`
+	// StaticSecondsPerEpoch and TunedSecondsPerEpoch are the feedback
+	// store's measured costs (EWMA over the recorded epochs) for the two
+	// plans — the numbers the corrected decision compared, so
+	// TunedSecondsPerEpoch <= StaticSecondsPerEpoch by construction.
+	StaticSecondsPerEpoch float64 `json:"static_seconds_per_epoch"`
+	TunedSecondsPerEpoch  float64 `json:"tuned_seconds_per_epoch"`
+	// PredictedSecondsPerEpoch is the decision's forecast for the tuned
+	// plan; RerunSecondsPerEpoch is the fresh second run's observed wall
+	// clock on it (predicted-vs-observed).
+	PredictedSecondsPerEpoch float64 `json:"predicted_seconds_per_epoch"`
+	RerunSecondsPerEpoch     float64 `json:"rerun_seconds_per_epoch"`
+	// Speedup is StaticSecondsPerEpoch over TunedSecondsPerEpoch (>= 1);
+	// Corrected reports that feedback picked a different plan than the
+	// static prior — the cases where the loop actually paid.
+	Speedup   float64            `json:"speedup"`
+	Corrected bool               `json:"corrected"`
+	Decisions []FeedbackDecision `json:"decisions"`
+	Error     string             `json:"error,omitempty"`
+}
+
+// feedbackKey maps a candidate plan to its observation key, the same
+// identity scheme the serving scheduler uses.
+func feedbackKey(workload string, wl core.Workload, p core.Plan) tune.Key {
+	return tune.Key{
+		Workload: workload, Model: wl.Name(), Dataset: wl.DatasetName(),
+		Rows: wl.Units(), Cols: wl.Dim(), NNZ: wl.DataNNZ(),
+		Machine:  p.Machine.Name,
+		Executor: p.Executor.String(), ModelRep: p.ModelRep.String(),
+		DataRep: p.DataRep.String(), Access: p.Access.String(),
+		Workers: p.Workers, StealChunk: p.StealChunk,
+	}
+}
+
+// feedbackCost adapts a tune.Store to the optimizer's CostModel seam.
+type feedbackCost struct {
+	st  *tune.Store
+	key func(core.Plan) tune.Key
+}
+
+func (c feedbackCost) MeasuredSeconds(p core.Plan) (float64, bool) {
+	return c.st.Measured(c.key(p))
+}
+
+// runFeedbackPlan executes epochs of the plan on a fresh engine,
+// records each epoch's wall clock into the store (when given one), and
+// returns the mean seconds per epoch.
+func runFeedbackPlan(mk func() core.Workload, plan core.Plan, epochs int,
+	st *tune.Store, key func(core.Plan) tune.Key) (float64, error) {
+	eng, err := core.NewWorkload(mk(), plan)
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	total := 0.0
+	for _, er := range eng.RunEpochs(epochs) {
+		sec := er.WallTime.Seconds()
+		total += sec
+		if st != nil {
+			st.Record(key(eng.Plan()), tune.Sample{SecondsPerEpoch: sec})
+		}
+	}
+	return total / float64(epochs), nil
+}
+
+// FeedbackEntries runs the self-tuning optimizer benchmark: for each
+// committed workload, a static first run, a probe of the candidate
+// space, a feedback-corrected re-plan, and a fresh second run on the
+// corrected plan. The corrected plan's measured cost can never exceed
+// the static plan's (argmin over a set containing it), so the
+// comparison proves the feedback loop at worst matches and — wherever
+// the word-cost prior mispriced host overheads (per-node replica
+// averaging on the simulator, chain pooling in Gibbs) — beats the
+// static pick outright.
+func FeedbackEntries(quick bool) []FeedbackEntry {
+	epochs := 6
+	if quick {
+		epochs = 2
+	}
+	tasks := []struct {
+		workload string
+		mk       func() core.Workload
+		exec     core.ExecutorKind
+	}{
+		{"glm", func() core.Workload { return core.NewGLM(model.NewSVM(), data.Reuters()) }, core.ExecSimulated},
+		{"glm", func() core.Workload { return core.NewGLM(model.NewLR(), data.Reuters()) }, core.ExecSimulated},
+		{"glm", func() core.Workload { return core.NewGLM(model.NewSVM(), data.ReutersReplicated()) }, core.ExecParallel},
+		{"gibbs", func() core.Workload {
+			g, _ := factor.GraphByName("cycle5")
+			return factor.NewWorkload(g)
+		}, core.ExecSimulated},
+	}
+	var out []FeedbackEntry
+	for _, task := range tasks {
+		wl := task.mk()
+		entry := FeedbackEntry{
+			Workload: task.workload,
+			Task:     wl.Name(),
+			Dataset:  wl.DatasetName(),
+			Executor: task.exec.String(),
+			Epochs:   epochs,
+		}
+		key := func(p core.Plan) tune.Key { return feedbackKey(task.workload, wl, p) }
+		cands, err := core.CandidatePlans(wl, numa.Local2, task.exec)
+		if err != nil {
+			entry.Error = err.Error()
+			out = append(out, entry)
+			continue
+		}
+
+		// Pass 1: the static optimizer's first run seeds the store.
+		// Pass 2: probe the rest of the candidate space, as the serving
+		// loop's epsilon-exploration would over many jobs.
+		st := tune.NewStore(tune.Options{MinObservations: 1, Epsilon: -1})
+		static := cands[0]
+		entry.StaticPlan = static.String()
+		if _, err := runFeedbackPlan(task.mk, static, epochs, st, key); err != nil {
+			entry.Error = err.Error()
+			out = append(out, entry)
+			continue
+		}
+		for _, p := range cands[1:] {
+			if _, err := runFeedbackPlan(task.mk, p, epochs, st, key); err != nil {
+				entry.Error = err.Error()
+				break
+			}
+		}
+		if entry.Error != "" {
+			out = append(out, entry)
+			continue
+		}
+
+		// The corrected decision: measured costs are in charge now.
+		dec, err := core.ChoosePlanModel(task.mk(), numa.Local2, task.exec, feedbackCost{st, key})
+		if err != nil {
+			entry.Error = err.Error()
+			out = append(out, entry)
+			continue
+		}
+		entry.TunedPlan = dec.Plan.String()
+		entry.PlanSource = dec.Source
+		entry.PredictedSecondsPerEpoch = dec.PredictedSeconds
+		entry.StaticSecondsPerEpoch, _ = st.Measured(key(static))
+		entry.TunedSecondsPerEpoch, _ = st.Measured(key(dec.Plan))
+		if entry.TunedSecondsPerEpoch > 0 {
+			entry.Speedup = entry.StaticSecondsPerEpoch / entry.TunedSecondsPerEpoch
+		}
+		entry.Corrected = dec.Plan.String() != static.String()
+		for i, c := range dec.Candidates {
+			entry.Decisions = append(entry.Decisions, FeedbackDecision{
+				Plan:                    c.Plan.String(),
+				StaticRank:              c.StaticRank,
+				MeasuredSecondsPerEpoch: c.MeasuredSeconds,
+				Measured:                c.Measured,
+				Winner:                  dec.Candidates[i].Plan.String() == dec.Plan.String(),
+			})
+		}
+
+		// The second run: predicted vs observed on a fresh engine.
+		rerun, err := runFeedbackPlan(task.mk, dec.Plan, epochs, nil, nil)
+		if err != nil {
+			entry.Error = err.Error()
+			out = append(out, entry)
+			continue
+		}
+		entry.RerunSecondsPerEpoch = rerun
+		out = append(out, entry)
+	}
+	return out
+}
+
+// FeedbackResult builds the table view of measurements taken by
+// FeedbackEntries, mirroring ExecWallResult.
+func FeedbackResult(entries []FeedbackEntry) *Result {
+	t := &Table{
+		Name:   "feedback",
+		Title:  "self-tuning optimizer: static first run vs feedback-corrected second run",
+		Header: []string{"workload", "task", "executor", "static plan", "tuned plan", "static s/ep", "tuned s/ep", "rerun s/ep", "speedup", "corrected"},
+		Notes:  "tuned <= static by construction (argmin over measured candidates); corrected rows are where the word-cost prior mispriced the host",
+	}
+	metrics := map[string]float64{}
+	for _, e := range entries {
+		if e.Error != "" {
+			t.Rows = append(t.Rows, []string{e.Workload, e.Task, e.Executor, "ERROR: " + e.Error, "-", "-", "-", "-", "-", "-"})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Workload, e.Task, e.Executor, e.StaticPlan, e.TunedPlan,
+			fmt.Sprintf("%.4f", e.StaticSecondsPerEpoch),
+			fmt.Sprintf("%.4f", e.TunedSecondsPerEpoch),
+			fmt.Sprintf("%.4f", e.RerunSecondsPerEpoch),
+			fmt.Sprintf("%.2fx", e.Speedup),
+			fmt.Sprintf("%v", e.Corrected),
+		})
+		metrics[fmt.Sprintf("%s_%s_speedup", e.Workload, e.Task)] = e.Speedup
+	}
+	return &Result{Table: t, Metrics: metrics}
+}
+
+// FeedbackSpeedups reports each workload's feedback-over-static
+// speedup in the shared gate row shape, so dwbench -feedback can
+// enforce "the corrected plan never loses" the same way the executor
+// benches enforce their thresholds.
+func FeedbackSpeedups(entries []FeedbackEntry) []SpeedupRow {
+	var out []SpeedupRow
+	for _, e := range entries {
+		if e.Error != "" || e.Speedup <= 0 {
+			continue
+		}
+		out = append(out, SpeedupRow{
+			Task:      e.Workload + "/" + e.Task,
+			Metric:    "static_over_tuned_s_per_epoch",
+			Simulated: e.StaticSecondsPerEpoch,
+			Parallel:  e.TunedSecondsPerEpoch,
+			Speedup:   e.Speedup,
+		})
+	}
+	return out
+}

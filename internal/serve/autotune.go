@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"dimmwitted/internal/metrics"
+)
+
+// BatchTunerConfig bounds and paces the AIMD controller that retunes
+// the predict coalescer. Zero values take the documented defaults.
+type BatchTunerConfig struct {
+	// TargetP95 is the predict-route p95 latency goal the controller
+	// defends; 0 means 5ms.
+	TargetP95 time.Duration
+	// MinWindow and MaxWindow clamp the flush window. The window can
+	// never tune below MinWindow (0 means 100µs — batching stays on) or
+	// above MaxWindow (0 means 10× the coalescer's starting window).
+	MinWindow time.Duration
+	MaxWindow time.Duration
+	// MinBatch and MaxBatch clamp the per-flush example cap; 0 means
+	// 16 and 1024.
+	MinBatch int
+	MaxBatch int
+	// Interval paces the control loop; 0 means 1s.
+	Interval time.Duration
+	// FactorThreshold is the coalescing factor (requests per batched
+	// call) above which growing the window pays — below it requests
+	// arrive too sparsely for the added wait to merge anything; 0 means
+	// 1.05.
+	FactorThreshold float64
+}
+
+// normalize fills config defaults; startWindow seeds the MaxWindow
+// default.
+func (c BatchTunerConfig) normalize(startWindow time.Duration) BatchTunerConfig {
+	if c.TargetP95 <= 0 {
+		c.TargetP95 = 5 * time.Millisecond
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 100 * time.Microsecond
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 10 * startWindow
+		if c.MaxWindow <= 0 {
+			c.MaxWindow = 10 * time.Millisecond
+		}
+	}
+	if c.MaxWindow < c.MinWindow {
+		c.MaxWindow = c.MinWindow
+	}
+	if c.MinBatch <= 0 {
+		c.MinBatch = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxBatch < c.MinBatch {
+		c.MaxBatch = c.MinBatch
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.FactorThreshold <= 0 {
+		c.FactorThreshold = 1.05
+	}
+	return c
+}
+
+// BatchTunerStats is a point-in-time view of the controller for the
+// stats endpoint and /metrics.
+type BatchTunerStats struct {
+	// TargetP95Ms is the latency goal; WindowMs and MaxBatch are the
+	// coalescer settings after the latest tick.
+	TargetP95Ms float64 `json:"target_p95_ms"`
+	WindowMs    float64 `json:"window_ms"`
+	MaxBatch    int     `json:"max_batch"`
+	// Ticks counts control decisions; Backoffs the multiplicative
+	// decreases (p95 over target), Increases the additive increases
+	// (coalescing factor justified growth).
+	Ticks     int64 `json:"ticks"`
+	Backoffs  int64 `json:"backoffs"`
+	Increases int64 `json:"increases"`
+}
+
+// BatchTuner is the AIMD controller that feeds live p95 latency and
+// the achieved coalescing factor back into the coalescer's flush
+// window and batch cap: latency over target halves both (multiplicative
+// decrease — the window is the latency tax, the cap bounds head-of-line
+// blocking inside a flush), while a healthy coalescing factor under
+// target grows both additively, so a loaded server drifts toward the
+// largest batch the latency budget affords. The decision rule lives in
+// TickWith, which is deterministic given its inputs; the background
+// loop merely samples the histogram and counters on a ticker.
+type BatchTuner struct {
+	coal *Coalescer
+	cfg  BatchTunerConfig
+	hist *metrics.Histogram
+
+	mu           sync.Mutex
+	lastRequests int64
+	lastBatches  int64
+	ticks        int64
+	backoffs     int64
+	increases    int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewBatchTuner builds a controller over the coalescer; hist is the
+// predict route's handler-latency histogram (may be nil — such a tuner
+// only ever drifts, it cannot observe latency). Call Start to run the
+// loop, or drive TickWith directly.
+func NewBatchTuner(coal *Coalescer, hist *metrics.Histogram, cfg BatchTunerConfig) *BatchTuner {
+	return &BatchTuner{
+		coal: coal,
+		cfg:  cfg.normalize(coal.Window()),
+		hist: hist,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Config returns the normalized controller configuration.
+func (t *BatchTuner) Config() BatchTunerConfig { return t.cfg }
+
+// Start runs the control loop until Stop.
+func (t *BatchTuner) Start() {
+	go func() {
+		defer close(t.done)
+		ticker := time.NewTicker(t.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				t.tick()
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the control loop; the coalescer keeps its last settings.
+func (t *BatchTuner) Stop() {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	<-t.done
+}
+
+// tick samples the live signals and applies one control decision.
+func (t *BatchTuner) tick() {
+	var p95 time.Duration
+	if t.hist != nil {
+		p95 = time.Duration(t.hist.Snapshot().P95Ms * float64(time.Millisecond))
+	}
+	st := t.coal.Stats()
+	t.TickWith(p95, st.Requests, st.Batches)
+}
+
+// TickWith applies one AIMD decision from the cumulative signals: the
+// predict p95, and the coalescer's requests/batches counters (the tuner
+// diffs them against the previous tick to get the interval's coalescing
+// factor). Exposed for deterministic tests.
+func (t *BatchTuner) TickWith(p95 time.Duration, requests, batches int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dReq := requests - t.lastRequests
+	dBat := batches - t.lastBatches
+	t.lastRequests, t.lastBatches = requests, batches
+	t.ticks++
+
+	window, maxB := t.coal.Window(), t.coal.MaxBatch()
+	switch {
+	case dReq > 0 && p95 > t.cfg.TargetP95:
+		// Multiplicative decrease: the flush window is a direct latency
+		// tax on every coalesced request, so over-target p95 halves it
+		// (and the cap, which bounds time spent inside one flush).
+		window = clampWindow(window/2, t.cfg)
+		maxB = clampBatch(maxB/2, t.cfg)
+		t.backoffs++
+	case dBat > 0 && float64(dReq)/float64(dBat) >= t.cfg.FactorThreshold:
+		// Additive increase: requests are actually merging, and latency
+		// is within budget — buy more coalescing one step at a time.
+		window = clampWindow(window+t.cfg.MinWindow, t.cfg)
+		maxB = clampBatch(maxB+t.cfg.MinBatch, t.cfg)
+		t.increases++
+	case dReq == 0:
+		// Idle drift: an unloaded server should not hold a large window
+		// that taxes the first request of the next burst.
+		window = clampWindow(window-t.cfg.MinWindow, t.cfg)
+	}
+	t.coal.SetTuning(window, maxB)
+}
+
+func clampWindow(w time.Duration, cfg BatchTunerConfig) time.Duration {
+	if w < cfg.MinWindow {
+		return cfg.MinWindow
+	}
+	if w > cfg.MaxWindow {
+		return cfg.MaxWindow
+	}
+	return w
+}
+
+func clampBatch(b int, cfg BatchTunerConfig) int {
+	if b < cfg.MinBatch {
+		return cfg.MinBatch
+	}
+	if b > cfg.MaxBatch {
+		return cfg.MaxBatch
+	}
+	return b
+}
+
+// Stats returns controller statistics and the coalescer's current
+// settings.
+func (t *BatchTuner) Stats() BatchTunerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return BatchTunerStats{
+		TargetP95Ms: float64(t.cfg.TargetP95) / float64(time.Millisecond),
+		WindowMs:    float64(t.coal.Window()) / float64(time.Millisecond),
+		MaxBatch:    t.coal.MaxBatch(),
+		Ticks:       t.ticks,
+		Backoffs:    t.backoffs,
+		Increases:   t.increases,
+	}
+}

@@ -35,10 +35,12 @@ var errCoalescerClosed = errors.New("serve: coalescer closed")
 // bad example) is retried per request so the error lands only on the
 // offender.
 type Coalescer struct {
-	reg    *Registry
-	window time.Duration
-	// maxBatch caps the examples coalesced into one flush.
-	maxBatch int
+	reg *Registry
+	// window (nanoseconds) and maxBatch are atomics because the AIMD
+	// batch tuner retunes them while the dispatcher runs; dispatch reads
+	// both once per batch, so a flush sees one consistent setting.
+	window   atomic.Int64
+	maxBatch atomic.Int64
 	queue    chan *pendingPredict
 	flushCh  chan []*pendingPredict
 	stop     chan struct{}
@@ -91,13 +93,13 @@ func NewCoalescer(reg *Registry, opts CoalescerOptions) *Coalescer {
 		opts.Workers = 4
 	}
 	c := &Coalescer{
-		reg:      reg,
-		window:   opts.Window,
-		maxBatch: opts.MaxBatch,
-		queue:    make(chan *pendingPredict, opts.Queue),
-		flushCh:  make(chan []*pendingPredict),
-		stop:     make(chan struct{}),
+		reg:     reg,
+		queue:   make(chan *pendingPredict, opts.Queue),
+		flushCh: make(chan []*pendingPredict),
+		stop:    make(chan struct{}),
 	}
+	c.window.Store(int64(opts.Window))
+	c.maxBatch.Store(int64(opts.MaxBatch))
 	c.wg.Add(1)
 	go c.dispatch()
 	for i := 0; i < opts.Workers; i++ {
@@ -107,8 +109,23 @@ func NewCoalescer(reg *Registry, opts CoalescerOptions) *Coalescer {
 	return c
 }
 
-// Window returns the configured flush window.
-func (c *Coalescer) Window() time.Duration { return c.window }
+// Window returns the current flush window.
+func (c *Coalescer) Window() time.Duration { return time.Duration(c.window.Load()) }
+
+// MaxBatch returns the current per-flush example cap.
+func (c *Coalescer) MaxBatch() int { return int(c.maxBatch.Load()) }
+
+// SetTuning atomically retunes the flush window and batch cap — the
+// AIMD batch tuner's write path. Values take effect on the next batch
+// the dispatcher gathers.
+func (c *Coalescer) SetTuning(window time.Duration, maxBatch int) {
+	if window >= 0 {
+		c.window.Store(int64(window))
+	}
+	if maxBatch > 0 {
+		c.maxBatch.Store(int64(maxBatch))
+	}
+}
 
 // Predict submits one request for coalescing and blocks until its
 // batch is served. A full queue returns ErrOverloaded immediately.
@@ -152,10 +169,11 @@ func (c *Coalescer) dispatch() {
 		}
 		batch := []*pendingPredict{first}
 		n := len(first.examples)
-		if c.window > 0 {
-			timer := time.NewTimer(c.window)
+		window, maxBatch := time.Duration(c.window.Load()), int(c.maxBatch.Load())
+		if window > 0 {
+			timer := time.NewTimer(window)
 		gather:
-			for n < c.maxBatch {
+			for n < maxBatch {
 				select {
 				case p := <-c.queue:
 					batch = append(batch, p)
@@ -169,7 +187,7 @@ func (c *Coalescer) dispatch() {
 			timer.Stop()
 		} else {
 		greedy:
-			for n < c.maxBatch {
+			for n < maxBatch {
 				select {
 				case p := <-c.queue:
 					batch = append(batch, p)
@@ -324,8 +342,8 @@ type BatchStats struct {
 func (c *Coalescer) Stats() BatchStats {
 	return BatchStats{
 		Enabled:  true,
-		WindowMs: float64(c.window) / float64(time.Millisecond),
-		MaxBatch: c.maxBatch,
+		WindowMs: float64(c.window.Load()) / float64(time.Millisecond),
+		MaxBatch: int(c.maxBatch.Load()),
 		Capacity: cap(c.queue),
 		Depth:    c.depth.Load(),
 		Requests: c.requests.Load(),

@@ -17,10 +17,11 @@ import (
 	"dimmwitted/internal/numa"
 )
 
-// testStores opens the two durability namespaces under a test dir.
+// testStores opens the durability namespaces under a test dir (the
+// tune store is unused here; optimizer persistence has its own tests).
 func testStores(t *testing.T) (jobs, models *ckpt.Store) {
 	t.Helper()
-	jobs, models, err := OpenStores(t.TempDir())
+	jobs, models, _, err := OpenStores(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}

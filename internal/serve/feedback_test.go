@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+	"dimmwitted/internal/tune"
+)
+
+// TestPlanCacheEviction exercises the LRU size cap.
+func TestPlanCacheEviction(t *testing.T) {
+	c := NewPlanCacheSize(2)
+	spec := model.NewSVM()
+	ds, err := data.ByName("reuters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []PlanKey{
+		KeyFor(spec, ds, numa.Local2, core.ExecSimulated),
+		KeyFor(spec, ds, numa.Local4, core.ExecSimulated),
+		KeyFor(spec, ds, numa.Local8, core.ExecSimulated),
+	}
+	plan := core.Plan{Machine: numa.Local2}
+	c.Store(keys[0], plan)
+	c.Store(keys[1], plan)
+	// Touch key 0 so key 1 is the LRU victim when key 2 arrives.
+	if _, ok := c.Lookup(keys[0]); !ok {
+		t.Fatal("stored key missing")
+	}
+	c.Store(keys[2], plan)
+
+	if _, ok := c.Peek(keys[1]); ok {
+		t.Fatal("LRU entry survived past the size cap")
+	}
+	for _, k := range []PlanKey{keys[0], keys[2]} {
+		if _, ok := c.Peek(k); !ok {
+			t.Fatalf("recently used entry %v was evicted", k.Machine)
+		}
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Capacity != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want size 2, capacity 2, evictions 1", st)
+	}
+}
+
+// TestPlanCacheInvalidate exercises the generational contract directly.
+func TestPlanCacheInvalidate(t *testing.T) {
+	c := NewPlanCache()
+	spec := model.NewSVM()
+	ds, err := data.ByName("reuters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyFor(spec, ds, numa.Local2, core.ExecSimulated)
+	if c.Invalidate(key) {
+		t.Fatal("invalidating a missing key reported success")
+	}
+	c.Store(key, core.Plan{Machine: numa.Local2})
+	if !c.Invalidate(key) {
+		t.Fatal("invalidating a present key reported failure")
+	}
+	if _, ok := c.Peek(key); ok {
+		t.Fatal("invalidated entry still cached")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.Generation != 1 {
+		t.Fatalf("stats = %+v, want 1 invalidation, generation 1", st)
+	}
+}
+
+// rivalKey builds the observation key the scheduler would use for a
+// candidate plan of the svm/reuters job — the test's window into the
+// feedback store's keyspace.
+func rivalKey(t *testing.T, ds *data.Dataset, p core.Plan) tune.Key {
+	t.Helper()
+	return tune.Key{
+		Workload: "glm", Model: "svm", Dataset: ds.Name,
+		Rows: ds.Rows(), Cols: ds.Cols(), NNZ: ds.NNZ(),
+		Machine:  p.Machine.Name,
+		Executor: p.Executor.String(), ModelRep: p.ModelRep.String(),
+		DataRep: p.DataRep.String(), Access: p.Access.String(),
+		Workers: p.Workers, StealChunk: p.StealChunk,
+	}
+}
+
+// TestFeedbackInvalidatesFlippedWinner is the tentpole's cache
+// contract: once the feedback store proves a non-static candidate
+// cheaper, the finished job's re-planning pass invalidates the cached
+// static plan and stores the measured winner, and the next scheduler
+// over the same store picks it as "measured".
+func TestFeedbackInvalidatesFlippedWinner(t *testing.T) {
+	fb := tune.NewStore(tune.Options{MinObservations: 1, Epsilon: -1})
+	s := newTestScheduler(t, Options{Feedback: fb})
+	req := TrainRequest{Model: "svm", Dataset: "reuters", MaxEpochs: 2}
+
+	id1, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := s.Wait(id1, waitTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.State != "done" {
+		t.Fatalf("job 1 ended %s: %s", st1.State, st1.Error)
+	}
+	if st1.PlanSource != "static" {
+		t.Fatalf("job 1 plan source %q, want static (nothing measured yet)", st1.PlanSource)
+	}
+	if st1.ObservedSecondsPerEpoch <= 0 {
+		t.Fatalf("job 1 observed seconds/epoch = %v, want > 0", st1.ObservedSecondsPerEpoch)
+	}
+	if got := fb.Stats().Observations; got != 2 {
+		t.Fatalf("feedback store holds %d observations after a 2-epoch job, want 2", got)
+	}
+
+	// Plant measurements that make a non-static candidate the winner.
+	ds, err := data.ByName("reuters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := core.NewGLM(model.NewSVM(), ds)
+	cands, err := core.CandidatePlans(wl, numa.Local2, core.ExecSimulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	rival := cands[1]
+	fb.Record(rivalKey(t, ds, rival), tune.Sample{SecondsPerEpoch: 1e-9})
+
+	// The repeat job still runs the cached static plan, but its closing
+	// re-planning pass must see the flip and invalidate the entry.
+	id2, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.Wait(id2, waitTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != "done" {
+		t.Fatalf("job 2 ended %s: %s", st2.State, st2.Error)
+	}
+	if st2.PlanSource != "cached" {
+		t.Fatalf("job 2 plan source %q, want cached", st2.PlanSource)
+	}
+	cs := s.Plans().Stats()
+	if cs.Invalidations != 1 || cs.Generation != 1 {
+		t.Fatalf("cache stats after flip = %+v, want 1 invalidation, generation 1", cs)
+	}
+	key := KeyFor(model.NewSVM(), ds, numa.Local2, core.ExecSimulated)
+	got, ok := s.Plans().Peek(key)
+	if !ok {
+		t.Fatal("re-planned winner was not stored back")
+	}
+	if got.ModelRep != rival.ModelRep || got.DataRep != rival.DataRep {
+		t.Fatalf("cached plan after flip = %v, want the measured rival %v", got, rival)
+	}
+
+	// A fresh scheduler sharing the store (a restart, in effect) must
+	// choose the measured winner outright.
+	s2 := newTestScheduler(t, Options{Feedback: fb})
+	id3, err := s2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3, err := s2.Wait(id3, waitTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.State != "done" {
+		t.Fatalf("job 3 ended %s: %s", st3.State, st3.Error)
+	}
+	if st3.PlanSource != "measured" {
+		t.Fatalf("job 3 plan source %q, want measured", st3.PlanSource)
+	}
+	if st3.PredictedSecondsPerEpoch <= 0 {
+		t.Fatalf("job 3 predicted seconds/epoch = %v, want > 0", st3.PredictedSecondsPerEpoch)
+	}
+}
+
+// TestFeedbackDisabled: -no-feedback restores the purely static path.
+func TestFeedbackDisabled(t *testing.T) {
+	s := newTestScheduler(t, Options{DisableFeedback: true})
+	if s.Feedback() != nil {
+		t.Fatal("DisableFeedback left a feedback store attached")
+	}
+	id, err := s.Submit(TrainRequest{Model: "svm", Dataset: "reuters", MaxEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Wait(id, waitTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.PlanSource != "static" {
+		t.Fatalf("plan source %q, want static", st.PlanSource)
+	}
+	if st.PredictedSecondsPerEpoch != 0 {
+		t.Fatalf("predicted = %v with feedback off, want 0", st.PredictedSecondsPerEpoch)
+	}
+}
+
+// TestBatchTunerAIMD drives the controller's decision rule directly.
+func TestBatchTunerAIMD(t *testing.T) {
+	reg := NewRegistry()
+	coal := NewCoalescer(reg, CoalescerOptions{Window: time.Millisecond, MaxBatch: 256})
+	defer coal.Close()
+	cfg := BatchTunerConfig{
+		TargetP95: 5 * time.Millisecond,
+		MinWindow: 100 * time.Microsecond, MaxWindow: 10 * time.Millisecond,
+		MinBatch: 16, MaxBatch: 1024,
+		FactorThreshold: 1.05,
+	}
+	bt := NewBatchTuner(coal, nil, cfg)
+
+	// Over-target latency with traffic: multiplicative decrease.
+	bt.TickWith(20*time.Millisecond, 100, 10)
+	if got := coal.Window(); got != 500*time.Microsecond {
+		t.Fatalf("window after backoff = %v, want 500µs", got)
+	}
+	if got := coal.MaxBatch(); got != 128 {
+		t.Fatalf("max batch after backoff = %d, want 128", got)
+	}
+
+	// Healthy coalescing under target: additive increase.
+	bt.TickWith(time.Millisecond, 300, 20) // interval factor 200/10 = 20
+	if got := coal.Window(); got != 600*time.Microsecond {
+		t.Fatalf("window after increase = %v, want 600µs", got)
+	}
+	if got := coal.MaxBatch(); got != 144 {
+		t.Fatalf("max batch after increase = %d, want 144", got)
+	}
+
+	// Idle interval: the window drifts down; the cap holds.
+	bt.TickWith(0, 300, 20)
+	if got := coal.Window(); got != 500*time.Microsecond {
+		t.Fatalf("window after idle drift = %v, want 500µs", got)
+	}
+	if got := coal.MaxBatch(); got != 144 {
+		t.Fatalf("max batch after idle drift = %d, want 144", got)
+	}
+
+	// Repeated backoffs clamp at the floors, never zero.
+	for i := 0; i < 20; i++ {
+		bt.TickWith(time.Second, 300+int64(i+1), 20+int64(i+1))
+	}
+	if got := coal.Window(); got != cfg.MinWindow {
+		t.Fatalf("window floor = %v, want %v", got, cfg.MinWindow)
+	}
+	if got := coal.MaxBatch(); got != cfg.MinBatch {
+		t.Fatalf("batch floor = %d, want %d", got, cfg.MinBatch)
+	}
+
+	st := bt.Stats()
+	if st.Backoffs != 21 || st.Increases != 1 || st.Ticks != 23 {
+		t.Fatalf("tuner stats = %+v, want 21 backoffs, 1 increase, 23 ticks", st)
+	}
+}
+
+// TestBatchTunerClampsAtMax: additive growth stops at the ceilings.
+func TestBatchTunerClampsAtMax(t *testing.T) {
+	reg := NewRegistry()
+	coal := NewCoalescer(reg, CoalescerOptions{Window: time.Millisecond, MaxBatch: 256})
+	defer coal.Close()
+	bt := NewBatchTuner(coal, nil, BatchTunerConfig{
+		TargetP95: 5 * time.Millisecond,
+		MinWindow: time.Millisecond, MaxWindow: 3 * time.Millisecond,
+		MinBatch: 256, MaxBatch: 512,
+	})
+	for i := int64(1); i <= 10; i++ {
+		bt.TickWith(time.Millisecond, 100*i, 10*i)
+	}
+	if got := coal.Window(); got != 3*time.Millisecond {
+		t.Fatalf("window ceiling = %v, want 3ms", got)
+	}
+	if got := coal.MaxBatch(); got != 512 {
+		t.Fatalf("batch ceiling = %d, want 512", got)
+	}
+}
+
+// TestServerAutoBatchWiring: the server starts and stops the tuner and
+// surfaces its stats.
+func TestServerAutoBatchWiring(t *testing.T) {
+	srv := NewServer(Options{
+		BatchWindow: 200 * time.Microsecond,
+		AutoBatch:   true,
+		AutoBatchConfig: BatchTunerConfig{
+			Interval: time.Hour, // never ticks during the test
+		},
+	})
+	defer srv.Close()
+	bt := srv.BatchTuner()
+	if bt == nil {
+		t.Fatal("AutoBatch did not build a tuner")
+	}
+	st := bt.Stats()
+	if st.WindowMs <= 0 || st.MaxBatch <= 0 {
+		t.Fatalf("tuner stats = %+v, want live coalescer settings", st)
+	}
+	if cfg := bt.Config(); cfg.TargetP95 != 5*time.Millisecond {
+		t.Fatalf("default target p95 = %v, want 5ms", cfg.TargetP95)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"dimmwitted/internal/model"
 	"dimmwitted/internal/nn"
 	"dimmwitted/internal/trace"
+	"dimmwitted/internal/tune"
 )
 
 // Server is the HTTP front end: a scheduler, its model registry and
@@ -26,6 +27,7 @@ type Server struct {
 	sched    *Scheduler
 	counters *metrics.ServeCounters
 	coal     *Coalescer
+	tuner    *BatchTuner
 	mux      *http.ServeMux
 	// latency maps route patterns to their handler-latency histograms.
 	// The map is built at construction and read-only afterwards, so
@@ -61,6 +63,12 @@ func NewServer(opts Options) *Server {
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.handle("GET /metrics", s.handleMetrics)
+	if opts.AutoBatch && s.coal != nil {
+		// The controller reads the predict route's latency histogram, so
+		// it starts after the routes (and their histograms) exist.
+		s.tuner = NewBatchTuner(s.coal, s.latency["POST /v1/predict"], opts.AutoBatchConfig)
+		s.tuner.Start()
+	}
 	return s
 }
 
@@ -84,8 +92,16 @@ func (s *Server) Scheduler() *Scheduler { return s.sched }
 // not configured.
 func (s *Server) Coalescer() *Coalescer { return s.coal }
 
-// Close shuts the coalescer and scheduler down (see Scheduler.Close).
+// BatchTuner returns the AIMD coalescer controller, or nil when
+// auto-tuning is not configured.
+func (s *Server) BatchTuner() *BatchTuner { return s.tuner }
+
+// Close shuts the batch tuner, coalescer and scheduler down (see
+// Scheduler.Close).
 func (s *Server) Close() {
+	if s.tuner != nil {
+		s.tuner.Stop()
+	}
 	if s.coal != nil {
 		s.coal.Close()
 	}
@@ -329,6 +345,13 @@ type statsResponse struct {
 	// coalescing factor, admission-control rejections); omitted when
 	// batching is not configured.
 	Batch *BatchStats `json:"batch,omitempty"`
+	// BatchTuner summarises the AIMD coalescer controller (current
+	// window/cap, backoffs, increases); omitted unless auto-tuning is on.
+	BatchTuner *BatchTunerStats `json:"batch_tuner,omitempty"`
+	// Optimizer summarises the self-tuning optimizer's feedback store
+	// (keys, observations, explorations); omitted when the feedback loop
+	// is disabled.
+	Optimizer *tune.Stats `json:"optimizer,omitempty"`
 	// Datasets, Graphs and NNDatasets list what each workload's
 	// "dataset" field accepts: GLM data matrices, factor graphs, and
 	// image corpora.
@@ -363,6 +386,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.coal != nil {
 		st := s.coal.Stats()
 		resp.Batch = &st
+	}
+	if s.tuner != nil {
+		st := s.tuner.Stats()
+		resp.BatchTuner = &st
+	}
+	if fb := s.sched.Feedback(); fb != nil {
+		st := fb.Stats()
+		resp.Optimizer = &st
 	}
 	if st := s.sched.opts.Checkpoints; st != nil {
 		resp.CheckpointDir = st.Dir()

@@ -76,50 +76,149 @@ func KeyForWorkload(wl core.Workload, top numa.Topology, exec core.ExecutorKind)
 
 // PlanCacheStats is a point-in-time view of cache effectiveness.
 type PlanCacheStats struct {
-	// Size is the number of cached plans.
-	Size int `json:"size"`
+	// Size is the number of cached plans; Capacity is the size cap.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
 	// Hits and Misses count lookups since construction.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped by the size cap (least recently
+	// used first); Invalidations counts entries dropped because a
+	// feedback update flipped the optimizer's winner.
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	// Generation increments on every invalidation: entries stored
+	// before the latest winner flip belong to an older generation, and
+	// the counter makes feedback-driven churn visible even when the
+	// re-planned winner lands back in the cache immediately.
+	Generation uint64 `json:"generation"`
 }
 
-// PlanCache memoises cost-based optimizer output. It is safe for
-// concurrent use by every scheduler worker.
+// defaultPlanCacheCap bounds the cache. Keys are per task/dataset/
+// machine/executor, so even a daemon cycling every bundled combination
+// stays far below it; the cap exists so an adversarial request stream
+// (many machines × datasets) cannot grow the map without bound.
+const defaultPlanCacheCap = 256
+
+// planEntry is one cached plan with its recency clock and the cache
+// generation it was stored under.
+type planEntry struct {
+	plan core.Plan
+	last int64
+	gen  uint64
+}
+
+// PlanCache memoises cost-based optimizer output. It is bounded (LRU
+// eviction at the size cap) and generational: Invalidate drops an
+// entry whose winner a feedback update flipped and advances the
+// generation counter. It is safe for concurrent use by every scheduler
+// worker.
 type PlanCache struct {
-	mu     sync.Mutex
-	plans  map[PlanKey]core.Plan
-	hits   int64
-	misses int64
+	mu            sync.Mutex
+	plans         map[PlanKey]*planEntry
+	cap           int
+	tick          int64
+	hits          int64
+	misses        int64
+	evictions     int64
+	invalidations int64
+	gen           uint64
 }
 
-// NewPlanCache returns an empty cache.
-func NewPlanCache() *PlanCache {
-	return &PlanCache{plans: map[PlanKey]core.Plan{}}
+// NewPlanCache returns an empty cache with the default size cap.
+func NewPlanCache() *PlanCache { return NewPlanCacheSize(0) }
+
+// NewPlanCacheSize returns an empty cache capped at max entries;
+// max <= 0 means the default.
+func NewPlanCacheSize(max int) *PlanCache {
+	if max <= 0 {
+		max = defaultPlanCacheCap
+	}
+	return &PlanCache{plans: map[PlanKey]*planEntry{}, cap: max}
 }
 
-// Lookup returns the cached plan for the key, counting a hit or miss.
+// Lookup returns the cached plan for the key, counting a hit or miss
+// and refreshing the entry's recency.
 func (c *PlanCache) Lookup(key PlanKey) (core.Plan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	plan, ok := c.plans[key]
-	if ok {
-		c.hits++
-	} else {
+	e, ok := c.plans[key]
+	if !ok {
 		c.misses++
+		return core.Plan{}, false
 	}
-	return plan, ok
+	c.hits++
+	c.tick++
+	e.last = c.tick
+	return e.plan, true
 }
 
-// Store records the optimizer's plan for the key.
+// Peek returns the cached plan without touching the hit/miss counters
+// or recency — the re-planning path's read, which must not inflate the
+// cache-effectiveness statistics it is auditing.
+func (c *PlanCache) Peek(key PlanKey) (core.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.plans[key]
+	if !ok {
+		return core.Plan{}, false
+	}
+	return e.plan, true
+}
+
+// Store records the optimizer's plan for the key, evicting the least
+// recently used entry if the cache is at capacity.
 func (c *PlanCache) Store(key PlanKey, plan core.Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.plans[key] = plan
+	c.tick++
+	if e, ok := c.plans[key]; ok {
+		e.plan = plan
+		e.last = c.tick
+		e.gen = c.gen
+		return
+	}
+	if len(c.plans) >= c.cap {
+		var victim PlanKey
+		oldest := int64(0)
+		first := true
+		for k, e := range c.plans {
+			if first || e.last < oldest {
+				victim, oldest, first = k, e.last, false
+			}
+		}
+		delete(c.plans, victim)
+		c.evictions++
+	}
+	c.plans[key] = &planEntry{plan: plan, last: c.tick, gen: c.gen}
+}
+
+// Invalidate drops the key's entry because a feedback update flipped
+// the optimizer's winner, advancing the cache generation. Reports
+// whether an entry was present.
+func (c *PlanCache) Invalidate(key PlanKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.plans[key]; !ok {
+		return false
+	}
+	delete(c.plans, key)
+	c.invalidations++
+	c.gen++
+	return true
 }
 
 // Stats returns current cache statistics.
 func (c *PlanCache) Stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return PlanCacheStats{Size: len(c.plans), Hits: c.hits, Misses: c.misses}
+	return PlanCacheStats{
+		Size:          len(c.plans),
+		Capacity:      c.cap,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Generation:    c.gen,
+	}
 }

@@ -107,6 +107,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("dimmwitted_jobs_cancelled_total", "Jobs cancelled before completion.", float64(c.JobsCancelled))
 	p.counter("dimmwitted_plan_cache_hits_total", "Optimizer invocations skipped by the plan cache.", float64(c.PlanCacheHits))
 	p.counter("dimmwitted_plan_cache_misses_total", "Cost-based optimizer runs.", float64(c.PlanCacheMisses))
+	pc := s.sched.Plans().Stats()
+	p.gauge("dimmwitted_plan_cache_size", "Plans currently cached.", float64(pc.Size))
+	p.counter("dimmwitted_plan_cache_evictions_total", "Cached plans dropped by the LRU size cap.", float64(pc.Evictions))
+	p.counter("dimmwitted_plan_cache_invalidations_total", "Cached plans dropped because a feedback update flipped the optimizer's winner.", float64(pc.Invalidations))
 	p.counter("dimmwitted_http_errors_total", "Requests answered with a non-2xx status.", float64(c.HTTPErrors))
 	p.counter("dimmwitted_gibbs_sweeps_total", "Full Gibbs chain sweeps.", float64(c.GibbsSweeps))
 	p.counter("dimmwitted_gibbs_samples_total", "Gibbs variable samples drawn.", float64(c.GibbsSamples))
@@ -139,6 +143,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.counter("dimmwitted_predict_batches_total", "Batched registry calls issued by the coalescer.", float64(b.Batches))
 		p.counter("dimmwitted_predict_batched_requests_total", "Requests served through coalesced batches.", float64(b.Requests))
 		p.counter("dimmwitted_predict_rejected_total", "Admission-control rejections (429).", float64(b.Rejected))
+	}
+
+	if s.tuner != nil {
+		bt := s.tuner.Stats()
+		p.gauge("dimmwitted_batch_window_seconds", "Coalescer flush window after the latest auto-tune tick.", bt.WindowMs/1e3)
+		p.gauge("dimmwitted_batch_max_examples", "Coalescer per-flush example cap after the latest auto-tune tick.", float64(bt.MaxBatch))
+		p.counter("dimmwitted_batch_tuner_backoffs_total", "Auto-tune multiplicative decreases (p95 over target).", float64(bt.Backoffs))
+		p.counter("dimmwitted_batch_tuner_increases_total", "Auto-tune additive increases (coalescing factor justified growth).", float64(bt.Increases))
+	}
+
+	if fb := s.sched.Feedback(); fb != nil {
+		ts := fb.Stats()
+		p.counter("dimmwitted_optimizer_observations_total", "Epoch wall-clock observations recorded by the self-tuning optimizer.", float64(ts.Observations))
+		p.gauge("dimmwitted_optimizer_keys", "Distinct plan observation keys in the feedback store.", float64(ts.Keys))
+		p.counter("dimmwitted_optimizer_explorations_total", "Plan decisions where the epsilon draw ran the runner-up.", float64(ts.Explorations))
 	}
 
 	// Route latency histograms: one family, one series per route. The

@@ -175,6 +175,11 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		"dimmwitted_http_request_duration_seconds_bucket",
 		"dimmwitted_engine_phase_seconds_total",
 		"dimmwitted_engine_phase_spans_total",
+		"dimmwitted_plan_cache_evictions_total",
+		"dimmwitted_plan_cache_invalidations_total",
+		"dimmwitted_optimizer_observations_total",
+		"dimmwitted_optimizer_keys",
+		"dimmwitted_optimizer_explorations_total",
 	} {
 		if len(samples[want]) == 0 {
 			t.Fatalf("exposition is missing %s", want)
@@ -182,6 +187,10 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	}
 	if got := samples["dimmwitted_jobs_done_total"][""]; got < 1 {
 		t.Fatalf("jobs_done_total = %v, want >= 1", got)
+	}
+	// The finished job's epochs must have landed in the feedback store.
+	if got := samples["dimmwitted_optimizer_observations_total"][""]; got < 1 {
+		t.Fatalf("optimizer_observations_total = %v, want >= 1 after a finished job", got)
 	}
 
 	// The traced parallel job must have fed the engine phase timers.

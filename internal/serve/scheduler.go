@@ -19,6 +19,7 @@ import (
 	"dimmwitted/internal/nn"
 	"dimmwitted/internal/numa"
 	"dimmwitted/internal/trace"
+	"dimmwitted/internal/tune"
 )
 
 // ErrJobActive reports a resume attempt on a job that is still queued
@@ -184,6 +185,21 @@ type JobStatus struct {
 	// "trace": true); nil otherwise. The full span journal is served by
 	// GET /v1/jobs/{id}/trace.
 	Trace *trace.Summary `json:"trace,omitempty"`
+	// PlanSource reports how the executed plan was chosen: "static"
+	// (word-cost prior), "measured" (feedback overrode the prior),
+	// "explore" (epsilon draw ran the decision's runner-up), "cached"
+	// (plan cache hit), "forced" (request's access override) or "warm"
+	// (snapshot's pinned plan).
+	PlanSource string `json:"plan_source,omitempty"`
+	// PredictedSecondsPerEpoch is the feedback store's cost forecast for
+	// the executed plan at planning time; 0 when the plan's observation
+	// key had no history. Compare with ObservedSecondsPerEpoch to audit
+	// the self-tuning optimizer's accuracy.
+	PredictedSecondsPerEpoch float64 `json:"predicted_seconds_per_epoch,omitempty"`
+	// ObservedSecondsPerEpoch is the job's measured wall clock per epoch
+	// it ran itself (warm-start inherited epochs excluded); 0 until the
+	// first epoch finishes.
+	ObservedSecondsPerEpoch float64 `json:"observed_seconds_per_epoch,omitempty"`
 	// Enqueued, Started and Finished are wall-clock timestamps;
 	// Started/Finished are zero until reached.
 	Enqueued time.Time `json:"enqueued"`
@@ -222,18 +238,33 @@ type job struct {
 	state       JobState
 	plan        core.Plan
 	planned     bool
-	epoch       int
-	loss        float64
-	conv        bool
-	err         string
-	qmetrics    map[string]float64
-	margins     []float64
-	simTime     time.Duration
-	wallTime    time.Duration
-	curve       metrics.Curve
-	enqueued    time.Time
-	started     time.Time
-	finished    time.Time
+	// planSource records how the executed plan was chosen ("static",
+	// "measured", "explore", "cached", "forced", "warm") and predicted
+	// the feedback store's cost forecast for it at planning time (0
+	// when the plan's key had no observations). tuneKey is the
+	// observation key epochs record under; it is written before the
+	// first epoch and read only by the running worker.
+	planSource string
+	predicted  float64
+	tuneKey    tune.Key
+	hasTuneKey bool
+	// epochsRun counts epochs this job executed itself and ownWall their
+	// wall clock (a warm start's inherited epochs and time are excluded
+	// from both) — the observed seconds-per-epoch the status reports.
+	epochsRun int
+	ownWall   time.Duration
+	epoch     int
+	loss      float64
+	conv      bool
+	err       string
+	qmetrics  map[string]float64
+	margins   []float64
+	simTime   time.Duration
+	wallTime  time.Duration
+	curve     metrics.Curve
+	enqueued  time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // Options configures a scheduler (and, through it, a server).
@@ -275,19 +306,43 @@ type Options struct {
 	// queue answers 429 with Retry-After instead of stacking latency.
 	// 0 means 1024. Ignored unless BatchWindow is set.
 	PredictQueue int
+	// Feedback is the self-tuning optimizer's observation store: every
+	// finished epoch records its wall clock against the executed plan's
+	// axes, and once a key crosses the store's observation threshold
+	// the measured cost overrides the static prior in plan choice. Nil
+	// builds a private in-memory store (the loop is on by default);
+	// pass a store to share it or to attach durable persistence.
+	Feedback *tune.Store
+	// DisableFeedback turns the feedback loop off entirely: plans come
+	// from the static cost model alone, epochs record nothing, and the
+	// plan cache never invalidates on a winner flip.
+	DisableFeedback bool
+	// AutoBatch enables the AIMD controller that tunes the predict
+	// coalescer's flush window and batch cap from live p95 latency and
+	// the achieved coalescing factor. Requires BatchWindow; see
+	// BatchTunerConfig for the bounds. Server-level.
+	AutoBatch bool
+	// AutoBatchConfig bounds and paces the controller; zero values take
+	// the defaults documented on BatchTunerConfig. Ignored unless
+	// AutoBatch is set.
+	AutoBatchConfig BatchTunerConfig
 }
 
-// OpenStores opens the serve layer's two durability namespaces under
+// OpenStores opens the serve layer's three durability namespaces under
 // dir — "jobs" for mid-training checkpoints, "models" for the
-// persistent registry — creating the directories as needed.
-func OpenStores(dir string) (jobs, models *ckpt.Store, err error) {
+// persistent registry, "tune" for the self-tuning optimizer's learned
+// costs — creating the directories as needed.
+func OpenStores(dir string) (jobs, models, tuner *ckpt.Store, err error) {
 	if jobs, err = ckpt.Open(filepath.Join(dir, "jobs"), ckpt.Options{}); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if models, err = ckpt.Open(filepath.Join(dir, "models"), ckpt.Options{}); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return jobs, models, nil
+	if tuner, err = ckpt.Open(filepath.Join(dir, "tune"), ckpt.Options{}); err != nil {
+		return nil, nil, nil, err
+	}
+	return jobs, models, tuner, nil
 }
 
 // normalize fills defaults.
@@ -307,6 +362,12 @@ func (o Options) normalize() Options {
 	if o.Counters == nil {
 		o.Counters = &metrics.ServeCounters{}
 	}
+	if o.Feedback == nil && !o.DisableFeedback {
+		o.Feedback = tune.NewStore(tune.Options{})
+	}
+	if o.DisableFeedback {
+		o.Feedback = nil
+	}
 	return o
 }
 
@@ -318,6 +379,9 @@ type Scheduler struct {
 	counters *metrics.ServeCounters
 	plans    *PlanCache
 	models   *Registry
+	// feedback is the self-tuning optimizer's observation store; nil
+	// when Options.DisableFeedback turned the loop off.
+	feedback *tune.Store
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -342,6 +406,7 @@ func NewScheduler(opts Options) *Scheduler {
 		counters: opts.Counters,
 		plans:    NewPlanCache(),
 		models:   NewRegistry(),
+		feedback: opts.Feedback,
 		queue:    make(chan *job, opts.QueueDepth),
 		jobs:     map[string]*job{},
 	}
@@ -394,6 +459,10 @@ func (s *Scheduler) Models() *Registry { return s.models }
 
 // Plans returns the shared plan cache.
 func (s *Scheduler) Plans() *PlanCache { return s.plans }
+
+// Feedback returns the self-tuning optimizer's observation store, or
+// nil when the feedback loop is disabled.
+func (s *Scheduler) Feedback() *tune.Store { return s.feedback }
 
 // Counters returns the scheduler's serving counters.
 func (s *Scheduler) Counters() *metrics.ServeCounters { return s.counters }
@@ -690,38 +759,168 @@ func parseAccess(name string) (model.Access, error) {
 	}
 }
 
+// Plan-source labels for JobStatus.PlanSource.
+const (
+	planSourceStatic   = "static"   // the word-cost prior decided
+	planSourceMeasured = "measured" // feedback overrode the prior
+	planSourceExplore  = "explore"  // epsilon draw ran the runner-up
+	planSourceCached   = "cached"   // plan cache hit
+	planSourceForced   = "forced"   // request's access override
+	planSourceWarm     = "warm"     // snapshot's pinned plan
+)
+
 // planFor resolves the job's execution plan, consulting the plan cache
 // when the optimizer would decide (no access override). The requested
 // executor and the workload kind are both part of the cache key: the
 // executor narrows the access methods the optimizer may price, and
 // heterogeneous workloads keep separate registries whose dataset names
-// may collide.
+// may collide. With the feedback loop on, a cache miss runs the
+// cost-model-aware optimizer — the static estimate is the prior, a key
+// with enough observed epochs wins on measurement — and an epsilon
+// draw occasionally runs the decision's runner-up (the cache still
+// stores the winner, so exploration never poisons later lookups).
 func (s *Scheduler) planFor(j *job) (core.Plan, error) {
 	exec, _ := core.ExecutorByName(j.req.Executor) // validated at Submit
 	if j.req.Access != "" {                        // glm only, validated at Submit
 		access, _ := parseAccess(j.req.Access)
+		s.setPlanSource(j, planSourceForced, 0)
 		return core.Plan{Access: access, Machine: j.top, DataRep: core.FullReplication, Executor: exec}, nil
 	}
 	key := s.keyFor(j, exec)
 	if plan, ok := s.plans.Lookup(key); ok {
 		s.counters.PlanCacheHit()
+		s.setPlanSource(j, planSourceCached, s.predictFor(j, plan))
 		return plan, nil
 	}
 	s.counters.PlanCacheMiss()
-	plan, err := core.ChooseWorkload(j.wl, j.top, exec)
-	if err != nil {
-		if exec == core.ExecParallel {
-			// No row-wise method: the parallel backend genuinely
-			// cannot run this spec; fail the job loudly instead of
-			// silently training on the simulator.
-			return core.Plan{}, err
+	if s.feedback == nil {
+		plan, err := core.ChooseWorkload(j.wl, j.top, exec)
+		if err != nil {
+			return s.planFallback(j, exec, err)
 		}
-		// Leave the choice to the engine's own validation; an
-		// unusable plan fails the job with the engine's error.
-		return core.Plan{Machine: j.top, Executor: exec}, nil
+		s.plans.Store(key, plan)
+		s.setPlanSource(j, planSourceStatic, 0)
+		return plan, nil
 	}
-	s.plans.Store(key, plan)
+	dec, err := core.ChoosePlanModel(j.wl, j.top, exec, jobCostModel{s: s, j: j})
+	if err != nil {
+		return s.planFallback(j, exec, err)
+	}
+	s.plans.Store(key, dec.Plan)
+	plan, source, predicted := dec.Plan, dec.Source, dec.PredictedSeconds
+	if dec.RunnerUp != nil && s.feedback.Explore() {
+		plan = *dec.RunnerUp
+		source = planSourceExplore
+		predicted = s.predictFor(j, plan)
+	}
+	s.setPlanSource(j, source, predicted)
 	return plan, nil
+}
+
+// planFallback handles an optimizer error: the parallel backend fails
+// loudly (no row-wise method means it genuinely cannot run the spec);
+// the simulator leaves the choice to the engine's own validation, so
+// an unusable plan fails the job with the engine's error.
+func (s *Scheduler) planFallback(j *job, exec core.ExecutorKind, err error) (core.Plan, error) {
+	if exec == core.ExecParallel {
+		return core.Plan{}, err
+	}
+	s.setPlanSource(j, planSourceStatic, 0)
+	return core.Plan{Machine: j.top, Executor: exec}, nil
+}
+
+// setPlanSource records how the job's plan was chosen and the cost
+// forecast for it, for the status report.
+func (s *Scheduler) setPlanSource(j *job, source string, predicted float64) {
+	s.mu.Lock()
+	j.planSource = source
+	j.predicted = predicted
+	s.mu.Unlock()
+}
+
+// predictFor returns the feedback store's EWMA seconds-per-epoch for
+// the plan, or 0 when the key has never been observed. Unlike the
+// decision path this reads below the K threshold: a forecast from two
+// epochs is still the best available number to print next to the
+// observed cost.
+func (s *Scheduler) predictFor(j *job, p core.Plan) float64 {
+	if s.feedback == nil {
+		return 0
+	}
+	if obs, ok := s.feedback.Lookup(s.obsKeyFor(j, p)); ok {
+		return obs.SecondsPerEpoch
+	}
+	return 0
+}
+
+// jobCostModel adapts the scheduler's feedback store to the optimizer's
+// CostModel seam for one job: candidate plans map to observation keys
+// through the job's workload identity.
+type jobCostModel struct {
+	s *Scheduler
+	j *job
+}
+
+// MeasuredSeconds implements core.CostModel.
+func (m jobCostModel) MeasuredSeconds(p core.Plan) (float64, bool) {
+	return m.s.feedback.Measured(m.s.obsKeyFor(m.j, p))
+}
+
+// obsKeyFor builds the observation key for a plan executed by this
+// job: workload identity, dataset fingerprint, and the plan axes the
+// optimizer chooses between. The plan's own machine name is used (a
+// warm start may pin a topology the request never named).
+func (s *Scheduler) obsKeyFor(j *job, p core.Plan) tune.Key {
+	k := tune.Key{
+		Workload:   j.kind.String(),
+		Machine:    p.Machine.Name,
+		Executor:   p.Executor.String(),
+		ModelRep:   p.ModelRep.String(),
+		DataRep:    p.DataRep.String(),
+		Access:     p.Access.String(),
+		Workers:    p.Workers,
+		StealChunk: p.StealChunk,
+	}
+	if j.kind == core.WorkloadGLM {
+		k.Model = j.spec.Name()
+		k.Dataset = j.ds.Name
+		k.Rows, k.Cols, k.NNZ = j.ds.Rows(), j.ds.Cols(), j.ds.NNZ()
+	} else {
+		k.Model = j.wl.Name()
+		k.Dataset = j.wl.DatasetName()
+		k.Rows, k.Cols, k.NNZ = j.wl.Units(), j.wl.Dim(), j.wl.DataNNZ()
+	}
+	return k
+}
+
+// replan re-runs the feedback-aware optimizer after a job's epochs
+// landed in the store and invalidates the cached plan if the winner
+// flipped — the cache's generational contract. The corrected winner is
+// stored immediately, so the next submission hits the cache on the
+// current decision rather than re-planning.
+func (s *Scheduler) replan(j *job, exec core.ExecutorKind) {
+	key := s.keyFor(j, exec)
+	cached, ok := s.plans.Peek(key)
+	if !ok {
+		return
+	}
+	dec, err := core.ChoosePlanModel(j.wl, j.top, exec, jobCostModel{s: s, j: j})
+	if err != nil {
+		return
+	}
+	if samePlanAxes(cached, dec.Plan) {
+		return
+	}
+	s.plans.Invalidate(key)
+	s.plans.Store(key, dec.Plan)
+}
+
+// samePlanAxes compares the plan axes the feedback store keys on; the
+// tuning knobs outside them (step sizes, sync cadence) do not
+// constitute a winner flip.
+func samePlanAxes(a, b core.Plan) bool {
+	return a.Access == b.Access && a.ModelRep == b.ModelRep && a.DataRep == b.DataRep &&
+		a.Executor == b.Executor && a.Workers == b.Workers && a.StealChunk == b.StealChunk
 }
 
 // keyFor builds the job's plan-cache key: the GLM key carries the
@@ -751,6 +950,7 @@ func (s *Scheduler) run(j *job) {
 		// workload, so a stale snapshot (wrong dimension, withdrawn
 		// dataset shape) fails the job loudly below.
 		plan = j.warm.Plan
+		s.setPlanSource(j, planSourceWarm, s.predictFor(j, plan))
 	} else {
 		var err error
 		plan, err = s.planFor(j)
@@ -809,6 +1009,25 @@ func (s *Scheduler) run(j *job) {
 	}
 	s.mu.Unlock()
 
+	if s.feedback != nil {
+		// Epochs observe the engine's fully normalized plan (worker and
+		// step overrides included), not the cached one, so the feedback
+		// store prices what actually ran. Flush once at job end — the
+		// store is in-memory authoritative; a failed write-through only
+		// loses learning across a restart.
+		j.tuneKey = s.obsKeyFor(j, eng.Plan())
+		j.hasTuneKey = true
+		defer func() {
+			if err := s.feedback.Flush(); err != nil {
+				s.counters.CheckpointError()
+			}
+		}()
+	}
+	// prevStep/prevFlush/prevBarrier hold the traced job's cumulative
+	// phase seconds after the previous epoch; diffing successive
+	// summaries yields the per-epoch step/flush/barrier split.
+	var prevStep, prevFlush, prevBarrier float64
+
 	// histEvery is the progress sampling stride; it doubles whenever
 	// the curve reaches maxHistoryPoints so very long jobs keep a
 	// bounded, evenly thinned history. Workload quality metrics (NN
@@ -836,8 +1055,28 @@ func (s *Scheduler) run(j *job) {
 			qm = eng.Metrics()
 		}
 		s.recordEpoch(j, eng, er)
+		if s.feedback != nil && j.hasTuneKey {
+			smp := tune.Sample{SecondsPerEpoch: er.WallTime.Seconds()}
+			if j.rec != nil {
+				sum := j.rec.Summary()
+				flush := 0.0
+				for _, p := range sum.Phases {
+					if p.Phase == "flush" {
+						flush = p.Seconds
+					}
+				}
+				smp.StepSeconds = sum.StepSeconds - prevStep
+				smp.FlushSeconds = flush - prevFlush
+				smp.BarrierSeconds = sum.BarrierSeconds - prevBarrier
+				smp.HasSplit = true
+				prevStep, prevFlush, prevBarrier = sum.StepSeconds, flush, sum.BarrierSeconds
+			}
+			s.feedback.Record(j.tuneKey, smp)
+		}
 
 		s.mu.Lock()
+		j.epochsRun++
+		j.ownWall += er.WallTime
 		j.epoch = er.Epoch
 		j.loss = er.Loss
 		if qm != nil {
@@ -892,6 +1131,12 @@ func (s *Scheduler) run(j *job) {
 	s.mu.Lock()
 	j.qmetrics = final
 	s.mu.Unlock()
+
+	if s.feedback != nil {
+		// The job's epochs are in the store; re-run the decision and
+		// invalidate the cached plan if the measured winner flipped.
+		s.replan(j, eng.ExecutorKind())
+	}
 
 	persistErr := s.publish(j, eng.Snapshot())
 	s.finish(j, JobDone, "")
@@ -1129,6 +1374,11 @@ func (s *Scheduler) statusLocked(j *job, withMarginals bool) JobStatus {
 	}
 	if j.planned {
 		st.Plan = j.plan.String()
+	}
+	st.PlanSource = j.planSource
+	st.PredictedSecondsPerEpoch = j.predicted
+	if j.epochsRun > 0 {
+		st.ObservedSecondsPerEpoch = j.ownWall.Seconds() / float64(j.epochsRun)
 	}
 	if j.rec != nil {
 		sum := j.rec.Summary()

@@ -1,0 +1,87 @@
+package tune
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"dimmwitted/internal/ckpt"
+	"dimmwitted/internal/core"
+)
+
+// The store persists as one ckpt entry: the observation table is JSON
+// in the entry's metadata, the snapshot slot is a zero value (the ckpt
+// container requires one; it costs a few dozen bytes). Riding on
+// internal/ckpt buys the atomic generational rename-into-place writes
+// and CRC framing the job checkpoints already have, so a torn write
+// loses one save, never the table.
+
+// persistID is the fixed entry id the table lives under.
+const persistID = "optimizer"
+
+// persistVersion guards the JSON layout.
+const persistVersion = 1
+
+// persistDoc is the serialized table.
+type persistDoc struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"entries"`
+}
+
+// ckptPersister implements persister over a ckpt store.
+type ckptPersister struct{ st *ckpt.Store }
+
+func (p ckptPersister) save(entries []Entry) error {
+	meta, err := json.Marshal(persistDoc{Version: persistVersion, Entries: entries})
+	if err != nil {
+		return err
+	}
+	_, _, err = p.st.Save(persistID, core.Snapshot{}, meta)
+	return err
+}
+
+func (p ckptPersister) load() ([]Entry, error) {
+	_, meta, _, err := p.st.Load(persistID)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var doc persistDoc
+	if err := json.Unmarshal(meta, &doc); err != nil {
+		return nil, fmt.Errorf("tune: corrupt feedback table: %w", err)
+	}
+	if doc.Version != persistVersion {
+		return nil, fmt.Errorf("tune: feedback table version %d (want %d)", doc.Version, persistVersion)
+	}
+	return doc.Entries, nil
+}
+
+// Persist attaches a durable backing: the current disk image is merged
+// into the table immediately (count-wise, live streams win), and every
+// later Flush saves the merged state. Returns the load error, if any;
+// the store stays usable in memory either way.
+func (s *Store) Persist(st *ckpt.Store) error {
+	p := ckptPersister{st: st}
+	s.persistMu.Lock()
+	s.persist = p
+	s.persistMu.Unlock()
+	entries, err := p.load()
+	if err != nil {
+		return err
+	}
+	s.merge(entries)
+	return nil
+}
+
+// Flush saves the table to the durable backing; a no-op without one.
+func (s *Store) Flush() error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.save(s.Entries())
+}

@@ -1,0 +1,193 @@
+package tune
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dimmwitted/internal/ckpt"
+)
+
+func testKey(n string) Key {
+	return Key{
+		Workload: "glm", Model: "svm", Dataset: n,
+		Rows: 1000, Cols: 50, NNZ: 9000,
+		Machine: "local2", Executor: "simulated",
+		ModelRep: "PerNode", DataRep: "FullReplication",
+		Access: "row-wise", Workers: 8, StealChunk: 64,
+	}
+}
+
+// The crossover contract: the measured cost overrides the prior at
+// exactly K observations, not one earlier.
+func TestCrossoverAtExactlyK(t *testing.T) {
+	const k = 4
+	s := NewStore(Options{MinObservations: k})
+	key := testKey("reuters")
+	for i := 0; i < k-1; i++ {
+		s.Record(key, Sample{SecondsPerEpoch: 0.5})
+		if sec, ok := s.Measured(key); ok {
+			t.Fatalf("Measured ok after %d observations (K=%d), sec=%v", i+1, k, sec)
+		}
+	}
+	s.Record(key, Sample{SecondsPerEpoch: 0.5})
+	sec, ok := s.Measured(key)
+	if !ok {
+		t.Fatalf("Measured not ok after exactly K=%d observations", k)
+	}
+	if sec != 0.5 {
+		t.Fatalf("Measured = %v, want 0.5", sec)
+	}
+}
+
+func TestEWMABlending(t *testing.T) {
+	s := NewStore(Options{Alpha: 0.5, MinObservations: 1})
+	key := testKey("reuters")
+	s.Record(key, Sample{SecondsPerEpoch: 1.0}) // seeds
+	s.Record(key, Sample{SecondsPerEpoch: 3.0}) // 0.5*3 + 0.5*1 = 2
+	o, ok := s.Lookup(key)
+	if !ok {
+		t.Fatal("Lookup missed a recorded key")
+	}
+	if math.Abs(o.SecondsPerEpoch-2.0) > 1e-12 {
+		t.Fatalf("EWMA = %v, want 2.0", o.SecondsPerEpoch)
+	}
+	if o.Count != 2 {
+		t.Fatalf("Count = %d, want 2", o.Count)
+	}
+}
+
+// The phase split folds in only when a sample carries one, on its own
+// count, so traced and untraced epochs can interleave.
+func TestSplitRecording(t *testing.T) {
+	s := NewStore(Options{MinObservations: 1})
+	key := testKey("reuters")
+	s.Record(key, Sample{SecondsPerEpoch: 1})
+	s.Record(key, Sample{SecondsPerEpoch: 1, StepSeconds: 0.7, FlushSeconds: 0.2, BarrierSeconds: 0.1, HasSplit: true})
+	o, _ := s.Lookup(key)
+	if o.SplitCount != 1 {
+		t.Fatalf("SplitCount = %d, want 1", o.SplitCount)
+	}
+	if o.StepSeconds != 0.7 || o.FlushSeconds != 0.2 || o.BarrierSeconds != 0.1 {
+		t.Fatalf("split EWMAs = %v/%v/%v, want 0.7/0.2/0.1", o.StepSeconds, o.FlushSeconds, o.BarrierSeconds)
+	}
+}
+
+// Concurrent record/query soak; the race detector is the assertion.
+func TestConcurrentRecordQuery(t *testing.T) {
+	s := NewStore(Options{})
+	keys := []Key{testKey("a"), testKey("b"), testKey("c"), testKey("d")}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch i % 4 {
+				case 0:
+					s.Record(k, Sample{SecondsPerEpoch: float64(i%7) + 0.1})
+				case 1:
+					s.Measured(k)
+				case 2:
+					s.Lookup(k)
+					s.Explore()
+				default:
+					s.Stats()
+					s.Entries()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Stats().Observations == 0 {
+		t.Fatal("no observations recorded by the soak")
+	}
+}
+
+// Persistence round-trip: a store flushed through internal/ckpt is
+// recovered by a fresh store opening the same backing, observation
+// counts and EWMAs intact.
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := ckpt.Open(dir, ckpt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(Options{MinObservations: 2})
+	key := testKey("reuters")
+	if err := s.Persist(st); err != nil {
+		t.Fatalf("Persist on an empty backing: %v", err)
+	}
+	s.Record(key, Sample{SecondsPerEpoch: 0.25})
+	s.Record(key, Sample{SecondsPerEpoch: 0.25})
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	st2, err := ckpt.Open(dir, ckpt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(Options{MinObservations: 2})
+	if err := s2.Persist(st2); err != nil {
+		t.Fatalf("Persist (reload): %v", err)
+	}
+	o, ok := s2.Lookup(key)
+	if !ok {
+		t.Fatal("restored store lost the recorded key")
+	}
+	if o.Count != 2 || o.SecondsPerEpoch != 0.25 {
+		t.Fatalf("restored observation = %+v, want Count 2, SecondsPerEpoch 0.25", o)
+	}
+	if sec, ok := s2.Measured(key); !ok || sec != 0.25 {
+		t.Fatalf("restored Measured = %v, %v; want 0.25, true", sec, ok)
+	}
+}
+
+// A reload must not clobber a live stream that has seen more epochs
+// than the disk image.
+func TestMergePrefersMoreObserved(t *testing.T) {
+	dir := t.TempDir()
+	st, err := ckpt.Open(dir, ckpt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := NewStore(Options{})
+	key := testKey("reuters")
+	stale.Record(key, Sample{SecondsPerEpoch: 9})
+	if err := stale.Persist(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	live := NewStore(Options{})
+	for i := 0; i < 5; i++ {
+		live.Record(key, Sample{SecondsPerEpoch: 1})
+	}
+	if err := live.Persist(st); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := live.Lookup(key)
+	if o.Count != 5 || o.SecondsPerEpoch != 1 {
+		t.Fatalf("merge overwrote the live stream: %+v", o)
+	}
+}
+
+func TestExploreEpsilon(t *testing.T) {
+	never := NewStore(Options{Epsilon: -1})
+	for i := 0; i < 100; i++ {
+		if never.Explore() {
+			t.Fatal("Explore fired with exploration disabled")
+		}
+	}
+	always := NewStore(Options{Epsilon: 1})
+	if !always.Explore() {
+		t.Fatal("Explore never fired with epsilon 1")
+	}
+	if always.Stats().Explorations != 1 {
+		t.Fatalf("Explorations = %d, want 1", always.Stats().Explorations)
+	}
+}
