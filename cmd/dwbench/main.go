@@ -15,6 +15,8 @@
 //	dwbench -trace -quick -out BENCH_trace.json
 //	dwbench -feedback   # static first run vs feedback-corrected second run
 //	dwbench -feedback -min-speedup 1.0 -out BENCH_optimizer.json
+//	dwbench -stream     # chunked append throughput + online publish latency
+//	dwbench -stream -quick -out BENCH_stream.json
 package main
 
 import (
@@ -34,8 +36,9 @@ func main() {
 	gibbs := flag.Bool("gibbs", false, "compare Gibbs sampling throughput of the simulated and parallel executors")
 	traceRuns := flag.Bool("trace", false, "run traced sim-vs-parallel pairs and print the step-vs-flush-vs-barrier phase breakdown")
 	feedback := flag.Bool("feedback", false, "run the self-tuning optimizer benchmark: static first run vs feedback-corrected second run")
+	stream := flag.Bool("stream", false, "run the streaming-ingestion benchmark: chunked append throughput and online publication latency")
 	minSpeedup := flag.Float64("min-speedup", 0, "with -executors, -gibbs or -feedback, exit non-zero if any speedup falls below this ratio (0 = report only)")
-	out := flag.String("out", "", "with -executors, -gibbs, -trace or -feedback, also write the measurements as JSON to this file")
+	out := flag.String("out", "", "with -executors, -gibbs, -trace, -feedback or -stream, also write the measurements as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +69,19 @@ func main() {
 		experiments.FeedbackResult(entries).Table.Fprint(os.Stdout)
 		writeJSON(*out, entries)
 		gate(experiments.FeedbackSpeedups(entries), *minSpeedup)
+		return
+	}
+
+	if *stream {
+		entries := experiments.StreamEntries(*quick)
+		experiments.StreamResult(entries).Table.Fprint(os.Stdout)
+		writeJSON(*out, entries)
+		for _, e := range entries {
+			if e.Error != "" {
+				fmt.Fprintf(os.Stderr, "dwbench: stream %s: %s\n", e.Task, e.Error)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 

@@ -8,6 +8,7 @@
 //	dwload -rps 2000 -concurrency 128 -examples 8     # bigger batches, more workers
 //	dwload -train svm -dataset reuters -json load.json
 //	dwload -model job-1 -max-error-rate 0.01          # CI gate: exit 1 past 1%
+//	dwload -append clicks -cols 1024 -chunks 20       # stream ingestion traffic
 //
 // dwload paces an open(ish) loop: a pacer emits request tokens at the
 // target rate into a bounded hand-off, -concurrency workers consume
@@ -21,6 +22,12 @@
 // space; gibbs models get single-variable marginal lookups. NN models
 // are not driven (their input dimension is not recoverable from the
 // listing alone).
+//
+// -append switches dwload into ingestion mode: it POSTs chunks of
+// random labelled sparse rows to /v1/datasets/{id}/append (creating
+// the stream on the first chunk) and reports the version and row
+// count the server published after each chunk — the client half of an
+// online-training job reading the same stream.
 package main
 
 import (
@@ -119,14 +126,114 @@ func main() {
 	seed := flag.Int64("seed", 1, "example-generation seed")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file")
 	maxErrorRate := flag.Float64("max-error-rate", 1, "fail (exit 1) when (errors+429s)/issued exceeds this fraction; 1 never fails")
+	appendTo := flag.String("append", "", "ingestion mode: append random rows to this stream dataset instead of driving predictions")
+	cols := flag.Int("cols", 256, "stream dimension for -append (used when the stream does not exist yet)")
+	chunks := flag.Int("chunks", 10, "number of append chunks for -append")
+	chunkRows := flag.Int("chunk-rows", 500, "rows per append chunk for -append")
+	chunkGap := flag.Duration("chunk-gap", 0, "pause between append chunks for -append (0: back to back)")
 	flag.Parse()
 
 	client := &http.Client{Timeout: 30 * time.Second}
+	if *appendTo != "" {
+		if err := runAppend(client, *addr, *appendTo, *cols, *chunks, *chunkRows, *nnz, *seed, *chunkGap); err != nil {
+			fmt.Fprintln(os.Stderr, "dwload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(client, *addr, *modelID, *train, *dataset, *epochs, *rps, *duration,
 		*concurrency, *examples, *nnz, *seed, *jsonOut, *maxErrorRate); err != nil {
 		fmt.Fprintln(os.Stderr, "dwload:", err)
 		os.Exit(1)
 	}
+}
+
+// appendRowJSON mirrors the /v1/datasets/{id}/append row encoding.
+type appendRowJSON struct {
+	Indices []int32   `json:"indices,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	Label   float64   `json:"label"`
+}
+
+// runAppend drives ingestion traffic: -chunks chunks of -chunk-rows
+// random sparse rows each, labelled by a fixed hidden linear model so
+// an online job training on the stream has something learnable.
+func runAppend(client *http.Client, addr, stream string, cols, chunks, chunkRows, nnz int,
+	seed int64, gap time.Duration) error {
+	if cols <= 0 || chunks <= 0 || chunkRows <= 0 || nnz <= 0 {
+		return fmt.Errorf("cols, chunks, chunk-rows and nnz must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]float64, cols)
+	for j := range truth {
+		truth[j] = rng.NormFloat64()
+	}
+	fmt.Printf("dwload: appending %d chunks x %d rows (dim %d, %d nnz/row) to %s/v1/datasets/%s/append\n",
+		chunks, chunkRows, cols, nnz, addr, stream)
+
+	var totalRows int
+	start := time.Now()
+	for c := 0; c < chunks; c++ {
+		rows := make([]appendRowJSON, chunkRows)
+		for i := range rows {
+			k := nnz
+			if k > cols {
+				k = cols
+			}
+			idx := rng.Perm(cols)[:k]
+			sort.Ints(idx)
+			row := appendRowJSON{Indices: make([]int32, k), Values: make([]float64, k)}
+			score := 0.0
+			for j, v := range idx {
+				row.Indices[j] = int32(v)
+				row.Values[j] = rng.NormFloat64()
+				score += row.Values[j] * truth[v]
+			}
+			if score >= 0 {
+				row.Label = 1
+			} else {
+				row.Label = -1
+			}
+			rows[i] = row
+		}
+		req := map[string]any{"rows": rows}
+		if c == 0 {
+			// Cols only matters when the first chunk creates the stream;
+			// the server ignores a matching value on later chunks.
+			req["cols"] = cols
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(addr+"/v1/datasets/"+stream+"/append", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("append chunk %d: status %d: %s", c, resp.StatusCode, raw)
+		}
+		var ar struct {
+			Version uint64 `json:"version"`
+			Rows    int    `json:"rows"`
+		}
+		if err := json.Unmarshal(raw, &ar); err != nil {
+			return err
+		}
+		totalRows = ar.Rows
+		fmt.Printf("chunk %2d: server published version %d, %d rows total\n", c, ar.Version, ar.Rows)
+		if gap > 0 && c < chunks-1 {
+			time.Sleep(gap)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("appended %d rows in %.2fs (%.0f rows/s end to end)\n",
+		chunks*chunkRows, elapsed.Seconds(), float64(chunks*chunkRows)/elapsed.Seconds())
+	fmt.Printf("stream %s now serves %d rows; train on it with {\"dataset\": %q, \"online\": true}\n",
+		stream, totalRows, stream)
+	return nil
 }
 
 func run(client *http.Client, addr, modelID, train, dataset string, epochs int,

@@ -32,7 +32,9 @@ const snapMagic = "dwsnap"
 //
 //	1  initial layout
 //	2  appends Plan.StealChunk (i64) after the replica states
-const snapVersion = 2
+//	3  appends DataRows (i64) and DataVersion (u64) — the streamed-
+//	   dataset ingest high-water mark — after the version-2 fields
+const snapVersion = 3
 
 // maxSnapshotSlice caps decoded slice lengths (model vectors, replica
 // blobs) so a corrupt or adversarial length prefix cannot force a huge
@@ -232,9 +234,11 @@ func EncodeSnapshot(s Snapshot) []byte {
 		e.bytes(blob)
 	}
 
-	// Version-2 fields append after the complete version-1 payload, so
-	// version-1 files — which simply end here — keep decoding.
+	// Versioned fields append after the complete version-1 payload, so
+	// older files — which simply end earlier — keep decoding.
 	e.i64(int64(p.StealChunk))
+	e.i64(int64(s.DataRows))
+	e.u64(s.DataVersion)
 
 	e.u32(crc32.ChecksumIEEE(e.b))
 	return e.b
@@ -326,6 +330,12 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	}
 	// Version-1 files predate StealChunk; the zero value renormalizes to
 	// the default when the restored plan goes back through NewWorkload.
+	if ver >= 3 {
+		s.DataRows = int(d.i64())
+		s.DataVersion = d.u64()
+	}
+	// Pre-streaming files leave the high-water mark zero: resume trains
+	// on the dataset's current view, exactly as it always did.
 
 	if d.err != nil {
 		return Snapshot{}, d.err

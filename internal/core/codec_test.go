@@ -46,10 +46,12 @@ func testSnapshot() Snapshot {
 			EpochOverheadCycles:   1e6,
 			ComputeScale:          3,
 		},
-		X:         []float64{0, 1, 0.5, math.Inf(1), math.SmallestNonzeroFloat64, -0},
-		EngineRNG: RNGState{Seed: 42, Draws: 99},
-		WorkerRNG: []RNGState{{Seed: 43, Draws: 1}, {Seed: 44, Draws: 0}},
-		Priv:      [][]byte{{1, 2, 3}, {}, []byte("chain")},
+		DataRows:    4321,
+		DataVersion: 6,
+		X:           []float64{0, 1, 0.5, math.Inf(1), math.SmallestNonzeroFloat64, -0},
+		EngineRNG:   RNGState{Seed: 42, Draws: 99},
+		WorkerRNG:   []RNGState{{Seed: 43, Draws: 1}, {Seed: 44, Draws: 0}},
+		Priv:        [][]byte{{1, 2, 3}, {}, []byte("chain")},
 	}
 }
 
@@ -57,7 +59,8 @@ func testSnapshot() Snapshot {
 func snapshotsEqual(t *testing.T, a, b Snapshot) {
 	t.Helper()
 	if a.Workload != b.Workload || a.Spec != b.Spec || a.Dataset != b.Dataset ||
-		a.Epoch != b.Epoch || a.SimTime != b.SimTime || a.WallTime != b.WallTime {
+		a.Epoch != b.Epoch || a.SimTime != b.SimTime || a.WallTime != b.WallTime ||
+		a.DataRows != b.DataRows || a.DataVersion != b.DataVersion {
 		t.Fatalf("metadata changed: %+v vs %+v", a, b)
 	}
 	if math.Float64bits(a.Loss) != math.Float64bits(b.Loss) || math.Float64bits(a.Step) != math.Float64bits(b.Step) {
@@ -157,16 +160,18 @@ func TestSnapshotCodecRejectsNewerVersion(t *testing.T) {
 }
 
 // TestSnapshotCodecReadsVersion1 pins backward compatibility: a
-// version-1 file is the current encoding minus the appended StealChunk
-// field, and must decode with StealChunk zero (renormalized to the
-// default when the plan goes back through an engine).
+// version-1 file is the current encoding minus the appended tails —
+// v2's StealChunk and v3's DataRows/DataVersion — and must decode with
+// those fields zero (StealChunk renormalizes to the default when the
+// plan goes back through an engine).
 func TestSnapshotCodecReadsVersion1(t *testing.T) {
 	s := testSnapshot()
 	s.Plan.StealChunk = 7
 	data := EncodeSnapshot(s)
-	// Drop the v2 tail (8-byte StealChunk before the 4-byte CRC),
-	// restamp version 1 and recompute the CRC.
-	v1 := append([]byte(nil), data[:len(data)-12]...)
+	// Drop the appended tails (8-byte StealChunk + 8-byte DataRows +
+	// 8-byte DataVersion before the 4-byte CRC), restamp version 1 and
+	// recompute the CRC.
+	v1 := append([]byte(nil), data[:len(data)-28]...)
 	binary.LittleEndian.PutUint16(v1[6:], 1)
 	v1 = binary.LittleEndian.AppendUint32(v1, crc32.ChecksumIEEE(v1))
 
@@ -178,6 +183,30 @@ func TestSnapshotCodecReadsVersion1(t *testing.T) {
 		t.Errorf("version-1 steal chunk = %d, want 0", back.Plan.StealChunk)
 	}
 	s.Plan.StealChunk = 0
+	s.DataRows, s.DataVersion = 0, 0
+	snapshotsEqual(t, s, back)
+}
+
+// TestSnapshotCodecReadsVersion2 pins the next seam: a version-2 file
+// (everything through StealChunk, no ingest fields) must decode with
+// DataRows and DataVersion zero.
+func TestSnapshotCodecReadsVersion2(t *testing.T) {
+	s := testSnapshot()
+	data := EncodeSnapshot(s)
+	// Drop the v3 tail (8-byte DataRows + 8-byte DataVersion before the
+	// 4-byte CRC), restamp version 2 and recompute the CRC.
+	v2 := append([]byte(nil), data[:len(data)-20]...)
+	binary.LittleEndian.PutUint16(v2[6:], 2)
+	v2 = binary.LittleEndian.AppendUint32(v2, crc32.ChecksumIEEE(v2))
+
+	back, err := DecodeSnapshot(v2)
+	if err != nil {
+		t.Fatalf("version-2 decode: %v", err)
+	}
+	if back.DataRows != 0 || back.DataVersion != 0 {
+		t.Errorf("version-2 ingest fields = %d/%d, want 0/0", back.DataRows, back.DataVersion)
+	}
+	s.DataRows, s.DataVersion = 0, 0
 	snapshotsEqual(t, s, back)
 }
 

@@ -251,6 +251,23 @@ func (e *Engine) Close() {
 	}
 }
 
+// Grow adopts a larger published view of the workload's dataset. Call
+// it only between epochs: the next RunEpochCtx re-partitions work from
+// the workload's new Units(), so no running epoch ever observes a torn
+// matrix. The cached loss is invalidated — the objective now spans the
+// new rows.
+func (e *Engine) Grow(view *data.Dataset) error {
+	gw, ok := e.wl.(Growable)
+	if !ok {
+		return fmt.Errorf("core: %s workload cannot grow its dataset", e.wl.Kind())
+	}
+	if err := gw.Grow(view); err != nil {
+		return err
+	}
+	e.lossValid = false
+	return nil
+}
+
 // ProbeStats runs up to n steps of the given access method on a
 // scratch replica and returns the average per-step traffic. Both the
 // GLM workload's contention estimate and the cost-based optimizer use

@@ -203,6 +203,48 @@ func (g *glmWorkload) AuxRefresh(ws *WorkState, force bool) bool {
 // Loss implements Workload.
 func (g *glmWorkload) Loss(x []float64) float64 { return g.spec.Loss(g.ds, x) }
 
+// DataRows implements DataVersioner.
+func (g *glmWorkload) DataRows() int { return g.ds.Rows() }
+
+// DataVersion implements DataVersioner.
+func (g *glmWorkload) DataVersion() uint64 { return g.ds.Version }
+
+// Grow implements Growable: between epochs the workload can adopt a
+// larger published view of its dataset. The swap is safe exactly when
+// nothing engine-side is sized to the old row count: access must be
+// row-wise (work units are rows, re-partitioned from Units() at every
+// epoch start; column units would change meaning), the replicas must
+// carry no per-row auxiliary state (LS and LP index Aux[row]), and the
+// data-replication strategy must not be Importance (leverage scores
+// are precomputed over the old rows). Model dimension is pinned by the
+// stream's fixed column count.
+func (g *glmWorkload) Grow(view *data.Dataset) error {
+	switch {
+	case view.Name != g.ds.Name:
+		return fmt.Errorf("core: grow: view is dataset %q, training on %q", view.Name, g.ds.Name)
+	case view.Task != g.ds.Task:
+		return fmt.Errorf("core: grow: task changed from %s to %s", g.ds.Task, view.Task)
+	case view.Cols() != g.ds.Cols():
+		return fmt.Errorf("core: grow: cols changed from %d to %d", g.ds.Cols(), view.Cols())
+	case view.Rows() < g.ds.Rows():
+		return fmt.Errorf("core: grow: rows shrank from %d to %d", g.ds.Rows(), view.Rows())
+	case view.Version < g.ds.Version:
+		return fmt.Errorf("core: grow: version went backwards (%d -> %d)", g.ds.Version, view.Version)
+	case g.plan.Access != model.RowWise:
+		return fmt.Errorf("core: grow: requires row-wise access, plan uses %s", g.plan.Access)
+	case g.plan.DataRep == Importance:
+		return fmt.Errorf("core: grow: Importance sampling pins precomputed leverage scores")
+	}
+	if proto := g.spec.NewReplica(view); proto.Aux != nil {
+		return fmt.Errorf("core: grow: spec %s keeps per-row auxiliary state", g.spec.Name())
+	}
+	if err := view.Validate(); err != nil {
+		return fmt.Errorf("core: grow: %w", err)
+	}
+	g.ds = view
+	return nil
+}
+
 // Metrics implements Workload; the GLM loss is the whole story.
 func (g *glmWorkload) Metrics([]float64) map[string]float64 { return nil }
 

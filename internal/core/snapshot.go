@@ -55,6 +55,13 @@ type Snapshot struct {
 	// tallies, chain generator), in engine replica order. Nil for
 	// workloads whose replicas are fully determined by X (GLM, NN).
 	Priv [][]byte
+	// DataRows and DataVersion identify the exact dataset view the
+	// engine was trained on at snapshot time (the ingest high-water
+	// mark for streamed datasets). Zero for workloads that do not
+	// implement DataVersioner; online resume rebuilds the view at
+	// DataRows so nothing is replayed.
+	DataRows    int
+	DataVersion uint64
 }
 
 // ReplicaCodec is optionally implemented by workloads whose replicas
@@ -88,6 +95,10 @@ func (e *Engine) Snapshot() Snapshot {
 		Plan:      e.plan,
 		X:         append([]float64(nil), e.global...),
 		EngineRNG: CapRNGState(e.rngSrc.State()),
+	}
+	if dv, ok := e.wl.(DataVersioner); ok {
+		s.DataRows = dv.DataRows()
+		s.DataVersion = dv.DataVersion()
 	}
 	if pe, ok := e.exec.(*parallelExecutor); ok {
 		for _, st := range pe.rngStates() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dimmwitted/internal/data"
 	"dimmwitted/internal/model"
 	"dimmwitted/internal/numa"
 )
@@ -247,6 +248,25 @@ type UnitCoordser interface {
 // sweeps the whole domain) and Sharding uses replica 0's order.
 type EpochOrderer interface {
 	EpochOrder(repIdx int) []int
+}
+
+// Growable is optionally implemented by workloads that can adopt a
+// larger immutable view of their dataset between epochs (streaming
+// ingestion). Implementations must reject any swap that would
+// invalidate engine-side state sized to the old view; on success the
+// next epoch's work assignment covers the new rows automatically,
+// because assignWork re-reads Units() at every epoch start.
+type Growable interface {
+	Grow(view *data.Dataset) error
+}
+
+// DataVersioner is optionally implemented by workloads trained on a
+// versioned dataset view. Snapshots record the pair so online resume
+// can rebuild the exact matrix the checkpoint trained on (the ingest
+// high-water mark) and replay nothing.
+type DataVersioner interface {
+	DataRows() int
+	DataVersion() uint64
 }
 
 // ChooseWorkload runs the workload's cost-based optimizer for a

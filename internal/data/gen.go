@@ -70,6 +70,12 @@ type Dataset struct {
 	// Anchors holds per-column anchor values for GraphQP tasks (the
 	// λ-weighted supervision term); nil otherwise.
 	Anchors []float64
+	// Version distinguishes successive published views of a growing
+	// (streamed) dataset. Registry datasets are frozen at version 1;
+	// every append to a stream publishes a new view with a higher
+	// version. Plan-cache and tune-store keys include it so plans sized
+	// for a smaller matrix are never reused after growth.
+	Version uint64
 
 	csc *mat.CSC
 }

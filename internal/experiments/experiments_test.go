@@ -343,3 +343,27 @@ func TestExecWallParity(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamBench(t *testing.T) {
+	entries := StreamEntries(true)
+	if len(entries) == 0 {
+		t.Fatal("no stream entries")
+	}
+	res := StreamResult(entries)
+	if res.Table == nil || len(res.Table.Rows) != len(entries) {
+		t.Fatalf("stream table has %d rows for %d entries", len(res.Table.Rows), len(entries))
+	}
+	for _, e := range entries {
+		if e.Error != "" {
+			t.Fatalf("%s: %s", e.Task, e.Error)
+		}
+		if e.RowsPerSecond <= 0 || e.PublishMillis <= 0 {
+			t.Errorf("%s: degenerate measurements %+v", e.Task, e)
+		}
+		// One epoch per chunk on learnable labels must beat the
+		// zero-model loss (1.0 hinge / log 2 logistic).
+		if e.FinalLoss >= 0.9 {
+			t.Errorf("%s: final loss %v — the online pipeline did not learn", e.Task, e.FinalLoss)
+		}
+	}
+}

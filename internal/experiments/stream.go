@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+// StreamEntry is one streaming-ingestion measurement, JSON-shaped for
+// BENCH_stream.json (written by the bench-smoke step in CI). The
+// protocol mirrors the serving path: rows are appended chunk by chunk
+// into a growable handle (append throughput), a row-wise engine adopts
+// each published view between epochs (adopt latency), and after every
+// chunk's epochs a candidate snapshot runs the shadow-evaluation gate
+// — snapshot plus candidate-and-live held-out tail losses — which is
+// the latency an online publication pays before the registry swap.
+type StreamEntry struct {
+	Task      string `json:"task"`
+	Rows      int    `json:"rows"`
+	Cols      int    `json:"cols"`
+	Chunks    int    `json:"chunks"`
+	ChunkRows int    `json:"chunk_rows"`
+	NNZ       int64  `json:"nnz"`
+	// AppendSeconds is the total wall clock of all appends;
+	// RowsPerSecond and NNZPerSecond are the derived ingest rates.
+	AppendSeconds float64 `json:"append_seconds"`
+	RowsPerSecond float64 `json:"rows_per_second"`
+	NNZPerSecond  float64 `json:"nnz_per_second"`
+	// AdoptMillis is the mean latency of an engine adopting a grown
+	// view (Engine.Grow: validate + swap + next-epoch repartition cost
+	// is paid lazily, so this is the blocking part).
+	AdoptMillis float64 `json:"adopt_ms"`
+	// PublishMillis is the mean online-publication latency: snapshot
+	// extraction plus the two shadow-eval losses on the held-out tail.
+	PublishMillis float64 `json:"publish_ms"`
+	// EpochsPerChunk and FinalLoss summarise the training that ran
+	// between appends; the loss must come down or the harness measured
+	// a broken pipeline.
+	EpochsPerChunk int     `json:"epochs_per_chunk"`
+	FinalLoss      float64 `json:"final_loss"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// streamBenchRows generates one chunk of synthetic sparse rows with
+// labels from a fixed hidden model, the same shape the serve tests use.
+func streamBenchRows(rng *rand.Rand, truth []float64, n int) []data.Row {
+	cols := len(truth)
+	rows := make([]data.Row, n)
+	for i := range rows {
+		nnz := 4 + rng.Intn(8)
+		score := 0.0
+		for k := 0; k < nnz; k++ {
+			c := int32(rng.Intn(cols))
+			v := rng.NormFloat64()
+			rows[i].Indices = append(rows[i].Indices, c)
+			rows[i].Values = append(rows[i].Values, v)
+			score += v * truth[c]
+		}
+		if score >= 0 {
+			rows[i].Label = 1
+		} else {
+			rows[i].Label = -1
+		}
+	}
+	return rows
+}
+
+// runStreamEntry drives one configuration end to end.
+func runStreamEntry(spec model.Spec, rows, cols, chunks, epochsPerChunk int) StreamEntry {
+	entry := StreamEntry{
+		Task:           spec.Name(),
+		Rows:           rows,
+		Cols:           cols,
+		Chunks:         chunks,
+		ChunkRows:      rows / chunks,
+		EpochsPerChunk: epochsPerChunk,
+	}
+	rng := rand.New(rand.NewSource(7))
+	truth := make([]float64, cols)
+	for j := range truth {
+		truth[j] = rng.NormFloat64()
+	}
+	h := data.NewStream("stream-bench", cols, data.Classification)
+
+	// First chunk before the engine exists (an online job needs rows).
+	chunkRows := rows / chunks
+	appendStart := time.Now()
+	if _, err := h.Append(streamBenchRows(rng, truth, chunkRows)); err != nil {
+		entry.Error = err.Error()
+		return entry
+	}
+	entry.AppendSeconds = time.Since(appendStart).Seconds()
+
+	plan := core.Plan{
+		Access:   model.RowWise,
+		DataRep:  core.FullReplication,
+		Machine:  numa.Local2,
+		Executor: core.ExecSimulated,
+	}
+	eng, err := core.NewWorkload(core.NewGLM(spec, h.View()), plan)
+	if err != nil {
+		entry.Error = err.Error()
+		return entry
+	}
+	defer eng.Close()
+
+	var adopt, publish time.Duration
+	var adopts, publishes int
+	for c := 0; c < chunks; c++ {
+		if c > 0 {
+			start := time.Now()
+			if _, err := h.Append(streamBenchRows(rng, truth, chunkRows)); err != nil {
+				entry.Error = err.Error()
+				return entry
+			}
+			entry.AppendSeconds += time.Since(start).Seconds()
+
+			start = time.Now()
+			if err := eng.Grow(h.View()); err != nil {
+				entry.Error = err.Error()
+				return entry
+			}
+			adopt += time.Since(start)
+			adopts++
+		}
+		for e := 0; e < epochsPerChunk; e++ {
+			eng.RunEpoch()
+		}
+		// The shadow-evaluation gate's latency: snapshot the candidate
+		// and score candidate and live on the held-out tail.
+		start := time.Now()
+		snap := eng.Snapshot()
+		tail := data.TailView(h.View(), 0.2)
+		cand := spec.Loss(tail, snap.X)
+		live := spec.Loss(tail, snap.X)
+		publish += time.Since(start)
+		publishes++
+		if cand != live {
+			entry.Error = "nondeterministic shadow eval"
+			return entry
+		}
+		entry.FinalLoss = eng.Loss()
+	}
+
+	view := h.View()
+	entry.Rows = view.Rows()
+	entry.NNZ = view.NNZ()
+	if entry.AppendSeconds > 0 {
+		entry.RowsPerSecond = float64(view.Rows()) / entry.AppendSeconds
+		entry.NNZPerSecond = float64(view.NNZ()) / entry.AppendSeconds
+	}
+	if adopts > 0 {
+		entry.AdoptMillis = adopt.Seconds() * 1e3 / float64(adopts)
+	}
+	if publishes > 0 {
+		entry.PublishMillis = publish.Seconds() * 1e3 / float64(publishes)
+	}
+	return entry
+}
+
+// StreamEntries runs the streaming-ingestion benchmark: chunked append
+// throughput into the growable CSR store, grown-view adoption latency,
+// and the shadow-evaluation cost an online publication pays.
+func StreamEntries(quick bool) []StreamEntry {
+	type cfg struct {
+		spec                         model.Spec
+		rows, cols, chunks, epochsPC int
+	}
+	cfgs := []cfg{
+		{model.NewSVM(), 20000, 512, 10, 2},
+		{model.NewLR(), 50000, 1024, 10, 1},
+	}
+	if quick {
+		cfgs = []cfg{
+			{model.NewSVM(), 4000, 256, 4, 1},
+			{model.NewLR(), 8000, 512, 4, 1},
+		}
+	}
+	var out []StreamEntry
+	for _, c := range cfgs {
+		out = append(out, runStreamEntry(c.spec, c.rows, c.cols, c.chunks, c.epochsPC))
+	}
+	return out
+}
+
+// StreamResult builds the table view of measurements taken by
+// StreamEntries.
+func StreamResult(entries []StreamEntry) *Result {
+	t := &Table{
+		Name:   "stream",
+		Title:  "streaming ingestion: chunked append throughput and online publication latency",
+		Header: []string{"task", "rows", "cols", "chunks", "rows/s", "nnz/s", "adopt ms", "publish ms", "final loss"},
+		Notes:  "publish ms is the shadow-eval gate (snapshot + 2 tail losses); the registry swap itself is an atomic pointer store",
+	}
+	metrics := map[string]float64{}
+	for _, e := range entries {
+		if e.Error != "" {
+			t.Rows = append(t.Rows, []string{e.Task, "ERROR: " + e.Error, "-", "-", "-", "-", "-", "-", "-"})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Task,
+			fmt.Sprintf("%d", e.Rows),
+			fmt.Sprintf("%d", e.Cols),
+			fmt.Sprintf("%d", e.Chunks),
+			fmt.Sprintf("%.0f", e.RowsPerSecond),
+			fmt.Sprintf("%.3g", e.NNZPerSecond),
+			fmt.Sprintf("%.3f", e.AdoptMillis),
+			fmt.Sprintf("%.3f", e.PublishMillis),
+			fmt.Sprintf("%.4f", e.FinalLoss),
+		})
+		metrics[e.Task+"_rows_per_second"] = e.RowsPerSecond
+		metrics[e.Task+"_publish_ms"] = e.PublishMillis
+	}
+	return &Result{Table: t, Metrics: metrics}
+}

@@ -43,6 +43,13 @@ type ServeCounters struct {
 	ckptBytes       counter
 	ckptRestores    counter
 	ckptErrors      counter
+	appendRequests  counter
+	rowsAppended    counter
+	datasetVersions counter
+	shadowEvals     counter
+	modelsPromoted  counter
+	modelsRolledBck counter
+	onlineAdopts    counter
 }
 
 // TrainRequest records one accepted training request.
@@ -108,6 +115,29 @@ func (c *ServeCounters) CheckpointRestore() { c.ckptRestores.Add(1) }
 // CheckpointError records one failed checkpoint write or restore.
 func (c *ServeCounters) CheckpointError() { c.ckptErrors.Add(1) }
 
+// AppendRequest records one accepted dataset-append request ingesting
+// n rows, which published one new dataset version.
+func (c *ServeCounters) AppendRequest(n int) {
+	c.appendRequests.Add(1)
+	c.rowsAppended.Add(int64(n))
+	c.datasetVersions.Add(1)
+}
+
+// ShadowEval records one candidate model evaluated on a held-out tail.
+func (c *ServeCounters) ShadowEval() { c.shadowEvals.Add(1) }
+
+// ModelPromoted records one candidate that passed shadow evaluation
+// and was swapped live.
+func (c *ServeCounters) ModelPromoted() { c.modelsPromoted.Add(1) }
+
+// ModelRolledBack records one candidate rejected by shadow evaluation:
+// the previously promoted version stays live.
+func (c *ServeCounters) ModelRolledBack() { c.modelsRolledBck.Add(1) }
+
+// OnlineAdopt records one online job adopting a grown dataset view
+// between epochs.
+func (c *ServeCounters) OnlineAdopt() { c.onlineAdopts.Add(1) }
+
 // ServeSnapshot is a point-in-time copy of the counters, shaped for
 // JSON export by the stats endpoint.
 type ServeSnapshot struct {
@@ -140,6 +170,18 @@ type ServeSnapshot struct {
 	CheckpointBytes    int64 `json:"checkpoint_bytes"`
 	CheckpointRestores int64 `json:"checkpoint_restores"`
 	CheckpointErrors   int64 `json:"checkpoint_errors"`
+	// AppendRequests/RowsAppended/DatasetVersions count streaming
+	// ingestion: accepted append chunks, rows ingested, and dataset
+	// views published. ShadowEvals/ModelsPromoted/ModelsRolledBack
+	// count the online canary gate; OnlineAdopts counts grown views
+	// adopted by running online jobs.
+	AppendRequests   int64 `json:"append_requests"`
+	RowsAppended     int64 `json:"rows_appended"`
+	DatasetVersions  int64 `json:"dataset_versions"`
+	ShadowEvals      int64 `json:"shadow_evals"`
+	ModelsPromoted   int64 `json:"models_promoted"`
+	ModelsRolledBack int64 `json:"models_rolled_back"`
+	OnlineAdopts     int64 `json:"online_adopts"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting: each field
@@ -164,6 +206,13 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		CheckpointBytes:    c.ckptBytes.Load(),
 		CheckpointRestores: c.ckptRestores.Load(),
 		CheckpointErrors:   c.ckptErrors.Load(),
+		AppendRequests:     c.appendRequests.Load(),
+		RowsAppended:       c.rowsAppended.Load(),
+		DatasetVersions:    c.datasetVersions.Load(),
+		ShadowEvals:        c.shadowEvals.Load(),
+		ModelsPromoted:     c.modelsPromoted.Load(),
+		ModelsRolledBack:   c.modelsRolledBck.Load(),
+		OnlineAdopts:       c.onlineAdopts.Load(),
 	}
 	if nanos := c.gibbsWallNanos.Load(); nanos > 0 {
 		s.GibbsSamplesPerSec = float64(c.gibbsParSamples.Load()) / (float64(nanos) / float64(time.Second))

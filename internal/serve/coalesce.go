@@ -371,8 +371,12 @@ func (c *Coalescer) Close() {
 }
 
 // retryAfterSeconds is the Retry-After hint for a 429: one flush
-// window rounded up to a whole second, at least 1.
+// window rounded up to a whole second (a true ceiling — an exactly
+// whole-second window is not rounded past itself), at least 1.
 func retryAfterSeconds(window time.Duration) string {
-	secs := int(window/time.Second) + 1
+	secs := int64((window + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
 	return fmt.Sprintf("%d", secs)
 }

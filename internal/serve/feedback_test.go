@@ -80,8 +80,9 @@ func rivalKey(t *testing.T, ds *data.Dataset, p core.Plan) tune.Key {
 	return tune.Key{
 		Workload: "glm", Model: "svm", Dataset: ds.Name,
 		Rows: ds.Rows(), Cols: ds.Cols(), NNZ: ds.NNZ(),
-		Machine:  p.Machine.Name,
-		Executor: p.Executor.String(), ModelRep: p.ModelRep.String(),
+		DatasetVersion: ds.Version,
+		Machine:        p.Machine.Name,
+		Executor:       p.Executor.String(), ModelRep: p.ModelRep.String(),
 		DataRep: p.DataRep.String(), Access: p.Access.String(),
 		Workers: p.Workers, StealChunk: p.StealChunk,
 	}

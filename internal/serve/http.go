@@ -59,6 +59,7 @@ func NewServer(opts Options) *Server {
 	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.handle("POST /v1/jobs/{id}/resume", s.handleResume)
 	s.handle("GET /v1/models", s.handleModels)
+	s.handle("POST /v1/datasets/{id}/append", s.handleAppend)
 	s.handle("POST /v1/predict", s.handlePredict)
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("GET /v1/jobs/{id}/trace", s.handleTrace)
@@ -326,6 +327,93 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Model:       req.Model,
 		Predictions: preds,
 		Count:       len(preds),
+	})
+}
+
+// appendRowJSON is one ingested example: a sparse (indices, values)
+// pair or a dense feature vector, plus the row's label.
+type appendRowJSON struct {
+	Indices []int32   `json:"indices,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	Dense   []float64 `json:"dense,omitempty"`
+	Label   float64   `json:"label"`
+}
+
+// appendRequest ingests a chunk of rows into a stream dataset. Cols
+// (and optionally Task) create the stream on the first append to an
+// unknown id; later chunks may omit them.
+type appendRequest struct {
+	Rows []appendRowJSON `json:"rows"`
+	Cols int             `json:"cols,omitempty"`
+	// Task is "classification" (default) or "regression".
+	Task string `json:"task,omitempty"`
+}
+
+// appendResponse reports the view published by an append.
+type appendResponse struct {
+	Dataset  string `json:"dataset"`
+	Version  uint64 `json:"version"`
+	Rows     int    `json:"rows"`
+	Appended int    `json:"appended"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad append request: %w", err))
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("append request has no rows"))
+		return
+	}
+	h, err := data.HandleByName(id)
+	switch {
+	case err == nil && h.Frozen():
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("dataset %q is a frozen registry dataset; append to a new name to create a stream", id))
+		return
+	case err != nil && req.Cols <= 0:
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("unknown dataset %q: the first append must set cols (and optionally task) to create the stream", id))
+		return
+	case err != nil:
+		task := data.Classification
+		switch req.Task {
+		case "", "classification":
+		case "regression":
+			task = data.Regression
+		default:
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown task %q (want classification or regression)", req.Task))
+			return
+		}
+		if h, err = data.EnsureStream(id, req.Cols, task); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	rows := make([]data.Row, 0, len(req.Rows))
+	for i, rj := range req.Rows {
+		if rj.Dense != nil && (rj.Indices != nil || rj.Values != nil) {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("row %d mixes dense and sparse encodings", i))
+			return
+		}
+		rows = append(rows, data.Row{Indices: rj.Indices, Values: rj.Values, Dense: rj.Dense, Label: rj.Label})
+	}
+	view, err := h.Append(rows)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.counters.AppendRequest(len(rows))
+	s.writeJSON(w, http.StatusOK, appendResponse{
+		Dataset:  id,
+		Version:  view.Version,
+		Rows:     view.Rows(),
+		Appended: len(rows),
 	})
 }
 

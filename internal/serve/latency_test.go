@@ -140,8 +140,9 @@ func TestHTTPLatencyContract(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated predict: status %d, want 429", resp.StatusCode)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Fatal("429 response missing Retry-After header")
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		// The 1ms flush window rounds up to the 1-second floor.
+		t.Fatalf("429 Retry-After = %q, want \"1\"", ra)
 	}
 
 	// Unblock: every admitted request completes with 200.
@@ -165,5 +166,32 @@ func TestHTTPLatencyContract(t *testing.T) {
 	}
 	if stats.Batch.Depth != 0 {
 		t.Fatalf("queue depth gauge %d after drain, want 0", stats.Batch.Depth)
+	}
+}
+
+// TestRetryAfterSeconds pins the 429 hint's rounding: the flush window
+// rounds UP to whole seconds with a 1-second floor. A whole-second
+// window must not gain a spurious extra second (a 1s window once
+// answered Retry-After: 2), and sub-second windows must not truncate
+// to zero.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		window time.Duration
+		want   string
+	}{
+		{0, "1"},
+		{time.Millisecond, "1"},
+		{500 * time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{time.Second + time.Millisecond, "2"},
+		{1500 * time.Millisecond, "2"},
+		{2 * time.Second, "2"},
+		{2*time.Second + time.Nanosecond, "3"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.window); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.window, got, c.want)
+		}
 	}
 }

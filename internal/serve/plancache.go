@@ -35,6 +35,11 @@ type PlanKey struct {
 	// Task distinguishes GLM datasets with equal shapes but different
 	// label semantics; empty for other workloads.
 	Task string
+	// DatasetVersion pins the published view of a streamed dataset:
+	// every append bumps it, so a plan sized for the smaller matrix is
+	// a guaranteed miss afterwards instead of a stale hit. Registry
+	// datasets are frozen at version 1; zero for non-GLM workloads.
+	DatasetVersion uint64
 	// Machine is the topology name (alpha and core counts).
 	Machine string
 	// Executor is the requested execution backend: it narrows the
@@ -47,15 +52,16 @@ type PlanKey struct {
 // quadruple.
 func KeyFor(spec model.Spec, ds *data.Dataset, top numa.Topology, exec core.ExecutorKind) PlanKey {
 	return PlanKey{
-		Workload: core.WorkloadGLM,
-		Model:    spec.Name(),
-		Dataset:  ds.Name,
-		Rows:     ds.Rows(),
-		Cols:     ds.Cols(),
-		NNZ:      ds.NNZ(),
-		Task:     ds.Task.String(),
-		Machine:  top.Name,
-		Executor: exec,
+		Workload:       core.WorkloadGLM,
+		Model:          spec.Name(),
+		Dataset:        ds.Name,
+		Rows:           ds.Rows(),
+		Cols:           ds.Cols(),
+		NNZ:            ds.NNZ(),
+		Task:           ds.Task.String(),
+		DatasetVersion: ds.Version,
+		Machine:        top.Name,
+		Executor:       exec,
 	}
 }
 

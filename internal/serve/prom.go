@@ -121,6 +121,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("dimmwitted_checkpoint_bytes_total", "Bytes written to durable snapshots.", float64(c.CheckpointBytes))
 	p.counter("dimmwitted_checkpoint_restores_total", "States restored from durable snapshots.", float64(c.CheckpointRestores))
 	p.counter("dimmwitted_checkpoint_errors_total", "Failed checkpoint writes or restores.", float64(c.CheckpointErrors))
+	p.counter("dimmwitted_append_requests_total", "Accepted dataset-append chunks.", float64(c.AppendRequests))
+	p.counter("dimmwitted_rows_appended_total", "Rows ingested through dataset appends.", float64(c.RowsAppended))
+	p.counter("dimmwitted_dataset_versions_total", "Dataset views published by appends.", float64(c.DatasetVersions))
+	p.counter("dimmwitted_shadow_evals_total", "Candidate models shadow-evaluated on a held-out tail.", float64(c.ShadowEvals))
+	p.counter("dimmwitted_models_promoted_total", "Candidates that passed shadow evaluation and went live.", float64(c.ModelsPromoted))
+	p.counter("dimmwitted_models_rolled_back_total", "Regressing canaries rejected by shadow evaluation.", float64(c.ModelsRolledBack))
+	p.counter("dimmwitted_online_adopts_total", "Grown dataset views adopted by running online jobs.", float64(c.OnlineAdopts))
 
 	q := s.sched.Stats()
 	p.gauge("dimmwitted_scheduler_slots", "Concurrent training slots.", float64(q.Slots))

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -128,6 +129,42 @@ type TrainRequest struct {
 	// the snapshot) reaches it, so snapshot epoch k + max_epochs N runs
 	// N−k more epochs and reproduces an uninterrupted N-epoch run.
 	WarmStart string `json:"warm_start,omitempty"`
+	// Online keeps the job training as its dataset grows: between
+	// epochs the engine adopts any newer published view of the (stream)
+	// dataset, and every PublishEvery epochs a candidate model is
+	// shadow-evaluated on the view's held-out tail and canary-promoted
+	// — swapped live through the registry's atomic pointer — only if it
+	// does not regress the live version. GLM only, row-wise access,
+	// specs without per-row auxiliary state (svm, lr).
+	Online bool `json:"online,omitempty"`
+	// PublishEvery is the online publication cadence in epochs; 0
+	// means 5. Ignored unless Online.
+	PublishEvery int `json:"publish_every,omitempty"`
+	// ShadowTail is the held-out tail fraction shadow evaluation scores
+	// candidates on; 0 means 0.2. Ignored unless Online.
+	ShadowTail float64 `json:"shadow_tail,omitempty"`
+}
+
+// OnlineStatus reports an online job's streaming state.
+type OnlineStatus struct {
+	// Rows and DatasetVersion identify the dataset view the engine is
+	// currently training on (the ingest high-water mark).
+	Rows           int    `json:"rows"`
+	DatasetVersion uint64 `json:"dataset_version"`
+	// VersionsPublished counts candidate models built and shadow-
+	// evaluated; VersionsPromoted the ones that passed the gate and
+	// went live; VersionsRolledBack the regressing canaries rejected.
+	VersionsPublished  int64 `json:"versions_published"`
+	VersionsPromoted   int64 `json:"versions_promoted"`
+	VersionsRolledBack int64 `json:"versions_rolled_back"`
+	// LastCandidateLoss and LastLiveLoss are the most recent shadow
+	// evaluation's held-out tail losses (live is zero until a version
+	// has been promoted).
+	LastCandidateLoss float64 `json:"last_candidate_loss,omitempty"`
+	LastLiveLoss      float64 `json:"last_live_loss,omitempty"`
+	// LastPublishMs is the latest promotion's publish-to-live latency:
+	// candidate snapshot through shadow eval to the atomic swap.
+	LastPublishMs float64 `json:"last_publish_ms,omitempty"`
 }
 
 // ProgressPoint is one epoch of a job's convergence curve.
@@ -185,6 +222,10 @@ type JobStatus struct {
 	// "trace": true); nil otherwise. The full span journal is served by
 	// GET /v1/jobs/{id}/trace.
 	Trace *trace.Summary `json:"trace,omitempty"`
+	// Online is the streaming state of an online job: the adopted
+	// dataset view and the shadow/canary promotion counters. Nil for
+	// static jobs.
+	Online *OnlineStatus `json:"online,omitempty"`
 	// PlanSource reports how the executed plan was chosen: "static"
 	// (word-cost prior), "measured" (feedback overrode the prior),
 	// "explore" (epsilon draw ran the decision's runner-up), "cached"
@@ -265,6 +306,26 @@ type job struct {
 	enqueued  time.Time
 	started   time.Time
 	finished  time.Time
+	// handle and curView are set for online glm jobs: handle is the
+	// growable dataset, curView the published view the engine currently
+	// trains on (replaced on adopt). online accumulates the streaming
+	// progress the status reports.
+	handle  *data.Handle
+	curView *data.Dataset
+	online  onlineProgress
+}
+
+// onlineProgress is an online job's streaming state, guarded by the
+// scheduler's mutex like the other progress fields.
+type onlineProgress struct {
+	rows        int
+	version     uint64
+	published   int64
+	promoted    int64
+	rolledBack  int64
+	candLoss    float64
+	liveLoss    float64
+	lastPublish time.Duration
 }
 
 // Options configures a scheduler (and, through it, a server).
@@ -663,6 +724,48 @@ func (s *Scheduler) submit(req TrainRequest, warm *core.Snapshot, resumedFrom st
 	if req.MaxEpochs == 0 {
 		req.MaxEpochs = 50
 	}
+
+	var handle *data.Handle
+	if req.Online {
+		if kind != core.WorkloadGLM {
+			return "", fmt.Errorf("serve: online mode is glm-only (got workload %s)", kind)
+		}
+		if req.PublishEvery < 0 {
+			return "", fmt.Errorf("serve: negative publish_every %d", req.PublishEvery)
+		}
+		if req.ShadowTail < 0 || req.ShadowTail > 0.9 {
+			return "", fmt.Errorf("serve: shadow_tail %g outside [0, 0.9]", req.ShadowTail)
+		}
+		if req.Access != "" && req.Access != "row" {
+			return "", fmt.Errorf("serve: online jobs train row-wise; access %q cannot be forced", req.Access)
+		}
+		if !supportsAccess(spec, model.RowWise) {
+			return "", fmt.Errorf("serve: online jobs train row-wise; spec %q does not support it", spec.Name())
+		}
+		if proto := spec.NewReplica(ds); proto.Aux != nil {
+			// Per-row auxiliary state (LS, LP) is sized to the row count at
+			// engine build; growing the dataset under it would index past
+			// the allocation.
+			return "", fmt.Errorf("serve: online mode does not support spec %q (per-row auxiliary state)", spec.Name())
+		}
+		if handle, err = data.HandleByName(req.Dataset); err != nil {
+			return "", err
+		}
+		if warm != nil && warm.DataRows > 0 {
+			// Resume trains on the exact view the checkpoint recorded (the
+			// ingest high-water mark), so no already-trained row replays;
+			// newer appends are adopted between epochs like any online job.
+			view, err := handle.ViewAt(warm.DataRows)
+			if err != nil {
+				return "", fmt.Errorf("serve: online warm start: %w", err)
+			}
+			ds = view
+			wl = core.NewGLM(spec, view)
+		}
+		if ds.Rows() == 0 {
+			return "", fmt.Errorf("serve: online job on %q: no rows ingested yet (append first)", req.Dataset)
+		}
+	}
 	if warm != nil && warm.Epoch >= req.MaxEpochs {
 		// max_epochs is the total target; a budget the snapshot has
 		// already reached would "train" zero epochs and republish the
@@ -687,6 +790,12 @@ func (s *Scheduler) submit(req TrainRequest, warm *core.Snapshot, resumedFrom st
 		done:        make(chan struct{}),
 		state:       JobQueued,
 		enqueued:    time.Now(),
+	}
+	if handle != nil {
+		j.handle = handle
+		j.curView = ds
+		j.online.rows = ds.Rows()
+		j.online.version = ds.Version
 	}
 
 	// The enqueue happens under the same lock as the closed check so a
@@ -743,6 +852,16 @@ func (s *Scheduler) evictLocked() {
 		kept = append(kept, id)
 	}
 	s.order = kept
+}
+
+// supportsAccess reports whether the spec lists the access method.
+func supportsAccess(spec model.Spec, want model.Access) bool {
+	for _, a := range spec.Supports() {
+		if a == want {
+			return true
+		}
+	}
+	return false
 }
 
 // parseAccess maps the request's short access names.
@@ -885,6 +1004,7 @@ func (s *Scheduler) obsKeyFor(j *job, p core.Plan) tune.Key {
 		k.Model = j.spec.Name()
 		k.Dataset = j.ds.Name
 		k.Rows, k.Cols, k.NNZ = j.ds.Rows(), j.ds.Cols(), j.ds.NNZ()
+		k.DatasetVersion = j.ds.Version
 	} else {
 		k.Model = j.wl.Name()
 		k.Dataset = j.wl.DatasetName()
@@ -967,6 +1087,15 @@ func (s *Scheduler) run(j *job) {
 		if j.req.Seed != 0 {
 			plan.Seed = j.req.Seed
 		}
+		if j.req.Online {
+			// Growth is only safe row-wise (work units are rows, re-
+			// partitioned every epoch) and without precomputed leverage
+			// scores; submit validated the spec supports this.
+			plan.Access = model.RowWise
+			if plan.DataRep == core.Importance {
+				plan.DataRep = core.FullReplication
+			}
+		}
 	}
 
 	eng, err := core.NewWorkload(j.wl, plan)
@@ -1034,12 +1163,33 @@ func (s *Scheduler) run(j *job) {
 	// accuracy costs a dataset pass) are refreshed on the same stride,
 	// plus once at the end.
 	histEvery := 1
+	publishEvery := j.req.PublishEvery
+	if publishEvery <= 0 {
+		publishEvery = 5
+	}
 	for eng.Epoch() < j.req.MaxEpochs {
 		select {
 		case <-j.ctx.Done():
 			s.finish(j, JobCancelled, "")
 			return
 		default:
+		}
+		// Online jobs adopt newly appended data between epochs: the next
+		// epoch's work assignment re-partitions over the grown view, so
+		// no running epoch ever observes a torn matrix.
+		if j.handle != nil {
+			if v := j.handle.View(); v.Version > j.online.version {
+				if err := eng.Grow(v); err != nil {
+					s.finish(j, JobFailed, err.Error())
+					return
+				}
+				s.counters.OnlineAdopt()
+				s.mu.Lock()
+				j.curView = v
+				j.online.rows = v.Rows()
+				j.online.version = v.Version
+				s.mu.Unlock()
+			}
 		}
 		// The engine observes j.ctx inside the epoch too, so DELETE on
 		// a parallel job aborts between worker flushes rather than
@@ -1099,6 +1249,12 @@ func (s *Scheduler) run(j *job) {
 		}
 		s.mu.Unlock()
 
+		// Online publication cadence: every publishEvery epochs a
+		// candidate snapshot runs the shadow/canary gate.
+		if j.handle != nil && er.Epoch%publishEvery == 0 {
+			_ = s.publishOnline(j, eng.Snapshot())
+		}
+
 		// The checkpoint policy: persist the engine's full resume state
 		// (model, traversal generators, chain state) every N epochs, so
 		// a crashed or cancelled job restarts from its last checkpoint
@@ -1138,7 +1294,15 @@ func (s *Scheduler) run(j *job) {
 		s.replan(j, eng.ExecutorKind())
 	}
 
-	persistErr := s.publish(j, eng.Snapshot())
+	var persistErr error
+	if j.handle != nil {
+		// The final model runs the same shadow/canary gate as the
+		// periodic publications: a run that regressed since its last
+		// promotion leaves that promoted version live.
+		persistErr = s.publishOnline(j, eng.Snapshot())
+	} else {
+		persistErr = s.publish(j, eng.Snapshot())
+	}
 	s.finish(j, JobDone, "")
 	// A completed job's resume state is superseded by its registry
 	// model (which warm_start can continue from); drop the checkpoints —
@@ -1155,11 +1319,34 @@ func (s *Scheduler) run(j *job) {
 	}
 }
 
+// ckptMeta is a checkpoint's metadata envelope: the submitted request
+// plus, for online jobs, the ingest high-water mark at checkpoint time.
+// It embeds TrainRequest so metas written by older builds (a bare
+// request JSON) decode unchanged, and older builds ignore the extra
+// keys.
+type ckptMeta struct {
+	TrainRequest
+	// IngestRows and IngestVersion record the dataset view the
+	// checkpointed engine had adopted. The snapshot itself carries the
+	// authoritative pair (Snapshot.DataRows/DataVersion); the envelope
+	// duplicates it in human-readable form for store inspection.
+	IngestRows    int    `json:"ingest_rows,omitempty"`
+	IngestVersion uint64 `json:"ingest_version,omitempty"`
+}
+
 // checkpoint durably saves one running job's engine state together
-// with the submitted request, so Resume can rebuild both the workload
-// and the remaining epoch budget.
+// with the submitted request (and, for online jobs, the ingest
+// high-water mark), so Resume can rebuild the workload, the exact
+// dataset view, and the remaining epoch budget.
 func (s *Scheduler) checkpoint(j *job, eng *core.Engine) {
-	meta, err := json.Marshal(j.req)
+	env := ckptMeta{TrainRequest: j.req}
+	if j.handle != nil {
+		s.mu.Lock()
+		env.IngestRows = j.online.rows
+		env.IngestVersion = j.online.version
+		s.mu.Unlock()
+	}
+	meta, err := json.Marshal(env)
 	if err != nil {
 		s.counters.CheckpointError()
 		return
@@ -1198,16 +1385,19 @@ func (s *Scheduler) Resume(id string) (string, error) {
 		s.counters.CheckpointError()
 		return "", err
 	}
-	var orig TrainRequest
+	var orig ckptMeta
 	if len(meta) > 0 {
 		// A missing or unreadable request (older store layouts) falls
 		// back to Submit's defaults; the snapshot still pins the task.
 		_ = json.Unmarshal(meta, &orig)
 	}
 	req := TrainRequest{
-		TargetLoss: orig.TargetLoss,
-		MaxEpochs:  orig.MaxEpochs,
-		WarmStart:  id,
+		TargetLoss:   orig.TargetLoss,
+		MaxEpochs:    orig.MaxEpochs,
+		WarmStart:    id,
+		Online:       orig.Online,
+		PublishEvery: orig.PublishEvery,
+		ShadowTail:   orig.ShadowTail,
 	}
 	// Hand the loaded snapshot straight to the submit path: re-resolving
 	// by id would read and decode the checkpoint a second time and could
@@ -1253,6 +1443,86 @@ func (s *Scheduler) publish(j *job, snap core.Snapshot) error {
 		j.margins = snap.X
 		s.mu.Unlock()
 	}
+	return err
+}
+
+// promoteSlack is the canary gate's tolerance: a candidate may be
+// promoted when its held-out tail loss does not exceed the live
+// model's by more than this fraction (successive SGD snapshots jitter;
+// a hard "must improve" gate would starve promotions near the optimum
+// without protecting anything).
+const promoteSlack = 0.01
+
+// promoteDecision is the shadow-evaluation gate: the first candidate
+// always promotes (nothing is live yet), afterwards a candidate must
+// not regress the live model's held-out loss beyond promoteSlack.
+// Non-finite candidate losses (a diverged model) never promote.
+func promoteDecision(cand, live float64, hasLive bool) bool {
+	if math.IsNaN(cand) || math.IsInf(cand, 0) {
+		return false
+	}
+	if !hasLive {
+		return true
+	}
+	return cand <= live*(1+promoteSlack)+1e-12
+}
+
+// publishOnline runs one candidate model through the shadow/canary
+// gate: the candidate and the currently live version are both scored
+// on the held-out tail of the job's adopted view, and only a candidate
+// that passes promoteDecision is swapped live (the registry's atomic
+// pointer swap — in-flight predictions finish on the old version). A
+// regressing canary is rolled back: counters record it and the
+// previously promoted version stays live. The returned error reports a
+// failed durable write-through of a promoted model; rollbacks are not
+// errors.
+func (s *Scheduler) publishOnline(j *job, snap core.Snapshot) error {
+	start := time.Now()
+	s.mu.Lock()
+	view := j.curView
+	s.mu.Unlock()
+	frac := j.req.ShadowTail
+	if frac <= 0 {
+		frac = 0.2
+	}
+	tail := data.TailView(view, frac)
+	candLoss := j.spec.Loss(tail, snap.X)
+	for _, x := range snap.X {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			// A diverged weight can hide in a column the held-out tail
+			// never touches and still score a finite tail loss; the gate
+			// must not serve it either way.
+			candLoss = math.NaN()
+			break
+		}
+	}
+	var liveLoss float64
+	_, liveSnap, hasLive := s.models.Get(j.id)
+	if hasLive {
+		liveLoss = j.spec.Loss(tail, liveSnap.X)
+	}
+	s.counters.ShadowEval()
+	promote := promoteDecision(candLoss, liveLoss, hasLive)
+	var err error
+	if promote {
+		err = s.publish(j, snap)
+		s.counters.ModelPromoted()
+	} else {
+		s.counters.ModelRolledBack()
+	}
+	s.mu.Lock()
+	j.online.published++
+	j.online.candLoss = candLoss
+	if hasLive {
+		j.online.liveLoss = liveLoss
+	}
+	if promote {
+		j.online.promoted++
+		j.online.lastPublish = time.Since(start)
+	} else {
+		j.online.rolledBack++
+	}
+	s.mu.Unlock()
 	return err
 }
 
@@ -1383,6 +1653,18 @@ func (s *Scheduler) statusLocked(j *job, withMarginals bool) JobStatus {
 	if j.rec != nil {
 		sum := j.rec.Summary()
 		st.Trace = &sum
+	}
+	if j.handle != nil {
+		st.Online = &OnlineStatus{
+			Rows:               j.online.rows,
+			DatasetVersion:     j.online.version,
+			VersionsPublished:  j.online.published,
+			VersionsPromoted:   j.online.promoted,
+			VersionsRolledBack: j.online.rolledBack,
+			LastCandidateLoss:  j.online.candLoss,
+			LastLiveLoss:       j.online.liveLoss,
+			LastPublishMs:      float64(j.online.lastPublish) / float64(time.Millisecond),
+		}
 	}
 	for _, p := range j.curve.Points {
 		st.History = append(st.History, ProgressPoint{

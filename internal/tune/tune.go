@@ -35,6 +35,11 @@ type Key struct {
 	Rows int   `json:"rows"`
 	Cols int   `json:"cols"`
 	NNZ  int64 `json:"nnz"`
+	// DatasetVersion pins the published view of a streamed dataset, so
+	// costs measured on a smaller matrix never leak into decisions for
+	// a grown one. Registry datasets are frozen at version 1; omitted
+	// (zero) in stores written before streaming existed.
+	DatasetVersion uint64 `json:"dataset_version,omitempty"`
 	// Machine is the simulated topology name.
 	Machine string `json:"machine"`
 	// Executor, ModelRep, DataRep, Access, Workers and StealChunk are
