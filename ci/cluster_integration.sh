@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Multi-process cluster integration check: three dwserve peers and a
+# dwcoord coordinator on loopback, one peer killed mid-run. The job
+# must fail over and complete, and the coordinator must keep serving
+# predictions through the ring survivors. Coordinator and peer logs
+# land in $LOGDIR (uploaded as a CI artifact on the workflow side).
+set -euo pipefail
+
+LOGDIR="${LOGDIR:-/tmp/dw-cluster-ci}"
+mkdir -p "$LOGDIR"
+rm -f "$LOGDIR"/*.log
+
+echo "building binaries..."
+go build -o "$LOGDIR/dwserve" ./cmd/dwserve
+go build -o "$LOGDIR/dwcoord" ./cmd/dwcoord
+
+declare -A PEER_PID
+cleanup() {
+  for pid in "${PEER_PID[@]:-}" "${COORD_PID:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+wait_http() {
+  for _ in $(seq 1 150); do
+    curl -fsS "$1" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "timed out waiting for $1" >&2
+  return 1
+}
+json_field() { # json_field <key> — first string value of "key"
+  grep -o "\"$1\":\"[^\"]*\"" | head -1 | cut -d'"' -f4
+}
+json_int() { # json_int <key> — first integer value of "key"
+  grep -o "\"$1\":[0-9-]*" | head -1 | cut -d: -f2
+}
+
+for port in 18081 18082 18083; do
+  "$LOGDIR/dwserve" -addr 127.0.0.1:$port -machine local2 \
+    >"$LOGDIR/peer-$port.log" 2>&1 &
+  PEER_PID[$port]=$!
+done
+# Peers must be listening before the coordinator joins them at startup.
+for port in 18081 18082 18083; do
+  wait_http "http://127.0.0.1:$port/v1/stats"
+done
+"$LOGDIR/dwcoord" -addr 127.0.0.1:18090 \
+  -peers 127.0.0.1:18081,127.0.0.1:18082,127.0.0.1:18083 \
+  >"$LOGDIR/dwcoord.log" 2>&1 &
+COORD_PID=$!
+wait_http http://127.0.0.1:18090/v1/cluster/peers
+
+alive=$(curl -fsS http://127.0.0.1:18090/v1/cluster/peers | grep -o '"alive":true' | wc -l)
+if [ "$alive" -ne 3 ]; then
+  echo "expected 3 live peers, coordinator reports $alive" >&2
+  exit 1
+fi
+
+echo "submitting cluster job..."
+job=$(curl -fsS http://127.0.0.1:18090/v1/train \
+  -d '{"model":"svm","dataset":"reuters","max_epochs":40,"fixed_order":true}' \
+  | json_field job_id)
+if [ -z "$job" ]; then
+  echo "train submission returned no job id" >&2
+  exit 1
+fi
+echo "job: $job"
+
+# Kill one peer once the job is demonstrably mid-run (round >= 2), so
+# the failover path — not a clean start — is what completes it.
+killed=0
+for _ in $(seq 1 600); do
+  status=$(curl -fsS "http://127.0.0.1:18090/v1/jobs/$job")
+  state=$(echo "$status" | json_field state)
+  round=$(echo "$status" | json_int round)
+  if [ "$killed" -eq 0 ] && [ "${round:-0}" -ge 2 ]; then
+    echo "round $round reached; killing peer 18082"
+    kill -9 "${PEER_PID[18082]}"
+    killed=1
+  fi
+  case "$state" in
+    done) break ;;
+    failed)
+      echo "cluster job failed: $status" >&2
+      exit 1 ;;
+  esac
+  sleep 0.1
+done
+if [ "$state" != "done" ]; then
+  echo "job still $state after timeout: $status" >&2
+  exit 1
+fi
+if [ "$killed" -ne 1 ]; then
+  echo "job finished before a peer could be killed; raise max_epochs" >&2
+  exit 1
+fi
+
+failovers=$(echo "$status" | json_int failovers)
+if [ "${failovers:-0}" -lt 1 ]; then
+  echo "peer was killed but the job recorded no failover: $status" >&2
+  exit 1
+fi
+echo "job done with $failovers failover(s)"
+
+# Serving must survive the dead peer: predict through the coordinator.
+pred=$(curl -fsS http://127.0.0.1:18090/v1/predict \
+  -d "{\"model\":\"$job\",\"examples\":[{\"indices\":[3,17],\"values\":[1,0.5]}]}")
+count=$(echo "$pred" | json_int count)
+if [ "${count:-0}" -ne 1 ]; then
+  echo "predict after peer death returned: $pred" >&2
+  exit 1
+fi
+echo "predict answered via $(echo "$pred" | json_field peer)"
+
+curl -fsS http://127.0.0.1:18090/metrics | grep -E 'dwcoord_peer_failovers_total|dwcoord_peers_alive' || true
+echo "cluster integration OK"

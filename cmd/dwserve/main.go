@@ -64,14 +64,34 @@
 //	curl -s localhost:8080/v1/jobs/job-1/trace | jq .summary
 //	curl -s localhost:8080/metrics | grep engine_phase
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
+// Cluster mode: -peer-of registers this server with a dwcoord
+// coordinator at startup, which then ships it dataset shards and
+// drives PerCluster training rounds against it; -advertise is the
+// address the coordinator should dial back (defaults to -addr):
+//
+//	dwserve -addr :8081 -peer-of http://coord:8090 -advertise host1:8081
+//
+// Hardening: request bodies are capped at -max-body-bytes (413 past
+// the limit), the listeners carry header/idle timeouts, and SIGINT/
+// SIGTERM drain gracefully — in-flight requests finish, running jobs
+// checkpoint to -store, and feedback flushes — so a restarted server
+// resumes its jobs with POST /v1/jobs/{id}/resume.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"dimmwitted/internal/data"
 	"dimmwitted/internal/factor"
@@ -80,6 +100,34 @@ import (
 	"dimmwitted/internal/serve"
 	"dimmwitted/internal/tune"
 )
+
+// registerWithCoordinator announces this server to a dwcoord
+// coordinator, retrying while the coordinator comes up.
+func registerWithCoordinator(coord, advertise string) error {
+	if !strings.Contains(coord, "://") {
+		coord = "http://" + coord
+	}
+	body, _ := json.Marshal(map[string]string{"addr": advertise})
+	client := &http.Client{Timeout: 10 * time.Second}
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 500 * time.Millisecond)
+		}
+		resp, err := client.Post(strings.TrimRight(coord, "/")+"/v1/cluster/join",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 {
+			return nil
+		}
+		lastErr = fmt.Errorf("coordinator answered %s", resp.Status)
+	}
+	return lastErr
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -97,6 +145,10 @@ func main() {
 	feedbackEpsilon := flag.Float64("feedback-epsilon", 0, "probability of exploring the runner-up plan instead of the winner (0 = 0.05; negative disables exploration)")
 	autoBatch := flag.Bool("auto-batch", false, "auto-tune -batch-window/-batch-max from live p95 latency and the coalescing factor (needs -batch-window)")
 	autoBatchTarget := flag.Duration("auto-batch-target", 0, "p95 latency goal the batch auto-tuner defends (0 = 5ms; needs -auto-batch)")
+	maxBody := flag.Int64("max-body-bytes", 0, "request body cap in bytes; oversized requests answer 413 (0 = 64 MiB, negative = unlimited)")
+	peerOf := flag.String("peer-of", "", "coordinator URL to join as a cluster peer (e.g. http://coord:8090)")
+	advertise := flag.String("advertise", "", "address the coordinator dials back for this peer (default: -addr)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long SIGTERM waits for in-flight requests before forcing the close")
 	flag.Parse()
 
 	top, err := numa.ByName(*machine)
@@ -115,6 +167,7 @@ func main() {
 		DisableFeedback: *noFeedback,
 		AutoBatch:       *autoBatch,
 		AutoBatchConfig: serve.BatchTunerConfig{TargetP95: *autoBatchTarget},
+		MaxBodyBytes:    *maxBody,
 	}
 	if !*noFeedback {
 		opts.Feedback = tune.NewStore(tune.Options{
@@ -142,14 +195,47 @@ func main() {
 	}
 
 	srv := serve.NewServer(opts)
-	defer srv.Close()
 
-	// Profiling lives on its own listener so /debug/pprof never shares
-	// the public API port; bind it to loopback in production.
+	// Shutdown order matters: stop accepting requests first, then close
+	// the server (which cancels running jobs, checkpoints them to
+	// -store, and flushes optimizer feedback). SIGINT/SIGTERM trigger
+	// it; a second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Both listeners carry header/idle timeouts so an idle or trickling
+	// client cannot pin a connection goroutine forever. No blanket
+	// ReadTimeout: training submissions are small, but replica pushes
+	// and shard appends are bounded by -max-body-bytes instead.
+	var debugSrv *http.Server
 	if *debugAddr != "" {
+		// Profiling lives on its own listener so /debug/pprof never
+		// shares the public API port; bind it to loopback in production.
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           serve.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			log.Printf("dwserve: pprof on http://%s/debug/pprof/", *debugAddr)
-			log.Fatal(http.ListenAndServe(*debugAddr, serve.DebugHandler()))
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	if *peerOf != "" {
+		peerAddr := *advertise
+		if peerAddr == "" {
+			peerAddr = *addr
+		}
+		go func() {
+			if err := registerWithCoordinator(*peerOf, peerAddr); err != nil {
+				log.Printf("dwserve: could not join coordinator %s: %v", *peerOf, err)
+				return
+			}
+			log.Printf("dwserve: joined cluster coordinator %s as %s", *peerOf, peerAddr)
 		}()
 	}
 
@@ -171,5 +257,34 @@ func main() {
 	}
 	log.Printf("dwserve: listening on %s, machine %s, %d training slots, %s, %s, datasets %v, graphs %v, nn datasets %v",
 		*addr, top.Name, srv.Scheduler().Slots(), durability, batching, data.Names(), factor.GraphNames(), nn.DatasetNames())
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C force-kills
+		log.Printf("dwserve: signal received, draining for up to %v", *shutdownGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("dwserve: forcing listener close: %v", err)
+			_ = httpSrv.Close()
+		}
+		cancel()
+		if debugSrv != nil {
+			_ = debugSrv.Close()
+		}
+		// Checkpoint running jobs and flush learned costs before exit.
+		srv.Close()
+		log.Printf("dwserve: shutdown complete")
+	}
 }

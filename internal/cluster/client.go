@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"dimmwitted/internal/core"
+	"dimmwitted/internal/serve"
+)
+
+// Peer is the coordinator's HTTP client for one dwserve node.
+type Peer struct {
+	// Addr is the peer's base URL ("http://127.0.0.1:8081").
+	Addr string
+	hc   *http.Client
+}
+
+// NewPeer builds a client for the peer at addr. addr may omit the
+// scheme ("127.0.0.1:8081"); timeout 0 means 30s per request.
+func NewPeer(addr string, timeout time.Duration) *Peer {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	return &Peer{Addr: strings.TrimRight(addr, "/"), hc: &http.Client{Timeout: timeout}}
+}
+
+// do issues one request and decodes the JSON response into out (when
+// non-nil). Non-2xx responses surface the peer's error envelope.
+func (p *Peer) do(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, p.Addr+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: peer %s: %w", p.Addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("cluster: peer %s %s %s: %s", p.Addr, method, path, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Join runs the coordinator's handshake against the peer.
+func (p *Peer) Join(cluster, coordinator string) (joinResponse, error) {
+	body, _ := json.Marshal(joinRequest{Cluster: cluster, Coordinator: coordinator})
+	var out joinResponse
+	err := p.do("POST", "/v1/cluster/join", body, &out)
+	return out, err
+}
+
+// Append ships a chunk of rows into the named (stream) dataset on the
+// peer and returns the encoded payload size.
+func (p *Peer) Append(dataset string, rows []appendRow, cols int, task string) (int, error) {
+	body, err := json.Marshal(appendRequest{Rows: rows, Cols: cols, Task: task})
+	if err != nil {
+		return 0, err
+	}
+	var out appendResponse
+	if err := p.do("POST", "/v1/datasets/"+url.PathEscape(dataset)+"/append", body, &out); err != nil {
+		return 0, err
+	}
+	if out.Appended != len(rows) {
+		return len(body), fmt.Errorf("cluster: peer %s appended %d of %d rows", p.Addr, out.Appended, len(rows))
+	}
+	return len(body), nil
+}
+
+// Train submits a job and returns the peer's job ID.
+func (p *Peer) Train(req serve.TrainRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	var out trainResponse
+	if err := p.do("POST", "/v1/train", body, &out); err != nil {
+		return "", err
+	}
+	return out.JobID, nil
+}
+
+// JobStatus fetches one job's status.
+func (p *Peer) JobStatus(id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := p.do("GET", "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// WaitJob polls until the job reaches a terminal state or the timeout
+// elapses. A job that ends failed or cancelled is an error — the
+// coordinator treats it like a dead peer and fails the shard over.
+func (p *Peer) WaitJob(id string, timeout time.Duration) (serve.JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := p.JobStatus(id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "done":
+			return st, nil
+		case "failed", "cancelled":
+			return st, fmt.Errorf("cluster: peer %s job %s %s: %s", p.Addr, id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("cluster: peer %s job %s still %s after %v", p.Addr, id, st.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// PullReplica fetches the encoded snapshot registered under id and
+// decodes it (the codec's CRC catches a corrupted transfer).
+func (p *Peer) PullReplica(id string) (core.Snapshot, int, error) {
+	resp, err := p.hc.Get(p.Addr + "/v1/cluster/replica/" + url.PathEscape(id))
+	if err != nil {
+		return core.Snapshot{}, 0, fmt.Errorf("cluster: peer %s: %w", p.Addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return core.Snapshot{}, 0, fmt.Errorf("cluster: peer %s: %w", p.Addr, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		_ = json.Unmarshal(body, &e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return core.Snapshot{}, 0, fmt.Errorf("cluster: peer %s replica %s: %s", p.Addr, id, e.Error)
+	}
+	snap, err := core.DecodeSnapshot(body)
+	if err != nil {
+		return core.Snapshot{}, 0, fmt.Errorf("cluster: peer %s replica %s: %w", p.Addr, id, err)
+	}
+	return snap, len(body), nil
+}
+
+// PushReplica installs a snapshot under id on the peer and returns
+// the encoded payload size.
+func (p *Peer) PushReplica(id string, snap core.Snapshot) (int, error) {
+	body := core.EncodeSnapshot(snap)
+	req, err := http.NewRequest("POST", p.Addr+"/v1/cluster/replica/"+url.PathEscape(id), bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: peer %s: %w", p.Addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return 0, fmt.Errorf("cluster: peer %s replica %s: %s", p.Addr, id, e.Error)
+	}
+	return len(body), nil
+}
+
+// Predict asks the peer to score examples against a served model.
+func (p *Peer) Predict(modelID string, examples []Example) ([]float64, error) {
+	body, err := json.Marshal(predictRequest{Model: modelID, Examples: examples})
+	if err != nil {
+		return nil, err
+	}
+	var out predictResponse
+	if err := p.do("POST", "/v1/predict", body, &out); err != nil {
+		return nil, err
+	}
+	return out.Predictions, nil
+}

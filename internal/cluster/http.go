@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler is the coordinator's HTTP front end.
+//
+//	POST /v1/cluster/join   {"addr": "host:port"} — register a peer
+//	GET  /v1/cluster/peers  — peer pool with per-peer counters
+//	POST /v1/train          — submit a cluster TrainRequest
+//	GET  /v1/jobs           — list cluster jobs
+//	GET  /v1/jobs/{id}      — one job's status
+//	POST /v1/predict        — proxy to the model's ring owner
+//	GET  /metrics           — Prometheus text exposition
+type Handler struct {
+	coord   *Coordinator
+	mux     *http.ServeMux
+	maxBody int64
+	started time.Time
+}
+
+// NewHandler wraps a coordinator. maxBody caps request bodies in
+// bytes (0 means 16 MiB; negative disables the cap — predict proxies
+// are small, datasets enter via the coordinator process, not this
+// API).
+func NewHandler(c *Coordinator, maxBody int64) *Handler {
+	if maxBody == 0 {
+		maxBody = 16 << 20
+	}
+	h := &Handler{coord: c, mux: http.NewServeMux(), maxBody: maxBody, started: time.Now()}
+	h.mux.HandleFunc("POST /v1/cluster/join", h.handleJoin)
+	h.mux.HandleFunc("GET /v1/cluster/peers", h.handlePeers)
+	h.mux.HandleFunc("POST /v1/train", h.handleTrain)
+	h.mux.HandleFunc("GET /v1/jobs", h.handleJobs)
+	h.mux.HandleFunc("GET /v1/jobs/{id}", h.handleJob)
+	h.mux.HandleFunc("POST /v1/predict", h.handlePredict)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.maxBody > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
+	}
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (h *Handler) writeError(w http.ResponseWriter, code int, err error) {
+	h.writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (h *Handler) decodeJSON(w http.ResponseWriter, r *http.Request, v any, what string) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			h.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("%s body exceeds the %d-byte limit", what, tooBig.Limit))
+			return false
+		}
+		h.writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s request: %w", what, err))
+		return false
+	}
+	return true
+}
+
+func (h *Handler) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Addr string `json:"addr"`
+	}
+	if !h.decodeJSON(w, r, &req, "join") {
+		return
+	}
+	if strings.TrimSpace(req.Addr) == "" {
+		h.writeError(w, http.StatusBadRequest, fmt.Errorf("join requires addr"))
+		return
+	}
+	ps, err := h.coord.Join(req.Addr)
+	if err != nil {
+		h.writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, ps)
+}
+
+func (h *Handler) handlePeers(w http.ResponseWriter, r *http.Request) {
+	h.writeJSON(w, http.StatusOK, struct {
+		Cluster string       `json:"cluster"`
+		Peers   []PeerStatus `json:"peers"`
+	}{h.coord.opts.Name, h.coord.Peers()})
+}
+
+func (h *Handler) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	if !h.decodeJSON(w, r, &req, "train") {
+		return
+	}
+	id, err := h.coord.Train(req)
+	if err != nil {
+		h.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, trainResponse{JobID: id, Status: JobQueued})
+}
+
+func (h *Handler) handleJobs(w http.ResponseWriter, r *http.Request) {
+	h.writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{h.coord.Jobs()})
+}
+
+func (h *Handler) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := h.coord.Status(r.PathValue("id"))
+	if !ok {
+		h.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	h.writeJSON(w, http.StatusOK, st)
+}
+
+func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if !h.decodeJSON(w, r, &req, "predict") {
+		return
+	}
+	if req.Model == "" {
+		h.writeError(w, http.StatusBadRequest, fmt.Errorf("predict requires model"))
+		return
+	}
+	preds, addr, err := h.coord.Predict(req.Model, req.Examples)
+	if err != nil {
+		h.writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, struct {
+		Model       string    `json:"model"`
+		Peer        string    `json:"peer"`
+		Predictions []float64 `json:"predictions"`
+		Count       int       `json:"count"`
+	}{req.Model, addr, preds, len(preds)})
+}
+
+// handleMetrics renders the Prometheus text exposition for the
+// coordinator: pool/ring gauges plus every peer's cluster counters.
+// (serve's exposition writer is unexported; the format is three line
+// shapes, so the coordinator carries its own.)
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	family := func(name, help, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	sample := func(name, peer string, v float64) {
+		if peer != "" {
+			fmt.Fprintf(&b, "%s{peer=%q} %g\n", name, esc.Replace(peer), v)
+		} else {
+			fmt.Fprintf(&b, "%s %g\n", name, v)
+		}
+	}
+
+	peers := h.coord.Peers()
+	alive := 0
+	for _, p := range peers {
+		if p.Alive {
+			alive++
+		}
+	}
+	family("dwcoord_peers", "Known peers in the pool.", "gauge")
+	sample("dwcoord_peers", "", float64(len(peers)))
+	family("dwcoord_peers_alive", "Peers currently on the serving ring.", "gauge")
+	sample("dwcoord_peers_alive", "", float64(alive))
+	family("dwcoord_uptime_seconds", "Seconds since the coordinator started.", "gauge")
+	sample("dwcoord_uptime_seconds", "", math.Round(time.Since(h.started).Seconds()))
+
+	jobs := h.coord.Jobs()
+	byState := map[string]int{}
+	for _, j := range jobs {
+		byState[j.State]++
+	}
+	family("dwcoord_jobs", "Cluster jobs by state.", "gauge")
+	for _, st := range []string{JobQueued, JobRunning, JobDone, JobFailed} {
+		fmt.Fprintf(&b, "dwcoord_jobs{state=%q} %d\n", st, byState[st])
+	}
+
+	type counterCol struct {
+		name, help string
+		get        func(p PeerStatus) int64
+	}
+	cols := []counterCol{
+		{"dwcoord_peer_rounds_total", "Training rounds completed per peer.", func(p PeerStatus) int64 { return p.Counters.Rounds }},
+		{"dwcoord_peer_epochs_total", "Shard epochs trained per peer.", func(p PeerStatus) int64 { return p.Counters.Epochs }},
+		{"dwcoord_peer_shard_rows_total", "Shard rows shipped to each peer.", func(p PeerStatus) int64 { return p.Counters.ShardRows }},
+		{"dwcoord_peer_shard_bytes_total", "Shard bytes shipped to each peer.", func(p PeerStatus) int64 { return p.Counters.ShardBytes }},
+		{"dwcoord_peer_replica_pulls_total", "Model replicas pulled from each peer.", func(p PeerStatus) int64 { return p.Counters.ReplicaPulls }},
+		{"dwcoord_peer_replica_pushes_total", "Model replicas pushed to each peer.", func(p PeerStatus) int64 { return p.Counters.ReplicaPushes }},
+		{"dwcoord_peer_replica_bytes_total", "Snapshot bytes moved to/from each peer.", func(p PeerStatus) int64 { return p.Counters.ReplicaBytes }},
+		{"dwcoord_peer_failovers_total", "Shards absorbed from dead peers.", func(p PeerStatus) int64 { return p.Counters.Failovers }},
+		{"dwcoord_peer_proxied_predicts_total", "Predictions proxied to each peer.", func(p PeerStatus) int64 { return p.Counters.ProxiedPreds }},
+		{"dwcoord_peer_proxy_fallbacks_total", "Predictions answered as a ring successor.", func(p PeerStatus) int64 { return p.Counters.ProxyFallback }},
+	}
+	for _, col := range cols {
+		family(col.name, col.help, "counter")
+		for _, p := range peers {
+			sample(col.name, p.Addr, float64(col.get(p)))
+		}
+	}
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,74 @@
+package cluster
+
+// Wire shapes for the peer API. Field names mirror the JSON the
+// internal/serve handlers speak; model snapshots travel as the binary
+// snapshot codec (CRC-validated on receipt), everything else as JSON.
+
+// appendRow is one ingested example, in the append API's encoding.
+type appendRow struct {
+	Indices []int32   `json:"indices,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	Dense   []float64 `json:"dense,omitempty"`
+	Label   float64   `json:"label"`
+}
+
+// appendRequest ingests a chunk of rows into a (stream) dataset.
+type appendRequest struct {
+	Rows []appendRow `json:"rows"`
+	Cols int         `json:"cols,omitempty"`
+	Task string      `json:"task,omitempty"`
+}
+
+// appendResponse reports the view published by an append.
+type appendResponse struct {
+	Dataset  string `json:"dataset"`
+	Version  uint64 `json:"version"`
+	Rows     int    `json:"rows"`
+	Appended int    `json:"appended"`
+}
+
+// joinRequest is the coordinator's handshake to a peer.
+type joinRequest struct {
+	Cluster     string `json:"cluster"`
+	Coordinator string `json:"coordinator"`
+}
+
+// joinResponse is the peer's capability report.
+type joinResponse struct {
+	Machine  string   `json:"machine"`
+	Datasets []string `json:"datasets"`
+	Models   int      `json:"models"`
+}
+
+// trainResponse acknowledges a submitted peer job.
+type trainResponse struct {
+	JobID  string `json:"job_id"`
+	Status string `json:"status"`
+}
+
+// errorResponse is the peer's JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Example is one prediction input: a sparse (indices, values) pair or
+// a dense feature vector. It is the coordinator API's input shape and
+// the proxied peer request's.
+type Example struct {
+	Indices []int32   `json:"indices,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	Dense   []float64 `json:"dense,omitempty"`
+}
+
+// predictRequest asks a peer for batched predictions.
+type predictRequest struct {
+	Model    string    `json:"model"`
+	Examples []Example `json:"examples"`
+}
+
+// predictResponse carries one prediction per example, in order.
+type predictResponse struct {
+	Model       string    `json:"model"`
+	Predictions []float64 `json:"predictions"`
+	Count       int       `json:"count"`
+}

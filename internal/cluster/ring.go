@@ -1,0 +1,153 @@
+// Package cluster extends the replication hierarchy one level past a
+// machine: a coordinator shards a named dataset across dwserve peers,
+// drives epoch-synchronous rounds where every peer trains its shard
+// under a forced local plan, and combines the returned model replicas
+// with the workload's own SyncAverage/SyncAggregate semantics — the
+// PerNode averaging code path, one level up (the paper's tradeoffs at
+// PerCluster scale). Serving consistent-hashes the model namespace
+// across peers; the coordinator proxies predicts to the ring owner and
+// walks successors when a node is unreachable.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// defaultVNodes is the virtual-node count per peer; enough that three
+// peers split a model namespace within a few percent of evenly.
+const defaultVNodes = 64
+
+// Ring is a consistent-hash ring over peer addresses. All methods are
+// safe for concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	// hashes is the sorted vnode positions; owner maps each position
+	// back to its peer.
+	hashes []uint64
+	owner  map[uint64]string
+	nodes  map[string]bool
+}
+
+// NewRing builds an empty ring with vnodes virtual nodes per peer
+// (0 means the default).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	return &Ring{vnodes: vnodes, owner: map[uint64]string{}, nodes: map[string]bool{}}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV barely avalanches on short, similar keys ("peer#0",
+	// "peer#1", ...): their hashes land in one tight band, which on a
+	// ring means one peer owning almost every key. Finish with a
+	// splitmix64-style mixer so vnodes actually spread.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a peer's virtual nodes. Adding a present peer is a
+// no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		h := ringHash(fmt.Sprintf("%s#%d", node, i))
+		if _, taken := r.owner[h]; taken {
+			continue // vanishingly unlikely 64-bit collision; skip the vnode
+		}
+		r.owner[h] = node
+		r.hashes = append(r.hashes, h)
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Remove deletes a peer's virtual nodes; its key range falls to the
+// ring successors. Removing an absent peer is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.hashes[:0]
+	for _, h := range r.hashes {
+		if r.owner[h] == node {
+			delete(r.owner, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	r.hashes = kept
+}
+
+// Nodes returns the current peers, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of peers on the ring.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Owners returns up to n distinct peers responsible for key, in ring
+// order: the owner first, then the successors a caller falls back to
+// when the owner is unreachable (and where replicated models live).
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; len(out) < n && i < len(r.hashes); i++ {
+		node := r.owner[r.hashes[(start+i)%len(r.hashes)]]
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Owner returns the single peer responsible for key, or "" on an
+// empty ring.
+func (r *Ring) Owner(key string) string {
+	o := r.Owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}

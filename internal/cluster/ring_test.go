@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"a:1", "b:1", "c:1"} {
+		r.Add(n)
+	}
+	owners := r.Owners("model-x", 2)
+	if len(owners) != 2 || owners[0] == owners[1] {
+		t.Fatalf("Owners = %v, want 2 distinct peers", owners)
+	}
+	// Asking for more replicas than peers caps at the peer count.
+	if got := r.Owners("model-x", 10); len(got) != 3 {
+		t.Fatalf("Owners(10) = %v, want all 3 peers", got)
+	}
+	// Consistency: removing an unrelated peer keeps the owner.
+	owner := r.Owner("model-x")
+	other := ""
+	for _, n := range r.Nodes() {
+		if n != owner && n != owners[1] {
+			other = n
+		}
+	}
+	r.Remove(other)
+	if got := r.Owner("model-x"); got != owner {
+		t.Fatalf("owner moved from %s to %s when removing unrelated peer %s", owner, got, other)
+	}
+	// Failover: removing the owner hands the key to the old successor.
+	r.Remove(owner)
+	if got := r.Owner("model-x"); got != owners[1] {
+		t.Fatalf("owner after death = %s, want old successor %s", got, owners[1])
+	}
+	r.Remove(owners[1])
+	if got := r.Owners("model-x", 1); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing(0)
+	peers := []string{"a:1", "b:1", "c:1"}
+	for _, n := range peers {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 900
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("model-%d", i))]++
+	}
+	for _, n := range peers {
+		// With 64 vnodes each peer should hold a substantial share; a
+		// peer far below a third signals broken placement, not variance.
+		if counts[n] < keys/6 {
+			t.Fatalf("peer %s owns only %d of %d keys: %v", n, counts[n], keys, counts)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dimmwitted/internal/data"
+	"dimmwitted/internal/model"
+	"dimmwitted/internal/numa"
+)
+
+func TestPerClusterRejectedByEngine(t *testing.T) {
+	_, err := New(model.NewSVM(), data.Reuters(), Plan{ModelRep: PerCluster})
+	if err == nil || !strings.Contains(err.Error(), "dwcoord") {
+		t.Fatalf("PerCluster plan on a single engine: err = %v, want pointer to the coordinator", err)
+	}
+}
+
+func TestPerClusterValidatesAsPlan(t *testing.T) {
+	// The plan grammar itself accepts PerCluster — it is the engine,
+	// not Validate, that refuses to run one — so a coordinator can
+	// validate the cluster-level plan with the same code path.
+	p := Plan{ModelRep: PerCluster}.Normalize(model.NewSVM())
+	if err := p.Validate(model.NewSVM()); err != nil {
+		t.Fatalf("PerCluster plan failed validation: %v", err)
+	}
+	if got := PerCluster.String(); got != "PerCluster" {
+		t.Fatalf("PerCluster.String() = %q", got)
+	}
+}
+
+// TestFixedOrderSeedInvariant pins the property the cluster parity
+// test builds on: with FixedOrder the traversal makes no RNG draws,
+// so two engines differing only in seed walk identical trajectories.
+func TestFixedOrderSeedInvariant(t *testing.T) {
+	runEpochs := func(seed int64) []float64 {
+		e := mustEngine(t, model.NewSVM(), data.Reuters(), Plan{
+			ModelRep:   PerNode,
+			DataRep:    Sharding,
+			Machine:    numa.Local2,
+			Seed:       seed,
+			FixedOrder: true,
+		})
+		defer e.Close()
+		e.RunEpochs(3)
+		return append([]float64(nil), e.Model()...)
+	}
+	a, b := runEpochs(1), runEpochs(99)
+	if len(a) != len(b) {
+		t.Fatalf("model dims differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("X[%d] differs across seeds under FixedOrder: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFixedOrderRoundTripsThroughSnapshot(t *testing.T) {
+	e := mustEngine(t, model.NewSVM(), data.Reuters(), Plan{
+		ModelRep:   PerNode,
+		DataRep:    Sharding,
+		FixedOrder: true,
+	})
+	defer e.Close()
+	e.RunEpochs(1)
+	snap := e.Snapshot()
+	if !snap.Plan.FixedOrder {
+		t.Fatal("snapshot dropped FixedOrder")
+	}
+	back, err := DecodeSnapshot(EncodeSnapshot(snap))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !back.Plan.FixedOrder {
+		t.Fatal("codec dropped FixedOrder")
+	}
+}
+
+func TestClusterEpochSeconds(t *testing.T) {
+	// One peer is just the local run.
+	if got := ClusterEpochSeconds(12, 1, 1000, 1e9); got != 12 {
+		t.Fatalf("single peer = %v, want 12", got)
+	}
+	// Compute divides by peers; transfer adds 2·peers·dim·8/bw.
+	got := ClusterEpochSeconds(12, 3, 1000, 1e6)
+	want := 4.0 + 2*3*1000*8/1e6
+	if got != want {
+		t.Fatalf("3 peers = %v, want %v", got, want)
+	}
+	// Zero bandwidth prices transfer as free rather than dividing by zero.
+	if got := ClusterEpochSeconds(12, 3, 1000, 0); got != 4 {
+		t.Fatalf("zero bandwidth = %v, want 4", got)
+	}
+}

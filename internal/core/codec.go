@@ -34,7 +34,9 @@ const snapMagic = "dwsnap"
 //	2  appends Plan.StealChunk (i64) after the replica states
 //	3  appends DataRows (i64) and DataVersion (u64) — the streamed-
 //	   dataset ingest high-water mark — after the version-2 fields
-const snapVersion = 3
+//	4  appends Plan.FixedOrder (u8) — the cluster coordinator's
+//	   deterministic-traversal knob — after the version-3 fields
+const snapVersion = 4
 
 // maxSnapshotSlice caps decoded slice lengths (model vectors, replica
 // blobs) so a corrupt or adversarial length prefix cannot force a huge
@@ -239,6 +241,11 @@ func EncodeSnapshot(s Snapshot) []byte {
 	e.i64(int64(p.StealChunk))
 	e.i64(int64(s.DataRows))
 	e.u64(s.DataVersion)
+	if p.FixedOrder {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
 
 	e.u32(crc32.ChecksumIEEE(e.b))
 	return e.b
@@ -336,6 +343,11 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	}
 	// Pre-streaming files leave the high-water mark zero: resume trains
 	// on the dataset's current view, exactly as it always did.
+	if ver >= 4 {
+		s.Plan.FixedOrder = d.u8() != 0
+	}
+	// Pre-cluster files predate FixedOrder; false restores the default
+	// randomized traversal those snapshots were trained with.
 
 	if d.err != nil {
 		return Snapshot{}, d.err

@@ -45,6 +45,7 @@ func testSnapshot() Snapshot {
 			ElementOverheadCycles: 0.25,
 			EpochOverheadCycles:   1e6,
 			ComputeScale:          3,
+			FixedOrder:            true,
 		},
 		DataRows:    4321,
 		DataVersion: 6,
@@ -161,17 +162,17 @@ func TestSnapshotCodecRejectsNewerVersion(t *testing.T) {
 
 // TestSnapshotCodecReadsVersion1 pins backward compatibility: a
 // version-1 file is the current encoding minus the appended tails —
-// v2's StealChunk and v3's DataRows/DataVersion — and must decode with
-// those fields zero (StealChunk renormalizes to the default when the
-// plan goes back through an engine).
+// v2's StealChunk, v3's DataRows/DataVersion, and v4's FixedOrder —
+// and must decode with those fields zero (StealChunk renormalizes to
+// the default when the plan goes back through an engine).
 func TestSnapshotCodecReadsVersion1(t *testing.T) {
 	s := testSnapshot()
 	s.Plan.StealChunk = 7
 	data := EncodeSnapshot(s)
 	// Drop the appended tails (8-byte StealChunk + 8-byte DataRows +
-	// 8-byte DataVersion before the 4-byte CRC), restamp version 1 and
-	// recompute the CRC.
-	v1 := append([]byte(nil), data[:len(data)-28]...)
+	// 8-byte DataVersion + 1-byte FixedOrder before the 4-byte CRC),
+	// restamp version 1 and recompute the CRC.
+	v1 := append([]byte(nil), data[:len(data)-29]...)
 	binary.LittleEndian.PutUint16(v1[6:], 1)
 	v1 = binary.LittleEndian.AppendUint32(v1, crc32.ChecksumIEEE(v1))
 
@@ -183,19 +184,21 @@ func TestSnapshotCodecReadsVersion1(t *testing.T) {
 		t.Errorf("version-1 steal chunk = %d, want 0", back.Plan.StealChunk)
 	}
 	s.Plan.StealChunk = 0
+	s.Plan.FixedOrder = false
 	s.DataRows, s.DataVersion = 0, 0
 	snapshotsEqual(t, s, back)
 }
 
 // TestSnapshotCodecReadsVersion2 pins the next seam: a version-2 file
-// (everything through StealChunk, no ingest fields) must decode with
-// DataRows and DataVersion zero.
+// (everything through StealChunk, no ingest fields, no FixedOrder)
+// must decode with DataRows, DataVersion, and FixedOrder zero.
 func TestSnapshotCodecReadsVersion2(t *testing.T) {
 	s := testSnapshot()
 	data := EncodeSnapshot(s)
-	// Drop the v3 tail (8-byte DataRows + 8-byte DataVersion before the
-	// 4-byte CRC), restamp version 2 and recompute the CRC.
-	v2 := append([]byte(nil), data[:len(data)-20]...)
+	// Drop the v3+v4 tail (8-byte DataRows + 8-byte DataVersion +
+	// 1-byte FixedOrder before the 4-byte CRC), restamp version 2 and
+	// recompute the CRC.
+	v2 := append([]byte(nil), data[:len(data)-21]...)
 	binary.LittleEndian.PutUint16(v2[6:], 2)
 	v2 = binary.LittleEndian.AppendUint32(v2, crc32.ChecksumIEEE(v2))
 
@@ -207,6 +210,30 @@ func TestSnapshotCodecReadsVersion2(t *testing.T) {
 		t.Errorf("version-2 ingest fields = %d/%d, want 0/0", back.DataRows, back.DataVersion)
 	}
 	s.DataRows, s.DataVersion = 0, 0
+	s.Plan.FixedOrder = false
+	snapshotsEqual(t, s, back)
+}
+
+// TestSnapshotCodecReadsVersion3 pins the newest seam: a version-3
+// file (everything through DataVersion, no FixedOrder byte) must
+// decode with FixedOrder false.
+func TestSnapshotCodecReadsVersion3(t *testing.T) {
+	s := testSnapshot()
+	data := EncodeSnapshot(s)
+	// Drop the v4 tail (1-byte FixedOrder before the 4-byte CRC),
+	// restamp version 3 and recompute the CRC.
+	v3 := append([]byte(nil), data[:len(data)-5]...)
+	binary.LittleEndian.PutUint16(v3[6:], 3)
+	v3 = binary.LittleEndian.AppendUint32(v3, crc32.ChecksumIEEE(v3))
+
+	back, err := DecodeSnapshot(v3)
+	if err != nil {
+		t.Fatalf("version-3 decode: %v", err)
+	}
+	if back.Plan.FixedOrder {
+		t.Errorf("version-3 fixed order = true, want false")
+	}
+	s.Plan.FixedOrder = false
 	snapshotsEqual(t, s, back)
 }
 

@@ -108,6 +108,13 @@ func NewWorkload(wl Workload, plan Plan) (*Engine, error) {
 	if err := wl.ValidatePlan(plan); err != nil {
 		return nil, err
 	}
+	if plan.ModelRep == PerCluster {
+		// PerCluster is a coordinator-level axis: one engine is one
+		// machine, so the replica-per-machine layout cannot exist here.
+		// The cluster coordinator decomposes a PerCluster plan into one
+		// single-machine plan per peer and combines over the wire.
+		return nil, fmt.Errorf("core: PerCluster replication spans machines; a single engine cannot run it — submit the job to a cluster coordinator (cmd/dwcoord)")
+	}
 	wl.Bind(plan)
 
 	src := NewSeededSource(plan.Seed)

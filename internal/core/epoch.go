@@ -303,7 +303,7 @@ func (e *Engine) assignWork() {
 		if hasOrder {
 			perm = orderer.EpochOrder(0)
 		} else {
-			perm = e.rng.Perm(domain)
+			perm = e.epochOrder(domain)
 		}
 		n := len(e.workers)
 		for i, item := range perm {
@@ -341,7 +341,7 @@ func (e *Engine) assignWork() {
 		sort.Ints(nodes)
 		for _, node := range nodes {
 			ws := byNode[node]
-			perm := e.rng.Perm(domain)
+			perm := e.epochOrder(domain)
 			for i, item := range perm {
 				w := ws[i%len(ws)]
 				w.items = append(w.items, item)
@@ -371,6 +371,23 @@ func (e *Engine) assignWork() {
 			}
 		}
 	}
+}
+
+// epochOrder returns this epoch's traversal order over the item
+// domain: a fresh random permutation normally, the identity order under
+// Plan.FixedOrder. The fixed order draws nothing from the engine
+// generator, so a FixedOrder engine's RNG position stays wherever
+// restore (or construction) put it — the invariant that lets the
+// cluster coordinator compare sharded runs against a union run bitwise.
+func (e *Engine) epochOrder(domain int) []int {
+	if !e.plan.FixedOrder {
+		return e.rng.Perm(domain)
+	}
+	ord := make([]int, domain)
+	for i := range ord {
+		ord[i] = i
+	}
+	return ord
 }
 
 // sampleLeverage draws one row index with probability proportional to

@@ -193,6 +193,28 @@ func ChooseExecutor(spec model.Spec, ds *data.Dataset, top numa.Topology, exec E
 	return plan, plan.Validate(spec)
 }
 
+// ClusterEpochSeconds extends the cost model one level up the
+// replication hierarchy: it prices a PerCluster epoch-synchronous
+// round across peers machines. Each peer trains its 1/peers shard
+// (compute parallelises perfectly under Sharding, the only data
+// replication PerCluster supports), then ships its dim-float replica
+// to the coordinator and receives the combined model back — 2·dim·8
+// bytes per peer per round over a link moving bytesPerSec. The
+// returned figure is what cmd/dwcoord surfaces when explaining
+// whether a dataset is big enough for the shard+combine round trip to
+// beat staying on one machine.
+func ClusterEpochSeconds(localSeconds float64, peers, dim int, bytesPerSec float64) float64 {
+	if peers <= 1 {
+		return localSeconds
+	}
+	compute := localSeconds / float64(peers)
+	transfer := 0.0
+	if bytesPerSec > 0 {
+		transfer = 2 * float64(peers) * float64(dim) * 8 / bytesPerSec
+	}
+	return compute + transfer
+}
+
 // Explain returns the optimizer's view of every supported access
 // method, for diagnostics (cmd/dwplan).
 func Explain(spec model.Spec, ds *data.Dataset, top numa.Topology) []CostEstimate {

@@ -41,6 +41,14 @@ const (
 	// PerMachine keeps a single replica all workers update (the
 	// Hogwild!/Downpour point).
 	PerMachine
+	// PerCluster extends the hierarchy one level up: every machine in a
+	// cluster holds a full model replica, trained on its data shard and
+	// combined epoch-synchronously over the wire — the same averaging
+	// PerNode does across sockets, applied across machines. A single
+	// engine cannot run it (see NewWorkload); the cluster coordinator
+	// (internal/cluster, cmd/dwcoord) decomposes a PerCluster plan into
+	// one per-peer single-machine plan per shard.
+	PerCluster
 )
 
 // String implements fmt.Stringer.
@@ -52,6 +60,8 @@ func (m ModelReplication) String() string {
 		return "PerNode"
 	case PerMachine:
 		return "PerMachine"
+	case PerCluster:
+		return "PerCluster"
 	default:
 		return fmt.Sprintf("ModelReplication(%d)", int(m))
 	}
@@ -199,6 +209,16 @@ type Plan struct {
 	ImportanceFraction float64
 	// Seed drives all traversal randomness.
 	Seed int64
+	// FixedOrder replaces the per-epoch random traversal permutation
+	// with the identity order: under Sharding, worker k processes items
+	// {i : i mod workers == k} in increasing i, every epoch. The engine
+	// generator is never consumed, so two engines running disjoint
+	// shards of one dataset stay bitwise-reproducible against a single
+	// engine running the union — the property the cluster coordinator's
+	// parity contract rests on. Statistically this is plain cyclic SGD;
+	// leave it off unless reproducibility across a re-partitioning is
+	// the point.
+	FixedOrder bool
 
 	// The remaining knobs exist for emulating competitor systems
 	// (internal/baseline): DimmWitted itself runs with all three at
@@ -259,9 +279,9 @@ func (p Plan) validateCommon() error {
 		return fmt.Errorf("core: plan has %d workers", p.Workers)
 	}
 	switch p.ModelRep {
-	case PerCore, PerNode, PerMachine:
+	case PerCore, PerNode, PerMachine, PerCluster:
 	default:
-		return fmt.Errorf("core: unknown model replication %v (want PerCore, PerNode, or PerMachine)", p.ModelRep)
+		return fmt.Errorf("core: unknown model replication %v (want PerCore, PerNode, PerMachine, or PerCluster)", p.ModelRep)
 	}
 	switch p.DataRep {
 	case Sharding, FullReplication, Importance:

@@ -25,7 +25,7 @@ func TestInvalidKnobMessages(t *testing.T) {
 		{
 			"model replication",
 			func(p Plan) Plan { p.ModelRep = ModelReplication(42); return p },
-			[]string{"unknown model replication", "PerCore, PerNode, or PerMachine"},
+			[]string{"unknown model replication", "PerCore, PerNode, PerMachine, or PerCluster"},
 		},
 		{
 			"data replication",

@@ -1,0 +1,92 @@
+package metrics
+
+// ClusterCounters are the coordinator's monotonically increasing
+// counters for one peer: training rounds driven, shard rows and model
+// bytes moved over the wire, and failovers absorbed. The coordinator
+// keeps one set per peer so /metrics can break the cluster down by
+// node. All methods are safe for concurrent use; the zero value is
+// ready. Padding as in ServeCounters — the transfer counters are
+// bumped from concurrent per-peer round goroutines.
+type ClusterCounters struct {
+	epochs        counter
+	rounds        counter
+	shardRows     counter
+	shardBytes    counter
+	replicaPulls  counter
+	replicaPushes counter
+	replicaBytes  counter
+	failovers     counter
+	proxied       counter
+	proxyFallback counter
+}
+
+// Round records one completed training round that advanced the peer's
+// engine by epochs epochs.
+func (c *ClusterCounters) Round(epochs int) {
+	c.rounds.Add(1)
+	c.epochs.Add(int64(epochs))
+}
+
+// ShardPush records rows rows (bytes encoded bytes) shipped to the
+// peer over the append API.
+func (c *ClusterCounters) ShardPush(rows, bytes int) {
+	c.shardRows.Add(int64(rows))
+	c.shardBytes.Add(int64(bytes))
+}
+
+// ReplicaPull records one model snapshot of n bytes fetched from the
+// peer.
+func (c *ClusterCounters) ReplicaPull(n int) {
+	c.replicaPulls.Add(1)
+	c.replicaBytes.Add(int64(n))
+}
+
+// ReplicaPush records one model snapshot of n bytes installed on the
+// peer.
+func (c *ClusterCounters) ReplicaPush(n int) {
+	c.replicaPushes.Add(1)
+	c.replicaBytes.Add(int64(n))
+}
+
+// Failover records this peer absorbing a dead peer's shard.
+func (c *ClusterCounters) Failover() { c.failovers.Add(1) }
+
+// ProxiedPredict records one /v1/predict forwarded to this peer as
+// the ring owner.
+func (c *ClusterCounters) ProxiedPredict() { c.proxied.Add(1) }
+
+// ProxyFallback records one predict re-routed to this peer because a
+// ring predecessor was unreachable.
+func (c *ClusterCounters) ProxyFallback() { c.proxyFallback.Add(1) }
+
+// ClusterSnapshot is a point-in-time copy of one peer's counters,
+// shaped for JSON export.
+type ClusterSnapshot struct {
+	Rounds        int64 `json:"rounds"`
+	Epochs        int64 `json:"epochs"`
+	ShardRows     int64 `json:"shard_rows"`
+	ShardBytes    int64 `json:"shard_bytes"`
+	ReplicaPulls  int64 `json:"replica_pulls"`
+	ReplicaPushes int64 `json:"replica_pushes"`
+	ReplicaBytes  int64 `json:"replica_bytes"`
+	Failovers     int64 `json:"failovers"`
+	ProxiedPreds  int64 `json:"proxied_predicts"`
+	ProxyFallback int64 `json:"proxy_fallbacks"`
+}
+
+// Snapshot returns a consistent-enough copy for reporting: each field
+// is read atomically, the set is not a single linearization point.
+func (c *ClusterCounters) Snapshot() ClusterSnapshot {
+	return ClusterSnapshot{
+		Rounds:        c.rounds.Load(),
+		Epochs:        c.epochs.Load(),
+		ShardRows:     c.shardRows.Load(),
+		ShardBytes:    c.shardBytes.Load(),
+		ReplicaPulls:  c.replicaPulls.Load(),
+		ReplicaPushes: c.replicaPushes.Load(),
+		ReplicaBytes:  c.replicaBytes.Load(),
+		Failovers:     c.failovers.Load(),
+		ProxiedPreds:  c.proxied.Load(),
+		ProxyFallback: c.proxyFallback.Load(),
+	}
+}

@@ -1,0 +1,33 @@
+package metrics
+
+import "testing"
+
+func TestClusterCountersSnapshot(t *testing.T) {
+	var c ClusterCounters
+	c.Round(5)
+	c.Round(3)
+	c.ShardPush(100, 4096)
+	c.ReplicaPull(256)
+	c.ReplicaPush(256)
+	c.Failover()
+	c.ProxiedPredict()
+	c.ProxiedPredict()
+	c.ProxyFallback()
+
+	s := c.Snapshot()
+	want := ClusterSnapshot{
+		Rounds:        2,
+		Epochs:        8,
+		ShardRows:     100,
+		ShardBytes:    4096,
+		ReplicaPulls:  1,
+		ReplicaPushes: 1,
+		ReplicaBytes:  512,
+		Failovers:     1,
+		ProxiedPreds:  2,
+		ProxyFallback: 1,
+	}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+}

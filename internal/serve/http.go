@@ -33,6 +33,12 @@ type Server struct {
 	// The map is built at construction and read-only afterwards, so
 	// concurrent lookups need no lock.
 	latency map[string]*metrics.Histogram
+	// maxBody caps every request body (Options.MaxBodyBytes, already
+	// normalized); <= 0 disables the cap.
+	maxBody int64
+	// cluster records which coordinator (if any) this server answers
+	// to; see the peer-mode routes in cluster.go.
+	cluster clusterMembership
 	started time.Time
 }
 
@@ -44,6 +50,7 @@ func NewServer(opts Options) *Server {
 		counters: opts.Counters,
 		mux:      http.NewServeMux(),
 		latency:  map[string]*metrics.Histogram{},
+		maxBody:  opts.MaxBodyBytes,
 		started:  time.Now(),
 	}
 	if opts.BatchWindow > 0 {
@@ -64,6 +71,10 @@ func NewServer(opts Options) *Server {
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("POST /v1/cluster/join", s.handleClusterJoin)
+	s.handle("GET /v1/cluster/replica/{id}", s.handleReplicaGet)
+	s.handle("POST /v1/cluster/replica/{id}", s.handleReplicaPut)
+	s.handle("GET /v1/datasets/{id}/rows", s.handleRows)
 	if opts.AutoBatch && s.coal != nil {
 		// The controller reads the predict route's latency histogram, so
 		// it starts after the routes (and their histograms) exist.
@@ -75,12 +86,18 @@ func NewServer(opts Options) *Server {
 
 // handle registers a route with its latency histogram: every request
 // through the pattern is timed, successes and errors alike, so the
-// histogram count equals the requests issued against the route.
+// histogram count equals the requests issued against the route. The
+// body is capped at Options.MaxBodyBytes on every route, so no POST
+// handler can be fed an unbounded payload; an overrun surfaces from
+// the handler's decode as *http.MaxBytesError (see decodeJSON).
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	hist := &metrics.Histogram{}
 	s.latency[pattern] = hist
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if s.maxBody > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
 		h(w, r)
 		hist.Observe(time.Since(start))
 	})
@@ -127,6 +144,23 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// decodeJSON decodes a request body into v, mapping a body-cap overrun
+// to 413 and any other decode failure to 400 (with what as the error
+// prefix). Returns false once the error response has been written.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any, what string) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("%s body exceeds the %d-byte limit (raise -max-body-bytes)", what, tooBig.Limit))
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s request: %w", what, err))
+		return false
+	}
+	return true
+}
+
 // trainResponse acknowledges a submitted job.
 type trainResponse struct {
 	JobID string `json:"job_id"`
@@ -136,8 +170,7 @@ type trainResponse struct {
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	var req TrainRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad train request: %w", err))
+	if !s.decodeJSON(w, r, &req, "train") {
 		return
 	}
 	id, err := s.sched.Submit(req)
@@ -276,8 +309,7 @@ type predictResponse struct {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad predict request: %w", err))
+	if !s.decodeJSON(w, r, &req, "predict") {
 		return
 	}
 	if len(req.Examples) == 0 {
@@ -360,8 +392,7 @@ type appendResponse struct {
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var req appendRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad append request: %w", err))
+	if !s.decodeJSON(w, r, &req, "append") {
 		return
 	}
 	if len(req.Rows) == 0 {
@@ -452,6 +483,9 @@ type statsResponse struct {
 	ModelDir      string `json:"model_dir,omitempty"`
 	// CheckpointEvery is the scheduler's epochs-per-checkpoint policy.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Cluster reports coordinator membership when this server has been
+	// joined to a cluster (dwserve -peer-of); omitted otherwise.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -490,5 +524,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st := s.sched.opts.Models; st != nil {
 		resp.ModelDir = st.Dir()
 	}
+	resp.Cluster = s.cluster.status()
 	s.writeJSON(w, http.StatusOK, resp)
 }

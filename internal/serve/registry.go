@@ -199,6 +199,15 @@ func (r *Registry) PutScored(id string, scorer Scorer, snap core.Snapshot) error
 	return r.put(id, &servingModel{scorer: scorer, x: snap.X, snap: snap})
 }
 
+// PutSnapshot registers a decoded wire snapshot, rebuilding the scorer
+// from the snapshot's own workload identity — the install path for
+// models pushed between cluster peers, where no local job built a
+// spec. Error semantics as Put.
+func (r *Registry) PutSnapshot(id string, snap core.Snapshot) error {
+	spec, scorer := scorerForSnapshot(snap)
+	return r.put(id, &servingModel{spec: spec, scorer: scorer, x: snap.X, snap: snap})
+}
+
 func (r *Registry) put(id string, sm *servingModel) error {
 	r.publish(id, sm)
 	r.mu.Lock()

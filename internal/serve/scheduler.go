@@ -113,6 +113,23 @@ type TrainRequest struct {
 	Step float64 `json:"step,omitempty"`
 	// Seed drives traversal randomness; 0 means the engine default.
 	Seed int64 `json:"seed,omitempty"`
+	// ModelRep forces a model replication strategy ("percore",
+	// "pernode", "permachine") instead of the optimizer's choice.
+	// Requires Access (a forced plan is all-or-nothing). "percluster"
+	// is rejected here: one server cannot span machines — submit to a
+	// cluster coordinator (cmd/dwcoord) instead.
+	ModelRep string `json:"model_rep,omitempty"`
+	// DataRep forces a data replication strategy ("sharding",
+	// "fullreplication", "importance"). Requires Access.
+	DataRep string `json:"data_rep,omitempty"`
+	// StepDecay overrides the per-epoch step decay factor; 0 means the
+	// model default. Requires Access.
+	StepDecay float64 `json:"step_decay,omitempty"`
+	// FixedOrder replaces the per-epoch random traversal permutation
+	// with the identity order, making the trajectory independent of
+	// Seed. Cluster peers train with it so a sharded run is bitwise
+	// comparable to a single-node run on the union. Requires Access.
+	FixedOrder bool `json:"fixed_order,omitempty"`
 	// Trace enables the engine's span recorder for this job: phase
 	// breakdowns appear in the job status, the full span journal at
 	// GET /v1/jobs/{id}/trace, and the job's phase timers feed the
@@ -387,6 +404,10 @@ type Options struct {
 	// the defaults documented on BatchTunerConfig. Ignored unless
 	// AutoBatch is set.
 	AutoBatchConfig BatchTunerConfig
+	// MaxBodyBytes caps the request body every POST handler will read;
+	// an oversized body answers 413 instead of exhausting memory. 0
+	// means 64 MiB; negative disables the cap. Server-level.
+	MaxBodyBytes int64
 }
 
 // OpenStores opens the serve layer's three durability namespaces under
@@ -428,6 +449,9 @@ func (o Options) normalize() Options {
 	}
 	if o.DisableFeedback {
 		o.Feedback = nil
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 64 << 20
 	}
 	return o
 }
@@ -639,6 +663,10 @@ func warmRequest(req TrainRequest, snap core.Snapshot) (TrainRequest, error) {
 		{"workers", req.Workers != 0},
 		{"step", req.Step != 0},
 		{"seed", req.Seed != 0},
+		{"model_rep", req.ModelRep != ""},
+		{"data_rep", req.DataRep != ""},
+		{"step_decay", req.StepDecay != 0},
+		{"fixed_order", req.FixedOrder},
 	} {
 		if k.set {
 			return req, fmt.Errorf("serve: warm_start resumes the snapshot's plan; %s cannot be overridden", k.name)
@@ -713,6 +741,30 @@ func (s *Scheduler) submit(req TrainRequest, warm *core.Snapshot, resumedFrom st
 		}
 		if _, err := parseAccess(req.Access); err != nil {
 			return "", err
+		}
+	}
+	if req.ModelRep == "percluster" {
+		return "", fmt.Errorf("serve: percluster replication spans machines; one server cannot run it — submit the job to a cluster coordinator (cmd/dwcoord)")
+	}
+	if req.ModelRep != "" || req.DataRep != "" || req.StepDecay != 0 || req.FixedOrder {
+		// A forced plan is all-or-nothing: replication and ordering
+		// knobs bypass the optimizer only alongside a forced access
+		// method, never half-merged into a cost-based choice.
+		if req.Access == "" {
+			return "", fmt.Errorf("serve: model_rep/data_rep/step_decay/fixed_order force the plan and require access to be set too")
+		}
+		if req.ModelRep != "" {
+			if _, err := parseModelRep(req.ModelRep); err != nil {
+				return "", err
+			}
+		}
+		if req.DataRep != "" {
+			if _, err := parseDataRep(req.DataRep); err != nil {
+				return "", err
+			}
+		}
+		if req.StepDecay < 0 {
+			return "", fmt.Errorf("serve: negative step_decay %g", req.StepDecay)
 		}
 	}
 	if _, err := core.ExecutorByName(req.Executor); err != nil {
@@ -878,6 +930,36 @@ func parseAccess(name string) (model.Access, error) {
 	}
 }
 
+// parseModelRep maps the request's model replication names. The
+// "percluster" level is deliberately absent: Submit rejects it with a
+// pointer to the coordinator before ever reaching here.
+func parseModelRep(name string) (core.ModelReplication, error) {
+	switch name {
+	case "percore":
+		return core.PerCore, nil
+	case "pernode":
+		return core.PerNode, nil
+	case "permachine":
+		return core.PerMachine, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown model_rep %q (want percore, pernode, or permachine)", name)
+	}
+}
+
+// parseDataRep maps the request's data replication names.
+func parseDataRep(name string) (core.DataReplication, error) {
+	switch name {
+	case "sharding":
+		return core.Sharding, nil
+	case "fullreplication":
+		return core.FullReplication, nil
+	case "importance":
+		return core.Importance, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown data_rep %q (want sharding, fullreplication, or importance)", name)
+	}
+}
+
 // Plan-source labels for JobStatus.PlanSource.
 const (
 	planSourceStatic   = "static"   // the word-cost prior decided
@@ -903,7 +985,17 @@ func (s *Scheduler) planFor(j *job) (core.Plan, error) {
 	if j.req.Access != "" {                        // glm only, validated at Submit
 		access, _ := parseAccess(j.req.Access)
 		s.setPlanSource(j, planSourceForced, 0)
-		return core.Plan{Access: access, Machine: j.top, DataRep: core.FullReplication, Executor: exec}, nil
+		plan := core.Plan{Access: access, Machine: j.top, DataRep: core.FullReplication, Executor: exec, FixedOrder: j.req.FixedOrder}
+		if j.req.ModelRep != "" {
+			plan.ModelRep, _ = parseModelRep(j.req.ModelRep) // validated at Submit
+		}
+		if j.req.DataRep != "" {
+			plan.DataRep, _ = parseDataRep(j.req.DataRep) // validated at Submit
+		}
+		if j.req.StepDecay > 0 {
+			plan.StepDecay = j.req.StepDecay
+		}
+		return plan, nil
 	}
 	key := s.keyFor(j, exec)
 	if plan, ok := s.plans.Lookup(key); ok {
@@ -1170,6 +1262,13 @@ func (s *Scheduler) run(j *job) {
 	for eng.Epoch() < j.req.MaxEpochs {
 		select {
 		case <-j.ctx.Done():
+			// A cancel here is a job DELETE or a server shutdown; either
+			// way the engine holds epochs the last periodic checkpoint may
+			// not, and a final save is what lets Resume continue instead
+			// of restarting from zero.
+			if s.opts.Checkpoints != nil && eng.Epoch() > 0 {
+				s.checkpoint(j, eng)
+			}
 			s.finish(j, JobCancelled, "")
 			return
 		default:
@@ -1196,6 +1295,11 @@ func (s *Scheduler) run(j *job) {
 		// waiting out the epoch.
 		er, err := eng.RunEpochCtx(j.ctx)
 		if err != nil {
+			// Cancelled mid-epoch: the engine rolled back to the last
+			// completed epoch boundary, which is still resumable state.
+			if s.opts.Checkpoints != nil && eng.Epoch() > 0 {
+				s.checkpoint(j, eng)
+			}
 			s.finish(j, JobCancelled, "")
 			return
 		}
@@ -1277,6 +1381,9 @@ func (s *Scheduler) run(j *job) {
 	// epoch wins over publication.
 	select {
 	case <-j.ctx.Done():
+		if s.opts.Checkpoints != nil && eng.Epoch() > 0 {
+			s.checkpoint(j, eng)
+		}
 		s.finish(j, JobCancelled, "")
 		return
 	default:
@@ -1735,8 +1842,11 @@ func (s *Scheduler) Wait(id string, timeout time.Duration) (JobStatus, error) {
 }
 
 // Close stops the scheduler: new submissions are rejected, queued and
-// running jobs are cancelled, and the worker pool drains. Close blocks
-// until every worker exits.
+// running jobs are cancelled (running jobs write a final checkpoint on
+// their way out, so a restart can Resume them), and the worker pool
+// drains. Close blocks until every worker exits, then flushes the tune
+// feedback store so observations from this process survive the
+// restart.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -1764,4 +1874,9 @@ func (s *Scheduler) Close() {
 	}
 	close(s.queue)
 	s.wg.Wait()
+	if s.feedback != nil {
+		if err := s.feedback.Flush(); err != nil {
+			s.counters.CheckpointError()
+		}
+	}
 }

@@ -50,6 +50,24 @@
 //	                            route latency histograms, engine phase
 //	                            timers
 //
+// Peer-mode endpoints, driven by a cluster coordinator (cmd/dwcoord)
+// to make this server one node of a PerCluster training run — models
+// travel as CRC-validated snapshot-codec payloads, data through the
+// ordinary append API:
+//
+//	POST   /v1/cluster/join          coordinator handshake -> machine,
+//	                                 datasets, model count
+//	GET    /v1/cluster/replica/{id}  pull a model replica (encoded
+//	                                 snapshot)
+//	POST   /v1/cluster/replica/{id}  install a snapshot: round seeds
+//	                                 for warm_start, final ring models
+//	GET    /v1/datasets/{id}/rows    export a row range in the append
+//	                                 API's encoding (?start=&count=)
+//
+// Every request body is capped at Options.MaxBodyBytes (64 MiB by
+// default); oversized requests answer 413 with the JSON error
+// envelope instead of buffering without bound.
+//
 // Profiling (net/http/pprof) is deliberately not on this mux: dwserve
 // serves DebugHandler on a separate -debug-addr listener so profiles
 // never ride the public port.

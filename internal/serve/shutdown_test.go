@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dimmwitted/internal/numa"
+)
+
+// TestCloseMidJobCheckpointsAndResumes is the graceful-shutdown round
+// trip: a scheduler is closed (as dwserve's SIGTERM handler does)
+// while a job is mid-training, the dying scheduler checkpoints the
+// job, and a fresh scheduler over the same store resumes it to
+// completion from that checkpoint rather than from epoch zero.
+func TestCloseMidJobCheckpointsAndResumes(t *testing.T) {
+	jobs, models := testStores(t)
+	// CheckpointEvery is set far past the run so the only checkpoint
+	// the store can hold is the one the shutdown path writes.
+	s1 := NewScheduler(Options{Machine: numa.Local2, Checkpoints: jobs, Models: models, CheckpointEvery: 100000})
+	id, err := s1.Submit(TrainRequest{Model: "svm", Dataset: "rcv1", MaxEpochs: 100000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st, _ := s1.Status(id); st.Epoch >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached epoch 2")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s1.Close() // SIGTERM: cancel running jobs, checkpoint them, flush
+
+	snap, _, _, err := jobs.Load(id)
+	if err != nil {
+		t.Fatalf("shutdown left no checkpoint for the running job: %v", err)
+	}
+	if snap.Epoch < 1 {
+		t.Fatalf("shutdown checkpoint at epoch %d", snap.Epoch)
+	}
+
+	// "Restart": a new scheduler over the same stores resumes the job.
+	s2 := NewScheduler(Options{Machine: numa.Local2, Checkpoints: jobs, Models: models, CheckpointEvery: 100000})
+	defer s2.Close()
+	newID, err := s2.Resume(id)
+	if err != nil {
+		t.Fatalf("resume after restart: %v", err)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		st, _ := s2.Status(newID)
+		if st.Epoch > snap.Epoch {
+			break
+		}
+		if st.State == "failed" {
+			t.Fatalf("resumed job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck at epoch %d (checkpoint %d)", st.Epoch, snap.Epoch)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s2.Cancel(newID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestBodyLimit drives every POST route with a body past the
+// configured cap and expects 413 with the JSON error envelope, not a
+// hung or half-read request.
+func TestRequestBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxBodyBytes: 512})
+	pad := strings.Repeat("x", 2048)
+	big, _ := json.Marshal(map[string]string{"model": "svm", "pad": pad})
+	cases := []struct {
+		name, path, ctype string
+		body              []byte
+	}{
+		{"train", "/v1/train", "application/json", big},
+		{"predict", "/v1/predict", "application/json", big},
+		{"append", "/v1/datasets/bl-stream/append", "application/json", big},
+		{"replica", "/v1/cluster/replica/bl-model", "application/octet-stream", bytes.Repeat([]byte{0xAB}, 2048)},
+		{"join", "/v1/cluster/join", "application/json", big},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, tc.ctype, bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("POST %s: %v", tc.path, err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("POST %s with %d-byte body: status %d, want 413", tc.path, len(tc.body), resp.StatusCode)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Fatalf("413 response lacks the JSON error envelope: %v %q", err, e.Error)
+			}
+			if !strings.Contains(e.Error, "512") {
+				t.Fatalf("413 error does not name the limit: %q", e.Error)
+			}
+		})
+	}
+
+	// A negative cap disables the limiter entirely.
+	_, open := newTestServer(t, Options{MaxBodyBytes: -1})
+	resp, err := http.Post(open.URL+"/v1/train", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusRequestEntityTooLarge {
+		t.Fatal("MaxBodyBytes<0 still enforced a body limit")
+	}
+}
